@@ -1,0 +1,102 @@
+/// Ablation bench for the design choices DESIGN.md §7 calls out:
+///   * ε-progress restarts on/off,
+///   * auto-adaptive operator selection vs uniform vs each single operator,
+///   * steady-state asynchronous Borg vs generational NSGA-II.
+/// Each variant runs the same budget on DTLZ2_5 and UF11; the output is
+/// final normalized hypervolume (mean over replicates).
+///
+/// Flags: --evals 50000  --replicates 3  --epsilon 0.15  --seed 2013
+///        --quick
+
+#include <iostream>
+
+#include "experiment_common.hpp"
+#include "metrics/hypervolume.hpp"
+#include "moea/nsga2.hpp"
+#include "problems/reference_set.hpp"
+#include "stats/summary.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace borg;
+
+struct Variant {
+    std::string name;
+    bool restarts = true;
+    bool adaptation = true;
+    int forced_operator = -1;
+    bool nsga2 = false;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+    util::CliArgs args(argc, argv);
+    args.check_known({"evals", "replicates", "epsilon", "seed", "quick"});
+    std::uint64_t evals =
+        static_cast<std::uint64_t>(args.get_int("evals", 50000));
+    std::uint64_t replicates =
+        static_cast<std::uint64_t>(args.get_int("replicates", 3));
+    const double epsilon = args.get_double("epsilon", 0.15);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2013));
+    if (args.get_bool("quick")) {
+        evals = 20000;
+        replicates = 1;
+    }
+
+    const std::vector<Variant> variants{
+        {"borg (full)", true, true, -1, false},
+        {"no restarts", false, true, -1, false},
+        {"no adaptation (uniform ops)", true, false, -1, false},
+        {"SBX+PM only", true, true, 0, false},
+        {"DE+PM only", true, true, 1, false},
+        {"PCX+PM only", true, true, 2, false},
+        {"SPX+PM only", true, true, 3, false},
+        {"UNDX+PM only", true, true, 4, false},
+        {"UM only", true, true, 5, false},
+        {"NSGA-II (generational)", false, false, -1, true},
+    };
+
+    std::cout << "Ablation — final normalized hypervolume after " << evals
+              << " evaluations (" << replicates << " replicate(s))\n\n";
+
+    util::Table table({"Variant", "DTLZ2_5", "UF11"});
+    for (const Variant& variant : variants) {
+        std::vector<std::string> row{variant.name};
+        for (const std::string& problem_name :
+             {std::string("dtlz2_5"), std::string("uf11")}) {
+            const auto problem = problems::make_problem(problem_name);
+            const auto refset = problems::reference_set_for(problem_name);
+            const metrics::HypervolumeNormalizer normalizer(refset);
+            stats::Accumulator hv;
+            for (std::uint64_t rep = 0; rep < replicates; ++rep) {
+                if (variant.nsga2) {
+                    moea::Nsga2 algo(*problem, 100,
+                                     bench::run_seed(seed, rep, 50));
+                    moea::run_serial_generational(algo, *problem, evals);
+                    hv.add(normalizer.normalized(algo.front()));
+                } else {
+                    moea::BorgParams params =
+                        bench::experiment_params(*problem, epsilon);
+                    params.enable_restarts = variant.restarts;
+                    params.enable_adaptation = variant.adaptation;
+                    params.forced_operator = variant.forced_operator;
+                    moea::BorgMoea algo(*problem, params,
+                                        bench::run_seed(seed, rep, 51));
+                    moea::run_serial(algo, *problem, evals);
+                    hv.add(normalizer.normalized(
+                        algo.archive().objective_vectors()));
+                }
+            }
+            row.push_back(util::format_fixed(hv.mean(), 3));
+        }
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: the full Borg configuration is at or "
+                 "near the top on both problems;\nsingle-operator variants "
+                 "win on at most one problem (no-free-lunch motivation for "
+                 "auto-adaptation).\n";
+    return 0;
+}

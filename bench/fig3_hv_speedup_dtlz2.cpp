@@ -1,0 +1,10 @@
+/// Reproduces Figure 3: parallel speedup to reach hypervolume thresholds
+/// on the 5-objective DTLZ2 problem, across T_F and processor counts.
+/// See hv_speedup_common.hpp for the method and flags.
+
+#include "hv_speedup_common.hpp"
+
+int main(int argc, char** argv) {
+    const auto opt = borg::bench::parse_hv_options(argc, argv);
+    return borg::bench::run_hv_speedup("dtlz2_5", "Figure 3", opt);
+}

@@ -1,0 +1,12 @@
+/// Reproduces Figure 4: parallel speedup to reach hypervolume thresholds
+/// on the 5-objective UF11 (rotated DTLZ2) problem — the harder,
+/// non-separable counterpart of Figure 3, where the speedup/quality
+/// nonlinearity is more pronounced.
+/// See hv_speedup_common.hpp for the method and flags.
+
+#include "hv_speedup_common.hpp"
+
+int main(int argc, char** argv) {
+    const auto opt = borg::bench::parse_hv_options(argc, argv);
+    return borg::bench::run_hv_speedup("uf11", "Figure 4", opt);
+}

@@ -1,0 +1,166 @@
+#ifndef BORG_BENCH_HV_SPEEDUP_COMMON_HPP
+#define BORG_BENCH_HV_SPEEDUP_COMMON_HPP
+
+/// \file hv_speedup_common.hpp
+/// Shared driver for Figures 3 and 4: parallel speedup measured at
+/// hypervolume thresholds.
+///
+/// For each T_F and each processor count P, a serial virtual-time run and
+/// a parallel virtual-time run record (time, hypervolume) trajectories;
+/// S_P^h = T_S^h / T_P^h is reported over thresholds h in [0.1, 1.0]. Flat
+/// speedup lines (efficient configurations) versus strongly h-dependent
+/// curves (saturated configurations) are the paper's headline qualitative
+/// result.
+///
+/// Flags: --tf 0.001,0.01,0.1  --procs 16,...,1024  --evals 50000
+///        --replicates 1  --epsilon 0.15  --checkpoints 50  --seed 2013
+///        --quick
+
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "experiment_common.hpp"
+#include "metrics/hypervolume.hpp"
+#include "parallel/trajectory.hpp"
+#include "problems/reference_set.hpp"
+#include "stats/summary.hpp"
+#include "util/table.hpp"
+
+namespace borg::bench {
+
+struct HvSpeedupOptions {
+    std::vector<double> tfs{0.001, 0.01, 0.1};
+    std::vector<std::int64_t> procs{16, 32, 64, 128, 256, 512, 1024};
+    std::uint64_t evals = 50000;
+    std::uint64_t replicates = 1;
+    double epsilon = 0.15;
+    std::uint64_t checkpoints = 50;
+    std::uint64_t seed = 2013;
+    bool csv = false;
+};
+
+inline HvSpeedupOptions parse_hv_options(int argc, char** argv) {
+    util::CliArgs args(argc, argv);
+    args.check_known({"tf", "procs", "evals", "replicates", "epsilon",
+                      "checkpoints", "seed", "quick", "csv"});
+    HvSpeedupOptions opt;
+    opt.tfs = args.get_doubles("tf", opt.tfs);
+    opt.procs = args.get_ints("procs", opt.procs);
+    opt.evals = static_cast<std::uint64_t>(
+        args.get_int("evals", static_cast<std::int64_t>(opt.evals)));
+    opt.replicates = static_cast<std::uint64_t>(
+        args.get_int("replicates", static_cast<std::int64_t>(opt.replicates)));
+    opt.epsilon = args.get_double("epsilon", opt.epsilon);
+    opt.checkpoints = static_cast<std::uint64_t>(args.get_int(
+        "checkpoints", static_cast<std::int64_t>(opt.checkpoints)));
+    opt.seed = static_cast<std::uint64_t>(
+        args.get_int("seed", static_cast<std::int64_t>(opt.seed)));
+    opt.csv = args.get_bool("csv");
+    if (args.get_bool("quick")) {
+        opt.tfs = {0.01};
+        opt.procs = {16, 64, 256, 1024};
+        opt.evals = 20000;
+    }
+    return opt;
+}
+
+/// Runs the figure for one problem and prints one threshold x P speedup
+/// matrix per T_F value.
+inline int run_hv_speedup(const std::string& problem_name,
+                          const std::string& figure_label,
+                          const HvSpeedupOptions& opt) {
+    const auto problem = problems::make_problem(problem_name);
+    const auto refset = problems::reference_set_for(problem_name);
+    const metrics::HypervolumeNormalizer normalizer(refset);
+    const std::uint64_t interval =
+        std::max<std::uint64_t>(1, opt.evals / opt.checkpoints);
+
+    std::cout << figure_label
+              << " — speedup vs hypervolume threshold, 5-objective "
+              << problem->name() << "\nN = " << opt.evals << ", "
+              << opt.replicates << " replicate(s); thresholds are "
+              << "normalized hypervolume (1 = reference set)\n";
+
+    const std::vector<double> thresholds{0.1, 0.2, 0.3, 0.4, 0.5,
+                                         0.6, 0.7, 0.8, 0.9, 1.0};
+
+    for (const double tf_mean : opt.tfs) {
+        const auto tf = stats::make_delay(tf_mean, 0.1);
+        const auto tc = stats::make_delay(kPaperTc, 0.0);
+
+        // Threshold -> mean serial time, and per-P mean parallel times.
+        std::map<double, stats::Accumulator> serial_at;
+        std::map<std::int64_t, std::map<double, stats::Accumulator>>
+            parallel_at;
+        stats::Accumulator serial_final_hv;
+
+        for (std::uint64_t rep = 0; rep < opt.replicates; ++rep) {
+            const auto ta = stats::make_delay(
+                paper_ta_mean(problem_name, 128), 0.2);
+
+            moea::BorgMoea serial_algo(
+                *problem, experiment_params(*problem, opt.epsilon),
+                run_seed(opt.seed, rep, 10));
+            parallel::TrajectoryRecorder serial_rec(normalizer, interval);
+            parallel::VirtualClusterConfig serial_cfg{
+                2, tf.get(), tc.get(), ta.get(), run_seed(opt.seed, rep, 11)};
+            run_serial_virtual(serial_algo, *problem, serial_cfg, opt.evals,
+                               &serial_rec);
+            serial_final_hv.add(serial_rec.final_hypervolume());
+            for (const double h : thresholds)
+                serial_at[h].add(serial_rec.time_to_threshold(h));
+
+            for (const std::int64_t p : opt.procs) {
+                const auto ta_p = stats::make_delay(
+                    paper_ta_mean(problem_name,
+                                  static_cast<std::uint64_t>(p)),
+                    0.2);
+                moea::BorgMoea par_algo(
+                    *problem, experiment_params(*problem, opt.epsilon),
+                    run_seed(opt.seed, rep, 20 + static_cast<std::uint64_t>(p)));
+                parallel::TrajectoryRecorder par_rec(normalizer, interval);
+                parallel::VirtualClusterConfig par_cfg{
+                    static_cast<std::uint64_t>(p), tf.get(), tc.get(),
+                    ta_p.get(),
+                    run_seed(opt.seed, rep, 30 + static_cast<std::uint64_t>(p))};
+                parallel::AsyncMasterSlaveExecutor exec(par_algo, *problem,
+                                                        par_cfg);
+                exec.run(opt.evals, &par_rec);
+                for (const double h : thresholds)
+                    parallel_at[p][h].add(par_rec.time_to_threshold(h));
+            }
+        }
+
+        std::cout << "\nT_F = " << tf_mean << " s (serial run reaches "
+                  << util::format_fixed(serial_final_hv.mean(), 3)
+                  << " normalized hypervolume)\n";
+        std::vector<std::string> headers{"h"};
+        for (const std::int64_t p : opt.procs)
+            headers.push_back("P=" + std::to_string(p));
+        util::Table table(std::move(headers));
+        for (const double h : thresholds) {
+            const double ts = serial_at[h].mean();
+            std::vector<std::string> row{util::format_fixed(h, 1)};
+            for (const std::int64_t p : opt.procs) {
+                const double tp = parallel_at[p][h].mean();
+                if (!std::isfinite(ts) || !std::isfinite(tp) || tp <= 0.0)
+                    row.push_back("-");
+                else
+                    row.push_back(util::format_fixed(ts / tp, 1));
+            }
+            table.add_row(std::move(row));
+        }
+        if (opt.csv)
+            table.print_csv(std::cout);
+        else
+            table.print(std::cout);
+        std::cout << "('-': threshold not attained by the serial and/or "
+                     "parallel run within N evaluations)\n";
+    }
+    return 0;
+}
+
+} // namespace borg::bench
+
+#endif

@@ -1,0 +1,74 @@
+/// Micro-benchmarks for the master-side bookkeeping that constitutes the
+/// paper's T_A: epsilon-archive insertion and the full master step
+/// (receive + generate next offspring) at representative archive sizes.
+/// Compare the measured step cost with Table II's 23-78 us means.
+
+#include <benchmark/benchmark.h>
+
+#include "moea/borg.hpp"
+#include "moea/epsilon_archive.hpp"
+#include "problems/problem.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace borg;
+using namespace borg::moea;
+
+Solution random_evaluated(const problems::Problem& problem, util::Rng& rng) {
+    Solution s = random_solution(problem, rng);
+    evaluate(problem, s);
+    return s;
+}
+
+/// Archive insertion cost as the archive grows (arg: target archive size,
+/// controlled through epsilon).
+void BM_ArchiveAdd(benchmark::State& state) {
+    const auto problem = problems::make_problem("dtlz2_5");
+    const double epsilon = 1.0 / static_cast<double>(state.range(0));
+    util::Rng rng(7);
+
+    EpsilonBoxArchive archive(
+        std::vector<double>(problem->num_objectives(), epsilon));
+    // Pre-fill from a long stream so the archive is at steady state.
+    for (int i = 0; i < 20000; ++i)
+        archive.add(random_evaluated(*problem, rng));
+
+    std::vector<Solution> candidates;
+    for (int i = 0; i < 1024; ++i)
+        candidates.push_back(random_evaluated(*problem, rng));
+
+    std::size_t next = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(archive.add(candidates[next]));
+        next = (next + 1) & 1023;
+    }
+    state.counters["archive_size"] =
+        static_cast<double>(archive.size());
+}
+BENCHMARK(BM_ArchiveAdd)->Arg(4)->Arg(8)->Arg(16);
+
+/// Full master step: receive an evaluated offspring + generate the next.
+/// This is exactly the quantity measured as T_A in the experiments.
+void BM_MasterStep(benchmark::State& state, const std::string& name) {
+    const auto problem = problems::make_problem(name);
+    BorgMoea algo(*problem, moea::BorgParams::for_problem(*problem, 0.15),
+                  11);
+    // Warm up past initialization so the steady-state cost is measured.
+    run_serial(algo, *problem, 5000);
+
+    Solution pending = algo.next_offspring();
+    evaluate(*problem, pending);
+    for (auto _ : state) {
+        algo.receive(std::move(pending));
+        pending = algo.next_offspring();
+        evaluate(*problem, pending); // kept outside T_A in the experiments
+    }
+    state.counters["archive_size"] = static_cast<double>(algo.archive().size());
+}
+BENCHMARK_CAPTURE(BM_MasterStep, dtlz2_5, "dtlz2_5");
+BENCHMARK_CAPTURE(BM_MasterStep, uf11, "uf11");
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/// Micro-benchmarks for the discrete-event engine: raw event throughput
+/// and the master-slave queueing pattern. These bound how large a Figure 5
+/// sweep point (P up to 16384) costs to simulate.
+
+#include <benchmark/benchmark.h>
+
+#include "des/environment.hpp"
+#include "des/resource.hpp"
+#include "models/simulation_model.hpp"
+#include "stats/distribution.hpp"
+
+namespace {
+
+using namespace borg;
+
+des::Process ticker(des::Environment& env, int events) {
+    for (int i = 0; i < events; ++i) co_await env.delay(1.0);
+}
+
+/// Pure timeout dispatch rate.
+void BM_DesEventThroughput(benchmark::State& state) {
+    const int events_per_proc = 64;
+    for (auto _ : state) {
+        des::Environment env;
+        for (int p = 0; p < state.range(0); ++p)
+            env.spawn(ticker(env, events_per_proc));
+        env.run();
+        benchmark::DoNotOptimize(env.event_count());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) *
+                            events_per_proc);
+}
+BENCHMARK(BM_DesEventThroughput)->Arg(16)->Arg(256)->Arg(4096);
+
+/// Full asynchronous master-slave simulation (the Table II / Figure 5
+/// inner loop) at increasing processor counts.
+void BM_SimulateAsync(benchmark::State& state) {
+    const auto p = static_cast<std::uint64_t>(state.range(0));
+    const auto tf = stats::make_delay(0.01, 0.1);
+    const auto tc = stats::make_delay(0.000006, 0.0);
+    const auto ta = stats::make_delay(0.000029, 0.2);
+    const std::uint64_t n = 8 * p;
+    for (auto _ : state) {
+        models::SimulationConfig cfg{n, p, tf.get(), tc.get(), ta.get(), 5};
+        benchmark::DoNotOptimize(models::simulate_async(cfg));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulateAsync)->Arg(64)->Arg(1024)->Arg(16384);
+
+/// Synchronous counterpart.
+void BM_SimulateSync(benchmark::State& state) {
+    const auto p = static_cast<std::uint64_t>(state.range(0));
+    const auto tf = stats::make_delay(0.01, 0.1);
+    const auto tc = stats::make_delay(0.000006, 0.0);
+    const auto ta = stats::make_delay(0.000029, 0.2);
+    const std::uint64_t n = 8 * p;
+    for (auto _ : state) {
+        models::SimulationConfig cfg{n, p, tf.get(), tc.get(), ta.get(), 6};
+        benchmark::DoNotOptimize(models::simulate_sync(cfg));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulateSync)->Arg(64)->Arg(1024)->Arg(16384);
+
+} // namespace
+
+BENCHMARK_MAIN();

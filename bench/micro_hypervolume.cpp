@@ -1,0 +1,76 @@
+/// Micro-benchmarks for hypervolume computation: the exact WFG recursion
+/// against the Monte Carlo estimator over dimensions and front sizes —
+/// the cost driver of the Figure 3/4 trajectory analysis.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "metrics/hypervolume.hpp"
+#include "problems/reference_set.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace borg;
+using metrics::Front;
+
+Front random_front(std::size_t points, std::size_t dims, std::uint64_t seed) {
+    // Points near the simplex f1 + ... + fm = 1 so most are mutually
+    // nondominated, the hard case for WFG.
+    util::Rng rng(seed);
+    Front front;
+    for (std::size_t i = 0; i < points; ++i) {
+        std::vector<double> p(dims);
+        double sum = 0.0;
+        for (double& v : p) {
+            v = -std::log(1.0 - rng.uniform());
+            sum += v;
+        }
+        for (double& v : p) v = v / sum + rng.uniform() * 0.01;
+        front.push_back(std::move(p));
+    }
+    return front;
+}
+
+void BM_ExactHv(benchmark::State& state) {
+    const auto points = static_cast<std::size_t>(state.range(0));
+    const auto dims = static_cast<std::size_t>(state.range(1));
+    const Front front = random_front(points, dims, 42);
+    const std::vector<double> ref(dims, 1.2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(metrics::hypervolume(front, ref));
+}
+BENCHMARK(BM_ExactHv)
+    ->Args({100, 2})
+    ->Args({1000, 2})
+    ->Args({100, 3})
+    ->Args({50, 5})
+    ->Args({200, 5});
+
+void BM_MonteCarloHv(benchmark::State& state) {
+    const auto points = static_cast<std::size_t>(state.range(0));
+    const auto dims = static_cast<std::size_t>(state.range(1));
+    const Front front = random_front(points, dims, 43);
+    const std::vector<double> ref(dims, 1.2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            metrics::hypervolume_monte_carlo(front, ref, 100000, 44));
+}
+BENCHMARK(BM_MonteCarloHv)->Args({200, 5})->Args({1000, 5});
+
+void BM_NormalizerCheckpoint(benchmark::State& state) {
+    // The Figure 3/4 per-checkpoint cost: normalized hypervolume of an
+    // archive-sized front against the 5-objective DTLZ2 reference set.
+    const auto refset = problems::dtlz2_reference_set(5, 8);
+    const metrics::HypervolumeNormalizer normalizer(refset);
+    const Front archive = random_front(
+        static_cast<std::size_t>(state.range(0)), 5, 45);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(normalizer.normalized(archive));
+}
+BENCHMARK(BM_NormalizerCheckpoint)->Arg(50)->Arg(200);
+
+} // namespace
+
+BENCHMARK_MAIN();

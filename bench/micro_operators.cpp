@@ -1,0 +1,69 @@
+/// Micro-benchmarks for the variation operator ensemble: the per-offspring
+/// generation cost is one component of the paper's T_A (master overhead).
+
+#include <benchmark/benchmark.h>
+
+#include "moea/operators.hpp"
+#include "problems/problem.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace borg;
+using namespace borg::moea;
+
+struct Setup {
+    std::unique_ptr<problems::Problem> problem;
+    std::vector<std::unique_ptr<Variation>> ops;
+    std::vector<std::vector<double>> parents;
+    util::Rng rng{123};
+
+    explicit Setup(const std::string& name)
+        : problem(problems::make_problem(name)),
+          ops(make_borg_operators(*problem)) {
+        for (int i = 0; i < 10; ++i) {
+            std::vector<double> x(problem->num_variables());
+            for (std::size_t j = 0; j < x.size(); ++j)
+                x[j] = rng.uniform(problem->lower_bound(j),
+                                   problem->upper_bound(j));
+            parents.push_back(std::move(x));
+        }
+    }
+
+    ParentView view(std::size_t arity) const {
+        ParentView v;
+        for (std::size_t i = 0; i < arity; ++i) v.emplace_back(parents[i]);
+        return v;
+    }
+};
+
+void BM_Operator(benchmark::State& state, const std::string& problem_name,
+                 std::size_t op_index) {
+    Setup setup(problem_name);
+    Variation& op = *setup.ops[op_index];
+    const ParentView parents = setup.view(op.arity());
+    for (auto _ : state) {
+        auto child = op.apply(parents, setup.rng);
+        benchmark::DoNotOptimize(child);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+} // namespace
+
+// The paper's two experiment problems: 14 variables (DTLZ2_5) and 30
+// variables (UF11).
+#define BORG_OP_BENCH(name, index)                                        \
+    BENCHMARK_CAPTURE(BM_Operator, name##_dtlz2, "dtlz2_5", index);       \
+    BENCHMARK_CAPTURE(BM_Operator, name##_uf11, "uf11", index)
+
+BORG_OP_BENCH(sbx_pm, 0);
+BORG_OP_BENCH(de_pm, 1);
+BORG_OP_BENCH(pcx_pm, 2);
+BORG_OP_BENCH(spx_pm, 3);
+BORG_OP_BENCH(undx_pm, 4);
+BORG_OP_BENCH(um, 5);
+
+#undef BORG_OP_BENCH
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+/// Watching auto-adaptation happen: runs the Borg MOEA on an easy
+/// separable problem (DTLZ2) and its rotated counterpart (UF11) side by
+/// side and prints how the operator selection probabilities evolve — the
+/// algorithm dynamics the paper links to parallel efficiency ("the
+/// algorithm's performance is maximized only when high parallel efficiency
+/// enables it to fully activate its auto-adaptive evolutionary
+/// operators").
+///
+/// Expected picture: on DTLZ2, SBX (separable-friendly) takes over; on
+/// rotated UF11 the parent-centric/rotation-invariant operators (PCX, SPX)
+/// climb instead.
+
+#include <iostream>
+
+#include "moea/borg.hpp"
+#include "moea/diagnostics.hpp"
+#include "problems/problem.hpp"
+
+int main() {
+    using namespace borg;
+
+    for (const char* name : {"dtlz2_5", "uf11"}) {
+        const auto problem = problems::make_problem(name);
+        moea::BorgMoea algorithm(
+            *problem, moea::BorgParams::for_problem(*problem, 0.15), 11);
+        moea::DiagnosticLog log(/*window=*/5000);
+
+        moea::run_serial(algorithm, *problem, 50000,
+                         [&](std::uint64_t) { log.observe(algorithm); });
+
+        std::cout << "=== " << problem->name()
+                  << " — operator probabilities over 50k evaluations ===\n";
+        log.print(std::cout);
+        std::cout << "max single-window probability swing: "
+                  << log.max_probability_swing() << "\n\n";
+    }
+    std::cout << "Reading: p(SBX+PM) dominating on DTLZ2_5 but not on the "
+                 "rotated UF11 is Borg's\nauto-adaptation reacting to "
+                 "variable interactions — no single operator wins both.\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+#ifndef BORG_BORG_HPP
+#define BORG_BORG_HPP
+
+/// \file borg.hpp
+/// Umbrella header: the library's entire public API in one include.
+/// Fine-grained headers remain available for faster builds; this is the
+/// convenience entry point used by downstream consumers and quick
+/// experiments.
+///
+///   #include "borg.hpp"
+///   auto problem = borg::problems::make_problem("dtlz2_5");
+///   borg::moea::BorgMoea algorithm(*problem, params, seed);
+
+// Utilities
+#include "util/cli.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+// Statistics: distributions, fitting, goodness of fit, summaries
+#include "stats/distribution.hpp"
+#include "stats/fitting.hpp"
+#include "stats/summary.hpp"
+
+// Discrete-event simulation engine
+#include "des/environment.hpp"
+#include "des/resource.hpp"
+
+// Test problems and reference sets
+#include "problems/delayed.hpp"
+#include "problems/dtlz.hpp"
+#include "problems/engineering.hpp"
+#include "problems/problem.hpp"
+#include "problems/reference_set.hpp"
+#include "problems/uf.hpp"
+#include "problems/zdt.hpp"
+
+// The Borg MOEA and supporting machinery
+#include "moea/borg.hpp"
+#include "moea/checkpoint.hpp"
+#include "moea/diagnostics.hpp"
+#include "moea/dominance.hpp"
+#include "moea/epsilon_archive.hpp"
+#include "moea/nsga2.hpp"
+#include "moea/operators.hpp"
+#include "moea/population.hpp"
+
+// Quality indicators
+#include "metrics/hypervolume.hpp"
+#include "metrics/indicators.hpp"
+
+// Parallel executors
+#include "parallel/async_executor.hpp"
+#include "parallel/message.hpp"
+#include "parallel/multi_master.hpp"
+#include "parallel/sync_executor.hpp"
+#include "parallel/thread_executor.hpp"
+#include "parallel/trajectory.hpp"
+#include "parallel/virtual_cluster.hpp"
+
+// Scalability models
+#include "models/analytical.hpp"
+#include "models/simulation_model.hpp"
+#include "models/sync_model.hpp"
+
+#endif

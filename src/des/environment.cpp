@@ -1,0 +1,71 @@
+#include "des/environment.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace borg::des {
+
+Process Process::promise_type::get_return_object() noexcept {
+    return Process{std::coroutine_handle<promise_type>::from_promise(*this)};
+}
+
+Process::Process(Process&& other) noexcept
+    : handle_(std::exchange(other.handle_, nullptr)) {}
+
+Process& Process::operator=(Process&& other) noexcept {
+    if (this != &other) {
+        if (handle_) handle_.destroy();
+        handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+}
+
+Process::~Process() {
+    if (handle_) handle_.destroy();
+}
+
+void Environment::spawn(Process process) {
+    if (!process.valid())
+        throw std::invalid_argument("spawn: invalid process handle");
+    process.handle_.promise().env = this;
+    schedule_at(process.handle_, now_);
+    processes_.push_back(std::move(process));
+}
+
+void Environment::schedule_at(std::coroutine_handle<> handle, double t) {
+    if (t < now_)
+        throw std::logic_error("schedule_at: cannot schedule in the past");
+    queue_.push(Scheduled{t, next_seq_++, handle});
+}
+
+void Environment::on_process_finished(std::exception_ptr exception) noexcept {
+    ++finished_;
+    if (exception && !first_exception_) first_exception_ = exception;
+}
+
+void Environment::dispatch(const Scheduled& item) {
+    now_ = item.time;
+    ++events_fired_;
+    item.handle.resume();
+    if (first_exception_)
+        std::rethrow_exception(std::exchange(first_exception_, nullptr));
+}
+
+void Environment::run() {
+    while (!queue_.empty() && !stopped_) {
+        const Scheduled item = queue_.top();
+        queue_.pop();
+        dispatch(item);
+    }
+}
+
+void Environment::run_until(double t) {
+    while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
+        const Scheduled item = queue_.top();
+        queue_.pop();
+        dispatch(item);
+    }
+    if (!stopped_ && now_ < t && queue_.empty()) now_ = t;
+}
+
+} // namespace borg::des

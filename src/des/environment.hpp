@@ -1,0 +1,187 @@
+#ifndef BORG_DES_ENVIRONMENT_HPP
+#define BORG_DES_ENVIRONMENT_HPP
+
+/// \file environment.hpp
+/// A deterministic discrete-event simulation (DES) engine with SimPy
+/// semantics, built on C++20 coroutines.
+///
+/// The paper's simulation model was written in SimPy 2.3: simulated
+/// "processes" hold resources for sampled amounts of time instead of doing
+/// real work, and the engine advances a virtual clock from event to event.
+/// This module is the C++ substitute. A simulation process is a coroutine
+/// returning des::Process; it suspends on awaitables created by the
+/// environment (delays) or by synchronization primitives (resources, events,
+/// declared in resource.hpp).
+///
+/// Example — the paper's master-interaction fragment:
+/// \code
+///   des::Process worker(des::Environment& env, des::Resource& master, ...) {
+///       while (more_work()) {
+///           co_await master.acquire();                 // yield request
+///           co_await env.delay(tc() + ta() + tc());    // yield hold
+///           master.release();                          // yield release
+///           co_await env.delay(tf());                  // evaluate
+///       }
+///   }
+/// \endcode
+///
+/// Determinism: events scheduled for the same virtual time fire in FIFO
+/// scheduling order, and resources grant strictly FIFO, so a run is a pure
+/// function of its inputs (including RNG seeds).
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <queue>
+#include <vector>
+
+namespace borg::des {
+
+class Environment;
+
+/// Owning handle for a simulation process coroutine. Movable, not copyable.
+/// The coroutine starts suspended; Environment::spawn schedules its first
+/// step at the current virtual time.
+class Process {
+public:
+    struct promise_type {
+        Process get_return_object() noexcept;
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        /// Stays suspended at the end (the Process object owns and destroys
+        /// the frame) but first reports completion — and any escaped
+        /// exception — to the environment in O(1).
+        auto final_suspend() noexcept;
+
+        void return_void() noexcept {}
+        void unhandled_exception() noexcept {
+            exception = std::current_exception();
+        }
+
+        Environment* env = nullptr;
+        std::exception_ptr exception;
+    };
+
+    Process() noexcept = default;
+    Process(Process&& other) noexcept;
+    Process& operator=(Process&& other) noexcept;
+    Process(const Process&) = delete;
+    Process& operator=(const Process&) = delete;
+    ~Process();
+
+    bool valid() const noexcept { return handle_ != nullptr; }
+    bool done() const noexcept { return handle_ && handle_.done(); }
+
+private:
+    friend class Environment;
+    explicit Process(std::coroutine_handle<promise_type> handle) noexcept
+        : handle_(handle) {}
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+/// The simulation environment: virtual clock plus a time-ordered event queue
+/// of suspended coroutine resumptions.
+class Environment {
+public:
+    Environment() = default;
+    Environment(const Environment&) = delete;
+    Environment& operator=(const Environment&) = delete;
+
+    /// Current virtual time in seconds.
+    double now() const noexcept { return now_; }
+
+    /// Registers a process and schedules its first step at now().
+    /// The environment takes ownership of the coroutine frame.
+    void spawn(Process process);
+
+    /// Awaitable that suspends the calling process for \p dt >= 0 virtual
+    /// seconds.
+    auto delay(double dt) noexcept;
+
+    /// Runs until the event queue is empty or stop() was called.
+    /// Rethrows the first exception that escaped any process.
+    void run();
+
+    /// Runs until now() would exceed \p t (events at exactly t still fire).
+    /// If the queue drains early the clock is advanced to \p t.
+    void run_until(double t);
+
+    /// Requests the run loop to halt after the current event completes.
+    /// Callable from inside a process (e.g. when N evaluations finished).
+    void stop() noexcept { stopped_ = true; }
+
+    bool stopped() const noexcept { return stopped_; }
+
+    /// Count of processes that have run to completion.
+    std::size_t finished_processes() const noexcept { return finished_; }
+
+    /// Total events dispatched so far (diagnostic / test hook).
+    std::uint64_t event_count() const noexcept { return events_fired_; }
+
+    /// Schedules \p handle to resume at absolute virtual time \p t >= now().
+    /// Public so synchronization primitives (Resource, Event) can reschedule
+    /// their waiters; not intended for direct use by simulation code.
+    void schedule_at(std::coroutine_handle<> handle, double t);
+
+    /// Called by Process::promise_type at final suspend. Internal.
+    void on_process_finished(std::exception_ptr exception) noexcept;
+
+private:
+    struct Scheduled {
+        double time;
+        std::uint64_t seq;
+        std::coroutine_handle<> handle;
+        bool operator>(const Scheduled& other) const noexcept {
+            if (time != other.time) return time > other.time;
+            return seq > other.seq;
+        }
+    };
+
+    void dispatch(const Scheduled& item);
+
+    double now_ = 0.0;
+    bool stopped_ = false;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t events_fired_ = 0;
+    std::size_t finished_ = 0;
+    std::exception_ptr first_exception_;
+    std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
+        queue_;
+    std::vector<Process> processes_;
+};
+
+inline auto Process::promise_type::final_suspend() noexcept {
+    struct FinalAwaiter {
+        promise_type& promise;
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<>) const noexcept {
+            if (promise.env)
+                promise.env->on_process_finished(promise.exception);
+        }
+        void await_resume() const noexcept {}
+    };
+    return FinalAwaiter{*this};
+}
+
+namespace detail {
+/// Awaiter for Environment::delay.
+struct TimeoutAwaiter {
+    Environment& env;
+    double dt;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> handle) const {
+        env.schedule_at(handle, env.now() + dt);
+    }
+    void await_resume() const noexcept {}
+};
+} // namespace detail
+
+inline auto Environment::delay(double dt) noexcept {
+    return detail::TimeoutAwaiter{*this, dt < 0.0 ? 0.0 : dt};
+}
+
+} // namespace borg::des
+
+#endif

@@ -1,0 +1,56 @@
+#include "des/resource.hpp"
+
+#include <stdexcept>
+
+namespace borg::des {
+
+Resource::Resource(Environment& env, std::size_t capacity)
+    : env_(env), capacity_(capacity) {
+    if (capacity == 0)
+        throw std::invalid_argument("Resource: capacity must be >= 1");
+}
+
+bool Resource::try_acquire_immediate() noexcept {
+    if (in_use_ < capacity_ && waiters_.empty()) {
+        ++in_use_;
+        ++acquires_;
+        return true;
+    }
+    return false;
+}
+
+void Resource::enqueue(std::coroutine_handle<> handle) {
+    ++acquires_;
+    ++contended_;
+    waiters_.push_back(handle);
+}
+
+void Resource::release() {
+    if (in_use_ == 0)
+        throw std::logic_error("Resource::release without matching acquire");
+    if (!waiters_.empty()) {
+        // Hand the slot directly to the longest waiter; in_use_ stays the
+        // same because ownership transfers without ever becoming free.
+        const auto next = waiters_.front();
+        waiters_.pop_front();
+        env_.schedule_at(next, env_.now());
+    } else {
+        --in_use_;
+    }
+}
+
+void Event::trigger() {
+    triggered_ = true;
+    while (!waiters_.empty()) {
+        env_.schedule_at(waiters_.front(), env_.now());
+        waiters_.pop_front();
+    }
+}
+
+void Event::reset() {
+    if (!waiters_.empty())
+        throw std::logic_error("Event::reset with pending waiters");
+    triggered_ = false;
+}
+
+} // namespace borg::des

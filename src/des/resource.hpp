@@ -1,0 +1,120 @@
+#ifndef BORG_DES_RESOURCE_HPP
+#define BORG_DES_RESOURCE_HPP
+
+/// \file resource.hpp
+/// Synchronization primitives for the discrete-event engine: a FIFO-granting
+/// counted Resource (SimPy's Resource — models the master node the workers
+/// queue for) and a one-shot broadcast Event (used by the synchronous
+/// executor's generation barrier).
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+
+#include "des/environment.hpp"
+
+namespace borg::des {
+
+/// A resource with a fixed number of slots, granted strictly first-come
+/// first-served. In the paper's simulation model the master node is a
+/// Resource of capacity 1: workers "request" it, "hold" it for
+/// T_C + T_A + T_C, then "release" it.
+class Resource {
+public:
+    /// \p env must outlive the resource; \p capacity >= 1.
+    Resource(Environment& env, std::size_t capacity = 1);
+
+    Resource(const Resource&) = delete;
+    Resource& operator=(const Resource&) = delete;
+
+    /// Awaitable acquisition. Completes immediately when a slot is free,
+    /// otherwise suspends in FIFO order until release() hands over a slot.
+    auto acquire() noexcept;
+
+    /// Releases one slot; hands it directly to the longest-waiting process
+    /// if any (resumed via the event queue at the current virtual time).
+    /// It is a logic error to release more slots than were acquired.
+    void release();
+
+    std::size_t capacity() const noexcept { return capacity_; }
+    std::size_t in_use() const noexcept { return in_use_; }
+    std::size_t queue_length() const noexcept { return waiters_.size(); }
+
+    /// Cumulative count of acquisitions that had to wait (contention
+    /// statistic surfaced by the simulation model).
+    std::size_t contended_acquires() const noexcept { return contended_; }
+    std::size_t total_acquires() const noexcept { return acquires_; }
+
+private:
+    friend struct ResourceAwaiter;
+
+    bool try_acquire_immediate() noexcept;
+    void enqueue(std::coroutine_handle<> handle);
+
+    Environment& env_;
+    std::size_t capacity_;
+    std::size_t in_use_ = 0;
+    std::size_t acquires_ = 0;
+    std::size_t contended_ = 0;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+struct ResourceAwaiter {
+    Resource& resource;
+
+    bool await_ready() const noexcept {
+        return resource.try_acquire_immediate();
+    }
+    void await_suspend(std::coroutine_handle<> handle) const {
+        resource.enqueue(handle);
+    }
+    void await_resume() const noexcept {}
+};
+
+inline auto Resource::acquire() noexcept { return ResourceAwaiter{*this}; }
+
+/// One-shot broadcast event: processes co_await wait(); trigger() resumes
+/// every waiter (in wait order) at the current virtual time. After
+/// triggering, wait() completes immediately. reset() re-arms the event
+/// (generation barriers re-use one event per generation).
+class Event {
+public:
+    explicit Event(Environment& env) : env_(env) {}
+
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+
+    auto wait() noexcept;
+
+    void trigger();
+
+    /// Re-arms a triggered event. It is a logic error to reset an event
+    /// that still has waiters.
+    void reset();
+
+    bool triggered() const noexcept { return triggered_; }
+    std::size_t waiter_count() const noexcept { return waiters_.size(); }
+
+private:
+    friend struct EventAwaiter;
+
+    Environment& env_;
+    bool triggered_ = false;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+struct EventAwaiter {
+    Event& event;
+
+    bool await_ready() const noexcept { return event.triggered_; }
+    void await_suspend(std::coroutine_handle<> handle) {
+        event.waiters_.push_back(handle);
+    }
+    void await_resume() const noexcept {}
+};
+
+inline auto Event::wait() noexcept { return EventAwaiter{*this}; }
+
+} // namespace borg::des
+
+#endif

@@ -1,0 +1,215 @@
+#include "metrics/hypervolume.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "moea/dominance.hpp"
+#include "util/rng.hpp"
+
+namespace borg::metrics {
+
+namespace {
+
+/// Keeps only points strictly better than the reference point everywhere
+/// (other points bound an empty box and contribute no volume).
+Front clip_to_reference(const Front& front,
+                        const std::vector<double>& ref) {
+    Front out;
+    out.reserve(front.size());
+    for (const auto& p : front) {
+        if (p.size() != ref.size())
+            throw std::invalid_argument("hypervolume: dimension mismatch");
+        bool inside = true;
+        for (std::size_t j = 0; j < ref.size(); ++j) {
+            if (!(p[j] < ref[j])) {
+                inside = false;
+                break;
+            }
+        }
+        if (inside) out.push_back(p);
+    }
+    return out;
+}
+
+/// Exact 2-objective hypervolume by sweeping points sorted on f1.
+double hv_2d(Front points, const std::vector<double>& ref) {
+    std::sort(points.begin(), points.end());
+    double volume = 0.0;
+    double best_f2 = ref[1];
+    for (const auto& p : points) {
+        if (p[1] < best_f2) {
+            volume += (ref[0] - p[0]) * (best_f2 - p[1]);
+            best_f2 = p[1];
+        }
+    }
+    return volume;
+}
+
+/// Inclusive hypervolume of a single point.
+double inclhv(const std::vector<double>& p, const std::vector<double>& ref) {
+    double volume = 1.0;
+    for (std::size_t j = 0; j < ref.size(); ++j) volume *= ref[j] - p[j];
+    return volume;
+}
+
+double wfg(Front points, const std::vector<double>& ref);
+
+/// Exclusive hypervolume of points[i] relative to the points after it.
+double exclhv(const Front& points, std::size_t i,
+              const std::vector<double>& ref) {
+    const std::vector<double>& p = points[i];
+    double volume = inclhv(p, ref);
+    if (i + 1 == points.size()) return volume;
+
+    // Limit set: each later point is replaced by its componentwise max
+    // with p (the part of its box that overlaps p's box).
+    Front limited;
+    limited.reserve(points.size() - i - 1);
+    for (std::size_t k = i + 1; k < points.size(); ++k) {
+        std::vector<double> q(p.size());
+        for (std::size_t j = 0; j < p.size(); ++j)
+            q[j] = std::max(p[j], points[k][j]);
+        limited.push_back(std::move(q));
+    }
+    return volume - wfg(nondominated_subset(limited), ref);
+}
+
+double wfg(Front points, const std::vector<double>& ref) {
+    if (points.empty()) return 0.0;
+    if (ref.size() == 2) return hv_2d(std::move(points), ref);
+
+    // WFG heuristic: process points in worsening order of the last
+    // objective so limit sets shrink quickly.
+    std::sort(points.begin(), points.end(),
+              [](const std::vector<double>& a, const std::vector<double>& b) {
+                  return a.back() > b.back();
+              });
+    double volume = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i)
+        volume += exclhv(points, i, ref);
+    return volume;
+}
+
+} // namespace
+
+Front nondominated_subset(const Front& front) {
+    Front out;
+    for (const auto& candidate : front) {
+        bool keep = true;
+        for (std::size_t k = 0; k < out.size();) {
+            switch (moea::compare_pareto(out[k], candidate)) {
+            case moea::Dominance::kDominates:
+            case moea::Dominance::kEqual:
+                keep = false;
+                break;
+            case moea::Dominance::kDominatedBy:
+                out[k] = std::move(out.back());
+                out.pop_back();
+                continue; // re-examine the swapped-in element
+            case moea::Dominance::kNondominated:
+                break;
+            }
+            if (!keep) break;
+            ++k;
+        }
+        if (keep) out.push_back(candidate);
+    }
+    return out;
+}
+
+double hypervolume(const Front& front,
+                   const std::vector<double>& reference_point) {
+    if (reference_point.empty())
+        throw std::invalid_argument("hypervolume: empty reference point");
+    Front usable = clip_to_reference(front, reference_point);
+    if (usable.empty()) return 0.0;
+    usable = nondominated_subset(usable);
+    if (reference_point.size() == 1) {
+        double best = reference_point[0];
+        for (const auto& p : usable) best = std::min(best, p[0]);
+        return reference_point[0] - best;
+    }
+    return wfg(std::move(usable), reference_point);
+}
+
+double hypervolume_monte_carlo(const Front& front,
+                               const std::vector<double>& reference_point,
+                               std::uint64_t samples, std::uint64_t seed) {
+    Front usable = clip_to_reference(front, reference_point);
+    if (usable.empty()) return 0.0;
+    usable = nondominated_subset(usable);
+    const std::size_t m = reference_point.size();
+
+    // Bounding box: [ideal, reference_point].
+    std::vector<double> ideal(reference_point);
+    for (const auto& p : usable)
+        for (std::size_t j = 0; j < m; ++j) ideal[j] = std::min(ideal[j], p[j]);
+    double box = 1.0;
+    for (std::size_t j = 0; j < m; ++j) box *= reference_point[j] - ideal[j];
+    if (box <= 0.0) return 0.0;
+
+    util::Rng rng(seed);
+    std::uint64_t hits = 0;
+    std::vector<double> x(m);
+    for (std::uint64_t s = 0; s < samples; ++s) {
+        for (std::size_t j = 0; j < m; ++j)
+            x[j] = rng.uniform(ideal[j], reference_point[j]);
+        for (const auto& p : usable) {
+            bool dominated = true;
+            for (std::size_t j = 0; j < m; ++j) {
+                if (p[j] > x[j]) {
+                    dominated = false;
+                    break;
+                }
+            }
+            if (dominated) {
+                ++hits;
+                break;
+            }
+        }
+    }
+    return box * static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+std::vector<double> reference_point_for(const Front& reference_set,
+                                        double margin) {
+    if (reference_set.empty())
+        throw std::invalid_argument("reference_point_for: empty set");
+    const std::size_t m = reference_set[0].size();
+    std::vector<double> lo(reference_set[0]), hi(reference_set[0]);
+    for (const auto& p : reference_set) {
+        for (std::size_t j = 0; j < m; ++j) {
+            lo[j] = std::min(lo[j], p[j]);
+            hi[j] = std::max(hi[j], p[j]);
+        }
+    }
+    std::vector<double> ref(m);
+    for (std::size_t j = 0; j < m; ++j) {
+        const double range = hi[j] - lo[j];
+        ref[j] = hi[j] + (range > 0.0 ? margin * range : margin);
+    }
+    return ref;
+}
+
+double normalized_hypervolume(const Front& front, const Front& reference_set,
+                              double margin) {
+    return HypervolumeNormalizer(reference_set, margin).normalized(front);
+}
+
+HypervolumeNormalizer::HypervolumeNormalizer(Front reference_set,
+                                             double margin)
+    : reference_point_(reference_point_for(reference_set, margin)),
+      reference_hv_(hypervolume(reference_set, reference_point_)) {
+    if (reference_hv_ <= 0.0)
+        throw std::invalid_argument(
+            "normalizer: reference set has zero hypervolume");
+}
+
+double HypervolumeNormalizer::normalized(const Front& front) const {
+    const double hv = hypervolume(front, reference_point_);
+    return std::clamp(hv / reference_hv_, 0.0, 1.0);
+}
+
+} // namespace borg::metrics

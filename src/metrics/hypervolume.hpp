@@ -1,0 +1,77 @@
+#ifndef BORG_METRICS_HYPERVOLUME_HPP
+#define BORG_METRICS_HYPERVOLUME_HPP
+
+/// \file hypervolume.hpp
+/// Hypervolume (S-metric) computation.
+///
+/// The paper measures solution quality with normalized hypervolume: the
+/// volume of objective space dominated by the approximation set, divided by
+/// the volume dominated by the problem's known reference set, so that 1 is
+/// ideal (Section VI-A). All objectives are minimized; the reference point
+/// must be weakly worse than every point considered.
+///
+/// Two engines are provided:
+///  * exact: the WFG recursive algorithm (While, Bradstreet & Barone 2012)
+///    with a dedicated O(n log n) sweep for two objectives — practical for
+///    the archive sizes and 5-objective instances used in the paper;
+///  * Monte Carlo: seeded quasi-uniform sampling of the bounding box, for
+///    cross-checking the exact engine and for very large fronts.
+
+#include <cstdint>
+#include <vector>
+
+namespace borg::metrics {
+
+using Front = std::vector<std::vector<double>>;
+
+/// Exact hypervolume of \p front with respect to \p reference_point.
+/// Points not strictly better than the reference point in every objective
+/// contribute nothing and are ignored. Empty fronts yield 0.
+double hypervolume(const Front& front,
+                   const std::vector<double>& reference_point);
+
+/// Monte Carlo estimate with \p samples draws (deterministic given seed).
+double hypervolume_monte_carlo(const Front& front,
+                               const std::vector<double>& reference_point,
+                               std::uint64_t samples = 100000,
+                               std::uint64_t seed = 0x5eed);
+
+/// The reference point used for normalized hypervolume: per objective, the
+/// reference set's maximum plus \p margin times the objective's range
+/// (falling back to +margin when the range is degenerate). The paper-style
+/// choice for the DTLZ2 sphere (range [0,1]) with margin 0.1 is (1.1,...).
+std::vector<double> reference_point_for(const Front& reference_set,
+                                        double margin = 0.1);
+
+/// Normalized hypervolume: hv(front) / hv(reference_set), both against
+/// reference_point_for(reference_set, margin). Clamped to [0, 1]; an ideal
+/// approximation scores 1.
+double normalized_hypervolume(const Front& front, const Front& reference_set,
+                              double margin = 0.1);
+
+/// Helper reused across metrics: strips dominated and duplicate points.
+Front nondominated_subset(const Front& front);
+
+/// Precomputes the reference point and reference-set hypervolume once so
+/// repeated normalized evaluations (the trajectory recorder queries every
+/// checkpoint) only pay for the approximation set.
+class HypervolumeNormalizer {
+public:
+    explicit HypervolumeNormalizer(Front reference_set, double margin = 0.1);
+
+    /// hv(front) / hv(reference_set), clamped to [0, 1].
+    double normalized(const Front& front) const;
+
+    const std::vector<double>& reference_point() const noexcept {
+        return reference_point_;
+    }
+    double reference_hypervolume() const noexcept { return reference_hv_; }
+
+private:
+    std::vector<double> reference_point_;
+    double reference_hv_;
+};
+
+} // namespace borg::metrics
+
+#endif

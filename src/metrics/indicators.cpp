@@ -1,0 +1,87 @@
+#include "metrics/indicators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace borg::metrics {
+
+namespace {
+
+double euclidean(const std::vector<double>& a, const std::vector<double>& b) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < a.size(); ++j) {
+        const double d = a[j] - b[j];
+        sum += d * d;
+    }
+    return std::sqrt(sum);
+}
+
+double mean_nearest_distance(const Front& from, const Front& to) {
+    if (from.empty() || to.empty())
+        throw std::invalid_argument("indicator: empty front");
+    double total = 0.0;
+    for (const auto& p : from) {
+        double best = std::numeric_limits<double>::infinity();
+        for (const auto& q : to) best = std::min(best, euclidean(p, q));
+        total += best;
+    }
+    return total / static_cast<double>(from.size());
+}
+
+} // namespace
+
+double generational_distance(const Front& approximation,
+                             const Front& reference_set) {
+    return mean_nearest_distance(approximation, reference_set);
+}
+
+double inverted_generational_distance(const Front& approximation,
+                                      const Front& reference_set) {
+    return mean_nearest_distance(reference_set, approximation);
+}
+
+double additive_epsilon_indicator(const Front& approximation,
+                                  const Front& reference_set) {
+    if (approximation.empty() || reference_set.empty())
+        throw std::invalid_argument("epsilon indicator: empty front");
+    double worst = -std::numeric_limits<double>::infinity();
+    for (const auto& r : reference_set) {
+        // Best translation needed for any approximation point to cover r.
+        double best = std::numeric_limits<double>::infinity();
+        for (const auto& a : approximation) {
+            double needed = -std::numeric_limits<double>::infinity();
+            for (std::size_t j = 0; j < r.size(); ++j)
+                needed = std::max(needed, a[j] - r[j]);
+            best = std::min(best, needed);
+        }
+        worst = std::max(worst, best);
+    }
+    return worst;
+}
+
+double spacing(const Front& approximation) {
+    if (approximation.size() < 2)
+        throw std::invalid_argument("spacing: need at least 2 points");
+    std::vector<double> nearest(approximation.size(),
+                                std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < approximation.size(); ++i) {
+        for (std::size_t k = 0; k < approximation.size(); ++k) {
+            if (i == k) continue;
+            double l1 = 0.0;
+            for (std::size_t j = 0; j < approximation[i].size(); ++j)
+                l1 += std::abs(approximation[i][j] - approximation[k][j]);
+            nearest[i] = std::min(nearest[i], l1);
+        }
+    }
+    double mean = 0.0;
+    for (const double d : nearest) mean += d;
+    mean /= static_cast<double>(nearest.size());
+    double var = 0.0;
+    for (const double d : nearest) var += (d - mean) * (d - mean);
+    var /= static_cast<double>(nearest.size());
+    return std::sqrt(var);
+}
+
+} // namespace borg::metrics

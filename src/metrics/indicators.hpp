@@ -1,0 +1,37 @@
+#ifndef BORG_METRICS_INDICATORS_HPP
+#define BORG_METRICS_INDICATORS_HPP
+
+/// \file indicators.hpp
+/// Complementary quality indicators (Zitzler et al. 2002): generational
+/// distance, inverted generational distance, additive ε-indicator, and
+/// spacing. The paper reports hypervolume only; these are used by the test
+/// suite and the examples to cross-check convergence claims.
+
+#include <vector>
+
+#include "metrics/hypervolume.hpp"
+
+namespace borg::metrics {
+
+/// Mean Euclidean distance from each approximation point to its nearest
+/// reference-set point (0 is ideal; measures convergence only).
+double generational_distance(const Front& approximation,
+                             const Front& reference_set);
+
+/// Mean distance from each reference point to its nearest approximation
+/// point (0 is ideal; measures convergence *and* coverage).
+double inverted_generational_distance(const Front& approximation,
+                                      const Front& reference_set);
+
+/// Smallest ε such that every reference point is weakly dominated by some
+/// approximation point translated by ε in every objective (0 is ideal).
+double additive_epsilon_indicator(const Front& approximation,
+                                  const Front& reference_set);
+
+/// Standard deviation of nearest-neighbor (L1) distances within the
+/// approximation set; 0 means perfectly even spacing. Needs >= 2 points.
+double spacing(const Front& approximation);
+
+} // namespace borg::metrics
+
+#endif

@@ -1,0 +1,70 @@
+#include "models/analytical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace borg::models {
+
+double serial_time(std::uint64_t evaluations, const TimingCosts& costs) {
+    return static_cast<double>(evaluations) * (costs.tf + costs.ta);
+}
+
+double async_parallel_time(std::uint64_t evaluations,
+                           std::uint64_t processors,
+                           const TimingCosts& costs) {
+    if (processors < 2)
+        throw std::invalid_argument(
+            "async model: need at least 2 processors (1 master + 1 worker)");
+    return static_cast<double>(evaluations) /
+           static_cast<double>(processors - 1) *
+           (costs.tf + 2.0 * costs.tc + costs.ta);
+}
+
+double async_speedup(std::uint64_t processors, const TimingCosts& costs) {
+    // N cancels in T_S / T_P.
+    return serial_time(1, costs) / async_parallel_time(1, processors, costs);
+}
+
+double async_efficiency(std::uint64_t processors, const TimingCosts& costs) {
+    return async_speedup(processors, costs) / static_cast<double>(processors);
+}
+
+double async_parallel_time_saturating(std::uint64_t evaluations,
+                                      std::uint64_t processors,
+                                      const TimingCosts& costs) {
+    const double contention_free =
+        async_parallel_time(evaluations, processors, costs);
+    const double service_bound = static_cast<double>(evaluations) *
+                                 (2.0 * costs.tc + costs.ta);
+    return std::max(contention_free, service_bound);
+}
+
+double async_efficiency_saturating(std::uint64_t processors,
+                                   const TimingCosts& costs) {
+    return serial_time(1, costs) /
+           (static_cast<double>(processors) *
+            async_parallel_time_saturating(1, processors, costs));
+}
+
+double processor_upper_bound(const TimingCosts& costs) {
+    const double denom = 2.0 * costs.tc + costs.ta;
+    if (denom <= 0.0)
+        throw std::invalid_argument("async model: 2 T_C + T_A must be > 0");
+    return costs.tf / denom;
+}
+
+double processor_lower_bound(const TimingCosts& costs) {
+    const double denom = costs.tf + costs.ta;
+    if (denom <= 0.0)
+        throw std::invalid_argument("async model: T_F + T_A must be > 0");
+    return 2.0 + 2.0 * costs.tc / denom;
+}
+
+double relative_error(double actual, double predicted) {
+    if (actual == 0.0)
+        throw std::invalid_argument("relative_error: actual time is zero");
+    return std::abs(actual - predicted) / std::abs(actual);
+}
+
+} // namespace borg::models

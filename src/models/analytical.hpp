@@ -1,0 +1,75 @@
+#ifndef BORG_MODELS_ANALYTICAL_HPP
+#define BORG_MODELS_ANALYTICAL_HPP
+
+/// \file analytical.hpp
+/// The paper's closed-form scalability model for the asynchronous,
+/// master-slave MOEA (Section III and IV-A).
+///
+/// Assuming constant per-step costs — function evaluation T_F,
+/// point-to-point communication T_C, and master-side algorithm overhead
+/// T_A — every step proceeds in lockstep and the master is always free when
+/// a worker finishes, giving:
+///
+///   T_S  = N (T_F + T_A)                         (Eq. 1, serial)
+///   T_P  = N / (P - 1) (T_F + 2 T_C + T_A)       (Eq. 2, parallel)
+///   P_UB = T_F / (2 T_C + T_A)                   (Eq. 3, master saturation)
+///   P_LB > 2 + 2 T_C / (T_F + T_A)               (Eq. 4, beats serial)
+///
+/// The model's known failure mode — underestimating T_P once workers
+/// contend for the master (small T_F / large P) — is exactly what the
+/// simulation model corrects, and what Table II quantifies.
+
+#include <cstdint>
+
+namespace borg::models {
+
+/// Mean per-step costs, in seconds.
+struct TimingCosts {
+    double tf = 0.0; ///< function evaluation time T_F
+    double tc = 0.0; ///< one-way communication time T_C
+    double ta = 0.0; ///< master algorithm overhead T_A
+};
+
+/// T_S: serial runtime for N evaluations (Eq. 1).
+double serial_time(std::uint64_t evaluations, const TimingCosts& costs);
+
+/// T_P: asynchronous master-slave runtime with P processors, i.e. one
+/// master plus P - 1 workers (Eq. 2). Requires P >= 2.
+double async_parallel_time(std::uint64_t evaluations, std::uint64_t processors,
+                           const TimingCosts& costs);
+
+/// S_P = T_S / T_P.
+double async_speedup(std::uint64_t processors, const TimingCosts& costs);
+
+/// E_P = T_S / (P T_P).
+double async_efficiency(std::uint64_t processors, const TimingCosts& costs);
+
+/// P_UB: processor count saturating the master (Eq. 3). Beyond this, the
+/// master has no idle time left and extra workers only queue.
+double processor_upper_bound(const TimingCosts& costs);
+
+/// Saturation-aware refinement of Eq. 2 (not in the paper, but implied by
+/// its Table II diagnosis): the master serves one result per 2 T_C + T_A,
+/// so the runtime can never drop below N (2 T_C + T_A) no matter how many
+/// workers queue. Returns max(Eq. 2, master service bound) — accurate on
+/// both sides of P_UB, though still blind to the soft transition around
+/// it that the simulation model captures.
+double async_parallel_time_saturating(std::uint64_t evaluations,
+                                      std::uint64_t processors,
+                                      const TimingCosts& costs);
+
+/// Efficiency implied by the saturating model.
+double async_efficiency_saturating(std::uint64_t processors,
+                                   const TimingCosts& costs);
+
+/// P_LB: minimum processors for the parallel version to beat serial
+/// (Eq. 4, strict bound). Always > 2; the paper notes at least 3
+/// processors are required regardless of the cost values.
+double processor_lower_bound(const TimingCosts& costs);
+
+/// Relative prediction error |actual - predicted| / |actual| (Eq. 5).
+double relative_error(double actual, double predicted);
+
+} // namespace borg::models
+
+#endif

@@ -1,0 +1,197 @@
+#include "models/simulation_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "des/environment.hpp"
+#include "des/resource.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace borg::models {
+
+namespace {
+
+void validate(const SimulationConfig& config) {
+    if (config.evaluations == 0)
+        throw std::invalid_argument("simulation: evaluations == 0");
+    if (config.processors < 2)
+        throw std::invalid_argument("simulation: need P >= 2");
+    if (!config.tf || !config.tc || !config.ta)
+        throw std::invalid_argument("simulation: missing distribution");
+}
+
+/// Shared mutable state of one asynchronous simulation run.
+struct AsyncState {
+    const SimulationConfig* config = nullptr;
+    des::Environment* env = nullptr;
+    util::Rng rng{1};
+    std::uint64_t dispatched = 0;
+    std::uint64_t completed = 0;
+    double finish_time = 0.0;
+    double master_hold_time = 0.0;
+    stats::Accumulator queue_wait;
+
+    bool claim() {
+        if (dispatched >= config->evaluations) return false;
+        ++dispatched;
+        return true;
+    }
+
+    void complete() {
+        if (++completed == config->evaluations) {
+            finish_time = env->now();
+            env->stop();
+        }
+    }
+
+    double tf() { return config->tf->sample(rng); }
+    double tc() { return config->tc->sample(rng); }
+    double ta() { return config->ta->sample(rng); }
+};
+
+/// One simulated worker: the paper's SimPy process.
+des::Process async_worker(AsyncState& state, des::Resource& master) {
+    des::Environment& env = *state.env;
+
+    // Initial work assignment travels through the master like any other
+    // message (the master sends the initial offspring one at a time).
+    {
+        const double wait_start = env.now();
+        co_await master.acquire();
+        state.queue_wait.add(env.now() - wait_start);
+        const double hold = state.tc();
+        state.master_hold_time += hold;
+        co_await env.delay(hold);
+        master.release();
+    }
+
+    while (state.claim()) {
+        co_await env.delay(state.tf()); // evaluate the offspring
+
+        const double wait_start = env.now();
+        co_await master.acquire();
+        state.queue_wait.add(env.now() - wait_start);
+        // Return the result (T_C), master ingests it and generates the next
+        // offspring (T_A), master sends the new offspring back (T_C).
+        const double hold = state.tc() + state.ta() + state.tc();
+        state.master_hold_time += hold;
+        co_await env.delay(hold);
+        master.release();
+
+        state.complete();
+    }
+}
+
+} // namespace
+
+SimulationResult simulate_async(const SimulationConfig& config) {
+    validate(config);
+
+    des::Environment env;
+    des::Resource master(env, 1);
+    AsyncState state;
+    state.config = &config;
+    state.env = &env;
+    state.rng = util::Rng(config.seed);
+
+    const std::uint64_t workers = config.processors - 1;
+    for (std::uint64_t w = 0; w < workers; ++w)
+        env.spawn(async_worker(state, master));
+    env.run();
+
+    SimulationResult result;
+    result.evaluations = state.completed;
+    result.elapsed = state.finish_time > 0.0 ? state.finish_time : env.now();
+    result.master_busy_fraction =
+        result.elapsed > 0.0 ? state.master_hold_time / result.elapsed : 0.0;
+    result.mean_queue_wait = state.queue_wait.mean();
+    result.contention_rate =
+        master.total_acquires() > 0
+            ? static_cast<double>(master.contended_acquires()) /
+                  static_cast<double>(master.total_acquires())
+            : 0.0;
+    return result;
+}
+
+SimulationResult simulate_sync(const SimulationConfig& config) {
+    validate(config);
+    util::Rng rng(config.seed);
+
+    const std::uint64_t p = config.processors;
+    std::uint64_t remaining = config.evaluations;
+    double now = 0.0;
+    double master_busy = 0.0;
+    stats::Accumulator queue_wait;
+    std::uint64_t contended = 0;
+    std::uint64_t acquires = 0;
+
+    std::vector<double> eval_done;
+    eval_done.reserve(p);
+
+    while (remaining > 0) {
+        // This generation evaluates min(P, remaining) offspring; one of
+        // them on the master itself (Figure 1).
+        const std::uint64_t batch =
+            remaining < p ? remaining : p;
+        remaining -= batch;
+        const std::uint64_t worker_jobs = batch > 0 ? batch - 1 : 0;
+
+        // Serialized sends to the workers.
+        eval_done.clear();
+        double send_clock = now;
+        for (std::uint64_t w = 0; w < worker_jobs; ++w) {
+            const double tc = config.tc->sample(rng);
+            send_clock += tc;
+            master_busy += tc;
+            eval_done.push_back(send_clock + config.tf->sample(rng));
+        }
+        // The master evaluates its own offspring after the sends.
+        const double master_eval_done = send_clock + config.tf->sample(rng);
+
+        // Serialized receives, in completion order; each holds the master
+        // for T_C. The master cannot receive before its own evaluation is
+        // finished.
+        std::sort(eval_done.begin(), eval_done.end());
+        double recv_clock = master_eval_done;
+        for (const double done : eval_done) {
+            ++acquires;
+            const double start = recv_clock > done ? recv_clock : done;
+            if (recv_clock > done) ++contended;
+            queue_wait.add(start - done);
+            const double tc = config.tc->sample(rng);
+            master_busy += tc;
+            recv_clock = start + tc;
+        }
+
+        // Generation processing: the master handles all offspring at once
+        // (T_A^sync = sum of one T_A draw per offspring).
+        double ta_sync = 0.0;
+        for (std::uint64_t i = 0; i < batch; ++i)
+            ta_sync += config.ta->sample(rng);
+        master_busy += ta_sync;
+        now = recv_clock + ta_sync;
+    }
+
+    SimulationResult result;
+    result.evaluations = config.evaluations;
+    result.elapsed = now;
+    result.master_busy_fraction = now > 0.0 ? master_busy / now : 0.0;
+    result.mean_queue_wait = queue_wait.mean();
+    result.contention_rate =
+        acquires > 0 ? static_cast<double>(contended) /
+                           static_cast<double>(acquires)
+                     : 0.0;
+    return result;
+}
+
+double simulated_efficiency(const SimulationConfig& config,
+                            const SimulationResult& result) {
+    const TimingCosts costs{config.tf->mean(), config.tc->mean(),
+                            config.ta->mean()};
+    const double ts = serial_time(config.evaluations, costs);
+    return ts / (static_cast<double>(config.processors) * result.elapsed);
+}
+
+} // namespace borg::models

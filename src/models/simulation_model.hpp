@@ -1,0 +1,71 @@
+#ifndef BORG_MODELS_SIMULATION_MODEL_HPP
+#define BORG_MODELS_SIMULATION_MODEL_HPP
+
+/// \file simulation_model.hpp
+/// The paper's simulation model (Section IV-B), rebuilt on the C++
+/// discrete-event engine instead of SimPy.
+///
+/// T_F, T_C and T_A are random variables; the master node is a FIFO
+/// resource of capacity one. Each simulated worker repeats the cycle from
+/// the paper's SimPy fragment:
+///
+///     request master; hold T_C + T_A + T_C; release master; evaluate T_F
+///
+/// (the combined hold covers returning the result, the master ingesting it
+/// and generating the next offspring, and sending that offspring back).
+/// When many workers finish evaluations close together they queue for the
+/// master — the resource contention the analytical model cannot express,
+/// and the reason the simulation model tracks Table II so much better at
+/// small T_F / large P.
+///
+/// Unlike the full virtual-time executor (parallel/async_executor.hpp),
+/// nothing real is computed here: the model "holds resources" only, so a
+/// 16,384-processor sweep point costs micro-, not milliseconds of work per
+/// simulated evaluation.
+
+#include <cstdint>
+#include <memory>
+
+#include "models/analytical.hpp"
+#include "stats/distribution.hpp"
+
+namespace borg::models {
+
+/// Inputs to one simulated run.
+struct SimulationConfig {
+    std::uint64_t evaluations = 0; ///< N
+    std::uint64_t processors = 2;  ///< P (1 master + P-1 workers)
+    const stats::Distribution* tf = nullptr;
+    const stats::Distribution* tc = nullptr;
+    const stats::Distribution* ta = nullptr;
+    std::uint64_t seed = 1;
+};
+
+/// Outputs of one simulated run.
+struct SimulationResult {
+    double elapsed = 0.0; ///< simulated T_P: time the N-th result lands
+    std::uint64_t evaluations = 0;
+    double master_busy_fraction = 0.0; ///< hold time / elapsed
+    double mean_queue_wait = 0.0;      ///< mean wait to acquire the master
+    double contention_rate = 0.0; ///< fraction of acquisitions that queued
+};
+
+/// Simulates the asynchronous master-slave protocol.
+SimulationResult simulate_async(const SimulationConfig& config);
+
+/// Simulates the synchronous (generational) master-slave protocol of
+/// Figure 1: per generation the master sends P-1 messages serially,
+/// every node (master included) evaluates one offspring, results are
+/// received serially, then the master processes the whole generation
+/// (sum of P sampled T_A values). Used to study how T_F variability hurts
+/// the synchronous model (Section VI-B's closing observation).
+SimulationResult simulate_sync(const SimulationConfig& config);
+
+/// Efficiency implied by a simulated run: E_P = T_S / (P T_P) with
+/// T_S = N (mean T_F + mean T_A) from the configured distributions.
+double simulated_efficiency(const SimulationConfig& config,
+                            const SimulationResult& result);
+
+} // namespace borg::models
+
+#endif

@@ -1,0 +1,39 @@
+#include "models/sync_model.hpp"
+
+#include <stdexcept>
+
+namespace borg::models {
+
+double sync_parallel_time(std::uint64_t evaluations, std::uint64_t processors,
+                          const TimingCosts& costs) {
+    if (processors < 1)
+        throw std::invalid_argument("sync model: need at least 1 processor");
+    const auto n = static_cast<double>(evaluations);
+    const auto p = static_cast<double>(processors);
+    const double ta_sync = p * costs.ta;
+    return n / p * (costs.tf + p * costs.tc + ta_sync);
+}
+
+double sync_speedup(std::uint64_t processors, const TimingCosts& costs) {
+    return serial_time(1, costs) / sync_parallel_time(1, processors, costs);
+}
+
+double sync_efficiency(std::uint64_t processors, const TimingCosts& costs) {
+    return sync_speedup(processors, costs) / static_cast<double>(processors);
+}
+
+double sync_speedup_limit(const TimingCosts& costs) {
+    const double denom = costs.tc + costs.ta;
+    if (denom <= 0.0)
+        throw std::invalid_argument("sync model: T_C + T_A must be > 0");
+    return (costs.tf + costs.ta) / denom;
+}
+
+double sync_half_efficiency_processors(const TimingCosts& costs) {
+    const double denom = costs.tc + costs.ta;
+    if (denom <= 0.0)
+        throw std::invalid_argument("sync model: T_C + T_A must be > 0");
+    return (costs.tf + 2.0 * costs.ta) / denom;
+}
+
+} // namespace borg::models

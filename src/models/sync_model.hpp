@@ -1,0 +1,48 @@
+#ifndef BORG_MODELS_SYNC_MODEL_HPP
+#define BORG_MODELS_SYNC_MODEL_HPP
+
+/// \file sync_model.hpp
+/// Cantú-Paz's analytical model for the synchronous (generational)
+/// master-slave MOEA, as used in the paper's Section VI-B comparison.
+///
+///   T_P^sync = N / P (T_F + P T_C + T_A^sync),  T_A^sync ≈ P T_A   (Eq. 6)
+///
+/// Each of the N/P generations sends P messages through the master
+/// (serialized, P T_C), evaluates the generation in parallel (T_F — each
+/// node, master included, evaluates exactly one offspring), and processes
+/// all P offspring at once (P T_A). Substituting T_A^sync = P T_A gives
+/// T_P^sync = N T_F / P + N (T_C + T_A): runtime decreases monotonically in
+/// P but the per-generation communication floor N (T_C + T_A) caps the
+/// speedup at (T_F + T_A) / (T_C + T_A), so efficiency decays as
+/// E^sync = (T_F + T_A) / (T_F + P (T_C + T_A)).
+
+#include <cstdint>
+
+#include "models/analytical.hpp"
+
+namespace borg::models {
+
+/// T_P^sync for N evaluations on P processors (Eq. 6). Requires P >= 1;
+/// P is simultaneously the processor count and the generation size.
+double sync_parallel_time(std::uint64_t evaluations, std::uint64_t processors,
+                          const TimingCosts& costs);
+
+/// S_P^sync = T_S / T_P^sync, with T_S = N (T_F + T_A).
+double sync_speedup(std::uint64_t processors, const TimingCosts& costs);
+
+/// E_P^sync = S_P^sync / P.
+double sync_efficiency(std::uint64_t processors, const TimingCosts& costs);
+
+/// The asymptotic speedup limit (T_F + T_A) / (T_C + T_A): adding
+/// processors beyond a few multiples of the half-efficiency point buys
+/// almost nothing.
+double sync_speedup_limit(const TimingCosts& costs);
+
+/// The processor count at which Eq. 6 predicts efficiency has fallen to
+/// one half: P = (T_F + 2 T_A) / (T_C + T_A). A useful scale marker when
+/// reading the Figure 5 heatmaps.
+double sync_half_efficiency_processors(const TimingCosts& costs);
+
+} // namespace borg::models
+
+#endif

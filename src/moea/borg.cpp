@@ -1,0 +1,126 @@
+#include "moea/borg.hpp"
+
+#include <stdexcept>
+
+#include "moea/selection.hpp"
+
+namespace borg::moea {
+
+BorgParams BorgParams::for_problem(const problems::Problem& problem,
+                                   double epsilon) {
+    BorgParams params;
+    params.epsilons.assign(problem.num_objectives(), epsilon);
+    return params;
+}
+
+BorgMoea::BorgMoea(const problems::Problem& problem, BorgParams params,
+                   std::uint64_t seed)
+    : problem_(problem),
+      params_(std::move(params)),
+      rng_(seed),
+      operators_(make_borg_operators(problem)),
+      restart_mutation_(problem),
+      archive_(params_.epsilons),
+      population_(params_.initial_population_size),
+      selector_(operators_.size(), params_.selector_zeta,
+                params_.selector_update_frequency),
+      controller_(params_.restart),
+      operator_usage_(operators_.size(), 0) {
+    if (params_.epsilons.size() != problem.num_objectives())
+        throw std::invalid_argument("borg: epsilons size != num objectives");
+    if (params_.initial_population_size == 0)
+        throw std::invalid_argument("borg: initial population size == 0");
+    if (params_.forced_operator >=
+        static_cast<int>(operators_.size()))
+        throw std::invalid_argument("borg: forced operator out of range");
+}
+
+std::vector<std::string> BorgMoea::operator_names() const {
+    std::vector<std::string> names;
+    names.reserve(operators_.size());
+    for (const auto& op : operators_) names.push_back(op->name());
+    return names;
+}
+
+std::size_t BorgMoea::pick_operator() {
+    if (params_.forced_operator >= 0)
+        return static_cast<std::size_t>(params_.forced_operator);
+    if (!params_.enable_adaptation)
+        return static_cast<std::size_t>(rng_.below(operators_.size()));
+    return selector_.select(archive_, rng_);
+}
+
+Solution BorgMoea::make_restart_mutant() {
+    --pending_restart_mutants_;
+    const auto idx = static_cast<std::size_t>(rng_.below(archive_.size()));
+    const Solution& seed = archive_[idx];
+    Solution mutant;
+    mutant.variables = restart_mutation_.apply(
+        ParentView{std::span<const double>(seed.variables)}, rng_);
+    // Restart mutants are injection, not operator search: they carry no
+    // operator credit so they cannot skew the auto-adaptation.
+    mutant.operator_index = kNoOperator;
+    ++issued_;
+    return mutant;
+}
+
+Solution BorgMoea::next_offspring() {
+    // Initialization phase, and the fallback before any result has ever
+    // come back (an asynchronous master with many workers can be asked for
+    // far more offspring than the initial population before the first
+    // result returns).
+    if (issued_ < params_.initial_population_size || population_.empty()) {
+        ++issued_;
+        return random_solution(problem_, rng_);
+    }
+
+    if (pending_restart_mutants_ > 0 && !archive_.empty())
+        return make_restart_mutant();
+
+    const std::size_t op = pick_operator();
+    Variation& variation = *operators_[op];
+
+    // Parents are drawn with replacement, so operators receive their full
+    // arity even while the population is still tiny (early asynchronous
+    // starts); duplicated parents degenerate gracefully inside each
+    // operator.
+    const ParentView parents =
+        select_parents(variation.arity(), archive_, population_,
+                       controller_.tournament_size(population_), rng_);
+
+    Solution offspring;
+    offspring.variables = variation.apply(parents, rng_);
+    offspring.operator_index = static_cast<int>(op);
+    ++operator_usage_[op];
+    ++issued_;
+    return offspring;
+}
+
+void BorgMoea::receive(Solution solution) {
+    if (!solution.evaluated)
+        throw std::invalid_argument("borg: received unevaluated solution");
+    ++received_;
+
+    population_.inject(solution, rng_);
+    archive_.add(solution);
+
+    if (params_.enable_restarts &&
+        controller_.should_restart(archive_, population_)) {
+        pending_restart_mutants_ +=
+            controller_.perform_restart(archive_, population_);
+        selector_.invalidate();
+    }
+}
+
+void run_serial(BorgMoea& algorithm, const problems::Problem& problem,
+                std::uint64_t max_evaluations,
+                const std::function<void(std::uint64_t)>& on_evaluation) {
+    while (algorithm.evaluations() < max_evaluations) {
+        Solution offspring = algorithm.next_offspring();
+        evaluate(problem, offspring);
+        algorithm.receive(std::move(offspring));
+        if (on_evaluation) on_evaluation(algorithm.evaluations());
+    }
+}
+
+} // namespace borg::moea

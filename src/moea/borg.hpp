@@ -1,0 +1,140 @@
+#ifndef BORG_MOEA_BORG_HPP
+#define BORG_MOEA_BORG_HPP
+
+/// \file borg.hpp
+/// A clean-room C++ implementation of the Borg MOEA (Hadka & Reed 2012),
+/// structured for asynchronous master-slave execution.
+///
+/// The algorithm is exposed as a *master state machine* with two entry
+/// points:
+///
+///   * next_offspring() — produce one (unevaluated) candidate: uniform
+///     random during initialization, restart mutants while a restart is
+///     refilling the population, otherwise an offspring from the
+///     auto-adaptive operator ensemble;
+///   * receive(solution) — ingest one evaluated candidate: steady-state
+///     population injection, ε-archive update (which credits the producing
+///     operator), and stagnation/restart checks.
+///
+/// The serial algorithm is the trivial loop {generate; evaluate; receive},
+/// provided by run_serial(). The asynchronous executor calls
+/// next_offspring() whenever a worker becomes free and receive() whenever a
+/// result returns — the exact protocol of the paper's MPI implementation.
+/// Because both modes share this class, any observed behavioural difference
+/// between serial and parallel runs is attributable to evaluation *order*,
+/// not to divergent implementations.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "moea/epsilon_archive.hpp"
+#include "moea/operator_selector.hpp"
+#include "moea/operators.hpp"
+#include "moea/population.hpp"
+#include "moea/restart.hpp"
+#include "problems/problem.hpp"
+#include "util/rng.hpp"
+
+namespace borg::moea {
+
+struct BorgParams {
+    /// ε-box sizes, one per objective (required, all positive).
+    std::vector<double> epsilons;
+    std::size_t initial_population_size = 100;
+    RestartParams restart;
+    double selector_zeta = 1.0;
+    std::size_t selector_update_frequency = 100;
+
+    /// Ablation switches (DESIGN.md §7): disable restarts entirely, or
+    /// bypass auto-adaptation. With adaptation disabled, operators are
+    /// drawn uniformly unless forced_operator selects a single one.
+    bool enable_restarts = true;
+    bool enable_adaptation = true;
+    int forced_operator = -1; ///< index into the ensemble, or -1
+
+    /// Convenience: uniform ε for a problem's objective count.
+    static BorgParams for_problem(const problems::Problem& problem,
+                                  double epsilon);
+};
+
+class BorgMoea {
+public:
+    /// The problem must outlive the algorithm. Only bounds and dimensions
+    /// are read here — evaluation happens outside (worker side).
+    BorgMoea(const problems::Problem& problem, BorgParams params,
+             std::uint64_t seed);
+
+    BorgMoea(const BorgMoea&) = delete;
+    BorgMoea& operator=(const BorgMoea&) = delete;
+
+    /// Produces the next candidate to evaluate.
+    Solution next_offspring();
+
+    /// Ingests an evaluated candidate (objectives must be set).
+    void receive(Solution solution);
+
+    // --- inspection ---------------------------------------------------
+    const EpsilonBoxArchive& archive() const noexcept { return archive_; }
+    const Population& population() const noexcept { return population_; }
+
+    std::uint64_t issued() const noexcept { return issued_; }
+    std::uint64_t evaluations() const noexcept { return received_; }
+    std::uint64_t restarts() const noexcept { return controller_.restarts(); }
+    std::size_t pending_restart_mutants() const noexcept {
+        return pending_restart_mutants_;
+    }
+
+    std::size_t num_operators() const noexcept { return operators_.size(); }
+    std::vector<std::string> operator_names() const;
+    const std::vector<double>& operator_probabilities() const noexcept {
+        return selector_.probabilities();
+    }
+    /// How many offspring each operator produced so far (lifetime counts).
+    const std::vector<std::uint64_t>& operator_usage() const noexcept {
+        return operator_usage_;
+    }
+
+    const BorgParams& params() const noexcept { return params_; }
+    const problems::Problem& problem() const noexcept { return problem_; }
+
+    /// Checkpointing (moea/checkpoint.hpp): serializes the complete
+    /// algorithm state — RNG stream, population, archive, adaptive
+    /// probabilities, restart counters — so a long run resumes exactly.
+    friend void save_checkpoint(const BorgMoea& algorithm, std::ostream& os);
+    friend void load_checkpoint(BorgMoea& algorithm, std::istream& is);
+
+private:
+    Solution make_restart_mutant();
+    std::size_t pick_operator();
+
+    const problems::Problem& problem_;
+    BorgParams params_;
+    util::Rng rng_;
+
+    std::vector<std::unique_ptr<Variation>> operators_;
+    UniformMutation restart_mutation_;
+    EpsilonBoxArchive archive_;
+    Population population_;
+    OperatorSelector selector_;
+    RestartController controller_;
+
+    std::uint64_t issued_ = 0;
+    std::uint64_t received_ = 0;
+    std::size_t pending_restart_mutants_ = 0;
+    std::vector<std::uint64_t> operator_usage_;
+};
+
+/// Runs the serial Borg MOEA for \p max_evaluations function evaluations.
+/// \p on_evaluation, if set, is called after every receive() with the
+/// running evaluation count — the hook the trajectory recorder uses.
+void run_serial(BorgMoea& algorithm, const problems::Problem& problem,
+                std::uint64_t max_evaluations,
+                const std::function<void(std::uint64_t)>& on_evaluation = {});
+
+} // namespace borg::moea
+
+#endif

@@ -1,0 +1,195 @@
+#include "moea/checkpoint.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace borg::moea {
+
+namespace {
+
+constexpr const char* kMagic = "borg-checkpoint-v1";
+
+void write_double(std::ostream& os, double value) {
+    // max_digits10 decimal digits round-trip IEEE doubles exactly.
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.*g",
+                  std::numeric_limits<double>::max_digits10, value);
+    os << buf;
+}
+
+void write_solution(std::ostream& os, const Solution& s) {
+    os << "solution " << s.variables.size() << ' ' << s.objectives.size()
+       << ' ' << s.constraints.size() << ' ' << s.operator_index << ' '
+       << (s.evaluated ? 1 : 0);
+    for (const double v : s.variables) {
+        os << ' ';
+        write_double(os, v);
+    }
+    for (const double v : s.objectives) {
+        os << ' ';
+        write_double(os, v);
+    }
+    for (const double v : s.constraints) {
+        os << ' ';
+        write_double(os, v);
+    }
+    os << '\n';
+}
+
+[[noreturn]] void fail(const std::string& what) {
+    throw CheckpointError("checkpoint: " + what);
+}
+
+template <typename T>
+T read_value(std::istream& is, const char* what) {
+    T value;
+    if (!(is >> value)) fail(std::string("failed reading ") + what);
+    return value;
+}
+
+void expect_token(std::istream& is, const std::string& expected) {
+    std::string token;
+    if (!(is >> token) || token != expected)
+        fail("expected token '" + expected + "', got '" + token + "'");
+}
+
+Solution read_solution(std::istream& is) {
+    expect_token(is, "solution");
+    const auto nvars = read_value<std::size_t>(is, "variable count");
+    const auto nobjs = read_value<std::size_t>(is, "objective count");
+    const auto ncons = read_value<std::size_t>(is, "constraint count");
+    Solution s;
+    s.operator_index = read_value<int>(is, "operator index");
+    s.evaluated = read_value<int>(is, "evaluated flag") != 0;
+    s.variables.resize(nvars);
+    s.objectives.resize(nobjs);
+    s.constraints.resize(ncons);
+    for (double& v : s.variables) v = read_value<double>(is, "variable");
+    for (double& v : s.objectives) v = read_value<double>(is, "objective");
+    for (double& v : s.constraints) v = read_value<double>(is, "constraint");
+    return s;
+}
+
+} // namespace
+
+void save_checkpoint(const BorgMoea& algorithm, std::ostream& os) {
+    os << kMagic << '\n';
+    os << "counters " << algorithm.issued_ << ' ' << algorithm.received_
+       << ' ' << algorithm.pending_restart_mutants_ << '\n';
+
+    os << "usage " << algorithm.operator_usage_.size();
+    for (const auto u : algorithm.operator_usage_) os << ' ' << u;
+    os << '\n';
+
+    const util::Rng::State rng = algorithm.rng_.state();
+    os << "rng " << rng.words[0] << ' ' << rng.words[1] << ' '
+       << rng.words[2] << ' ' << rng.words[3] << ' ';
+    write_double(os, rng.spare);
+    os << ' ' << (rng.has_spare ? 1 : 0) << '\n';
+
+    const auto& probabilities = algorithm.selector_.probabilities();
+    os << "selector " << probabilities.size() << ' '
+       << algorithm.selector_.countdown();
+    for (const double p : probabilities) {
+        os << ' ';
+        write_double(os, p);
+    }
+    os << '\n';
+
+    os << "controller " << algorithm.controller_.evaluations_since_check()
+       << ' ' << algorithm.controller_.progress_at_last_check() << ' '
+       << algorithm.controller_.restarts() << '\n';
+
+    os << "population " << algorithm.population_.target_size() << ' '
+       << algorithm.population_.size() << '\n';
+    for (const Solution& s : algorithm.population_.members())
+        write_solution(os, s);
+
+    os << "archive " << algorithm.archive_.size() << ' '
+       << algorithm.archive_.epsilon_progress() << ' '
+       << algorithm.archive_.improvements() << '\n';
+    for (std::size_t i = 0; i < algorithm.archive_.size(); ++i)
+        write_solution(os, algorithm.archive_[i]);
+}
+
+void load_checkpoint(BorgMoea& algorithm, std::istream& is) {
+    expect_token(is, kMagic);
+
+    expect_token(is, "counters");
+    const auto issued = read_value<std::uint64_t>(is, "issued");
+    const auto received = read_value<std::uint64_t>(is, "received");
+    const auto pending = read_value<std::size_t>(is, "pending mutants");
+
+    expect_token(is, "usage");
+    const auto usage_count = read_value<std::size_t>(is, "usage count");
+    if (usage_count != algorithm.operator_usage_.size())
+        fail("operator count mismatch (different ensemble?)");
+    std::vector<std::uint64_t> usage(usage_count);
+    for (auto& u : usage) u = read_value<std::uint64_t>(is, "usage");
+
+    expect_token(is, "rng");
+    util::Rng::State rng;
+    for (auto& word : rng.words)
+        word = read_value<std::uint64_t>(is, "rng word");
+    rng.spare = read_value<double>(is, "rng spare");
+    rng.has_spare = read_value<int>(is, "rng spare flag") != 0;
+
+    expect_token(is, "selector");
+    const auto prob_count = read_value<std::size_t>(is, "probability count");
+    if (prob_count != algorithm.selector_.num_operators())
+        fail("selector size mismatch");
+    const auto countdown = read_value<std::size_t>(is, "countdown");
+    std::vector<double> probabilities(prob_count);
+    for (double& p : probabilities)
+        p = read_value<double>(is, "probability");
+
+    expect_token(is, "controller");
+    const auto since = read_value<std::size_t>(is, "window position");
+    const auto last_progress =
+        read_value<std::uint64_t>(is, "progress marker");
+    const auto restarts = read_value<std::uint64_t>(is, "restart count");
+
+    expect_token(is, "population");
+    const auto pop_target = read_value<std::size_t>(is, "population target");
+    const auto pop_count = read_value<std::size_t>(is, "population size");
+    std::vector<Solution> members;
+    members.reserve(pop_count);
+    for (std::size_t i = 0; i < pop_count; ++i)
+        members.push_back(read_solution(is));
+
+    expect_token(is, "archive");
+    const auto archive_count = read_value<std::size_t>(is, "archive size");
+    const auto progress = read_value<std::uint64_t>(is, "epsilon progress");
+    const auto improvements = read_value<std::uint64_t>(is, "improvements");
+    std::vector<Solution> archived;
+    archived.reserve(archive_count);
+    for (std::size_t i = 0; i < archive_count; ++i)
+        archived.push_back(read_solution(is));
+
+    // Validate dimensions against the configured problem before mutating.
+    const std::size_t nvars = algorithm.problem_.num_variables();
+    const std::size_t nobjs = algorithm.problem_.num_objectives();
+    for (const Solution& s : members)
+        if (s.variables.size() != nvars || s.objectives.size() != nobjs)
+            fail("population solution arity mismatch (different problem?)");
+    for (const Solution& s : archived)
+        if (s.variables.size() != nvars || s.objectives.size() != nobjs)
+            fail("archive solution arity mismatch (different problem?)");
+
+    // Everything parsed; commit.
+    algorithm.issued_ = issued;
+    algorithm.received_ = received;
+    algorithm.pending_restart_mutants_ = pending;
+    algorithm.operator_usage_ = std::move(usage);
+    algorithm.rng_.set_state(rng);
+    algorithm.selector_.restore(std::move(probabilities), countdown);
+    algorithm.controller_.restore(since, last_progress, restarts);
+    algorithm.population_.restore(std::move(members), pop_target);
+    algorithm.archive_.restore(archived, progress, improvements);
+}
+
+} // namespace borg::moea

@@ -1,0 +1,82 @@
+#include "moea/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace borg::moea {
+
+DiagnosticLog::DiagnosticLog(std::uint64_t window)
+    : window_(window), next_checkpoint_(window) {
+    if (window == 0)
+        throw std::invalid_argument("diagnostics: window must be >= 1");
+}
+
+bool DiagnosticLog::observe(const BorgMoea& algorithm) {
+    const std::uint64_t evals = algorithm.evaluations();
+    const bool restarted = algorithm.restarts() != last_restarts_;
+    if (evals < next_checkpoint_ && !restarted) return false;
+
+    if (operator_names_.empty())
+        operator_names_ = algorithm.operator_names();
+    last_restarts_ = algorithm.restarts();
+    while (next_checkpoint_ <= evals) next_checkpoint_ += window_;
+
+    DiagnosticSnapshot snap;
+    snap.evaluations = evals;
+    snap.archive_size = algorithm.archive().size();
+    snap.epsilon_progress = algorithm.archive().epsilon_progress();
+    snap.population_target = algorithm.population().target_size();
+    snap.restarts = algorithm.restarts();
+    snap.operator_probabilities = algorithm.operator_probabilities();
+    snapshots_.push_back(std::move(snap));
+    return true;
+}
+
+namespace {
+
+util::Table build_table(const std::vector<std::string>& names,
+                        const std::vector<DiagnosticSnapshot>& snapshots) {
+    std::vector<std::string> headers{"evals", "archive", "progress",
+                                     "popsize", "restarts"};
+    for (const auto& name : names) headers.push_back("p(" + name + ")");
+    util::Table table(std::move(headers));
+    for (const auto& snap : snapshots) {
+        std::vector<std::string> row{
+            std::to_string(snap.evaluations),
+            std::to_string(snap.archive_size),
+            std::to_string(snap.epsilon_progress),
+            std::to_string(snap.population_target),
+            std::to_string(snap.restarts)};
+        for (const double p : snap.operator_probabilities)
+            row.push_back(util::format_fixed(p, 3));
+        table.add_row(std::move(row));
+    }
+    return table;
+}
+
+} // namespace
+
+void DiagnosticLog::print(std::ostream& os) const {
+    build_table(operator_names_, snapshots_).print(os);
+}
+
+void DiagnosticLog::print_csv(std::ostream& os) const {
+    build_table(operator_names_, snapshots_).print_csv(os);
+}
+
+double DiagnosticLog::max_probability_swing() const {
+    double swing = 0.0;
+    for (std::size_t i = 1; i < snapshots_.size(); ++i) {
+        const auto& prev = snapshots_[i - 1].operator_probabilities;
+        const auto& cur = snapshots_[i].operator_probabilities;
+        for (std::size_t k = 0; k < std::min(prev.size(), cur.size()); ++k)
+            swing = std::max(swing, std::abs(cur[k] - prev[k]));
+    }
+    return swing;
+}
+
+} // namespace borg::moea

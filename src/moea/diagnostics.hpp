@@ -1,0 +1,70 @@
+#ifndef BORG_MOEA_DIAGNOSTICS_HPP
+#define BORG_MOEA_DIAGNOSTICS_HPP
+
+/// \file diagnostics.hpp
+/// Runtime diagnostics for the Borg MOEA's auto-adaptive machinery.
+///
+/// The paper's Section VI ties parallel efficiency to the algorithm's
+/// *dynamics*: "the effectiveness of the asynchronous Borg MOEA's
+/// auto-adaptive search is strongly shaped by parallel scalability and
+/// problem difficulty", and the companion diagnostics papers (Hadka & Reed
+/// 2012) study exactly these time series. This observer snapshots the
+/// adaptive state — operator selection probabilities, archive size,
+/// ε-progress, population target, restart count — every fixed number of
+/// evaluations, producing the series those analyses need.
+///
+/// Pull-based: call observe() after each receive (cheap — it only copies
+/// state at window boundaries), from any run loop or executor callback.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "moea/borg.hpp"
+
+namespace borg::moea {
+
+struct DiagnosticSnapshot {
+    std::uint64_t evaluations = 0;
+    std::size_t archive_size = 0;
+    std::uint64_t epsilon_progress = 0;
+    std::size_t population_target = 0;
+    std::uint64_t restarts = 0;
+    std::vector<double> operator_probabilities;
+};
+
+class DiagnosticLog {
+public:
+    /// Snapshots every \p window evaluations (and whenever restarts fire
+    /// between windows, so short-lived adaptation states are not missed).
+    explicit DiagnosticLog(std::uint64_t window = 1000);
+
+    /// Records a snapshot if the algorithm crossed a window boundary (or
+    /// restarted) since the last call. Returns true when one was taken.
+    bool observe(const BorgMoea& algorithm);
+
+    const std::vector<DiagnosticSnapshot>& snapshots() const noexcept {
+        return snapshots_;
+    }
+
+    /// Column-aligned table: evaluations, archive, restarts, and one
+    /// probability column per operator (names from the algorithm at first
+    /// observe()).
+    void print(std::ostream& os) const;
+    void print_csv(std::ostream& os) const;
+
+    /// Largest single-window swing in any operator's probability — a
+    /// scalar "how strongly did adaptation act" summary used in tests.
+    double max_probability_swing() const;
+
+private:
+    std::uint64_t window_;
+    std::uint64_t next_checkpoint_;
+    std::uint64_t last_restarts_ = 0;
+    std::vector<std::string> operator_names_;
+    std::vector<DiagnosticSnapshot> snapshots_;
+};
+
+} // namespace borg::moea
+
+#endif

@@ -1,0 +1,78 @@
+#include "moea/dominance.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace borg::moea {
+
+Dominance compare_pareto(std::span<const double> a,
+                         std::span<const double> b) {
+    assert(a.size() == b.size());
+    bool a_better = false;
+    bool b_better = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] < b[i]) a_better = true;
+        else if (b[i] < a[i]) b_better = true;
+        if (a_better && b_better) return Dominance::kNondominated;
+    }
+    if (a_better) return Dominance::kDominates;
+    if (b_better) return Dominance::kDominatedBy;
+    return Dominance::kEqual;
+}
+
+Dominance compare_constrained(std::span<const double> a_objectives,
+                              double a_violation,
+                              std::span<const double> b_objectives,
+                              double b_violation) {
+    if (a_violation > 0.0 || b_violation > 0.0) {
+        if (a_violation < b_violation) return Dominance::kDominates;
+        if (b_violation < a_violation) return Dominance::kDominatedBy;
+        // Equal nonzero violations: fall through to objective comparison
+        // so equally-infeasible solutions still exert selection pressure.
+    }
+    return compare_pareto(a_objectives, b_objectives);
+}
+
+bool dominates(std::span<const double> a, std::span<const double> b) {
+    return compare_pareto(a, b) == Dominance::kDominates;
+}
+
+std::vector<std::int64_t> epsilon_box(std::span<const double> objectives,
+                                      std::span<const double> epsilons) {
+    assert(objectives.size() == epsilons.size());
+    std::vector<std::int64_t> box(objectives.size());
+    for (std::size_t i = 0; i < objectives.size(); ++i)
+        box[i] = static_cast<std::int64_t>(
+            std::floor(objectives[i] / epsilons[i]));
+    return box;
+}
+
+Dominance compare_boxes(std::span<const std::int64_t> a,
+                        std::span<const std::int64_t> b) {
+    assert(a.size() == b.size());
+    bool a_better = false;
+    bool b_better = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] < b[i]) a_better = true;
+        else if (b[i] < a[i]) b_better = true;
+        if (a_better && b_better) return Dominance::kNondominated;
+    }
+    if (a_better) return Dominance::kDominates;
+    if (b_better) return Dominance::kDominatedBy;
+    return Dominance::kEqual;
+}
+
+double distance_to_box_corner(std::span<const double> objectives,
+                              std::span<const std::int64_t> box,
+                              std::span<const double> epsilons) {
+    assert(objectives.size() == box.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < objectives.size(); ++i) {
+        const double corner = static_cast<double>(box[i]) * epsilons[i];
+        const double d = objectives[i] - corner;
+        sum += d * d;
+    }
+    return sum;
+}
+
+} // namespace borg::moea

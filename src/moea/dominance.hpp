@@ -1,0 +1,54 @@
+#ifndef BORG_MOEA_DOMINANCE_HPP
+#define BORG_MOEA_DOMINANCE_HPP
+
+/// \file dominance.hpp
+/// Pareto and ε-box dominance comparisons (minimization convention).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace borg::moea {
+
+enum class Dominance : std::uint8_t {
+    kDominates,    ///< a dominates b
+    kDominatedBy,  ///< b dominates a
+    kNondominated, ///< neither dominates
+    kEqual,        ///< identical objective vectors
+};
+
+/// Pareto comparison of two objective vectors of equal length.
+Dominance compare_pareto(std::span<const double> a, std::span<const double> b);
+
+/// Constraint-domination (Deb 2000), Borg's rule for constrained problems:
+/// a feasible solution dominates an infeasible one; two infeasible
+/// solutions compare by total violation (smaller dominates); two feasible
+/// solutions compare by Pareto dominance. Violations are the solutions'
+/// total_violation() sums (0 = feasible).
+Dominance compare_constrained(std::span<const double> a_objectives,
+                              double a_violation,
+                              std::span<const double> b_objectives,
+                              double b_violation);
+
+/// True iff \p a Pareto-dominates \p b.
+bool dominates(std::span<const double> a, std::span<const double> b);
+
+/// The ε-box index of an objective vector: floor(f_i / ε_i) per objective
+/// (Laumanns et al. 2002). Two solutions in the same box are "ε-equal"; box
+/// indices are compared by Pareto dominance to get ε-dominance.
+std::vector<std::int64_t> epsilon_box(std::span<const double> objectives,
+                                      std::span<const double> epsilons);
+
+/// Pareto comparison of two box-index vectors.
+Dominance compare_boxes(std::span<const std::int64_t> a,
+                        std::span<const std::int64_t> b);
+
+/// Squared Euclidean distance from \p objectives to the lower corner of its
+/// ε-box; the within-box tiebreaker (the solution nearer the corner wins).
+double distance_to_box_corner(std::span<const double> objectives,
+                              std::span<const std::int64_t> box,
+                              std::span<const double> epsilons);
+
+} // namespace borg::moea
+
+#endif

@@ -1,0 +1,98 @@
+#ifndef BORG_MOEA_EPSILON_ARCHIVE_HPP
+#define BORG_MOEA_EPSILON_ARCHIVE_HPP
+
+/// \file epsilon_archive.hpp
+/// The ε-dominance archive (Laumanns et al. 2002) with the ε-progress
+/// bookkeeping the Borg MOEA uses to detect search stagnation.
+///
+/// Objective space is partitioned into boxes of size ε_i per objective. The
+/// archive keeps at most one solution per nondominated box: a candidate is
+/// rejected if its box is Pareto-dominated by a member's box; it evicts any
+/// members whose boxes it dominates; within the same box the solution
+/// closer to the box's lower corner wins. This guarantees both convergence
+/// and diversity with a bounded archive.
+///
+/// ε-progress: an insertion that occupies a *previously unoccupied* box.
+/// Borg monitors the ε-progress count over a window of evaluations; no new
+/// boxes means search has stagnated and a restart is triggered.
+///
+/// Constrained problems: only feasible solutions populate the ε-front.
+/// Until the first feasible solution is found the archive holds exactly
+/// one entry — the least-violating solution seen so far — and each
+/// violation improvement counts as ε-progress, so restarts behave
+/// sensibly during the feasibility-seeking phase.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "moea/dominance.hpp"
+#include "moea/solution.hpp"
+
+namespace borg::moea {
+
+/// Outcome of an attempted archive insertion.
+enum class ArchiveAdd : std::uint8_t {
+    kRejected,        ///< candidate was ε-dominated (or lost its box tie)
+    kAddedNewBox,     ///< inserted into a box not previously occupied
+    kReplacedSameBox, ///< won the within-box tiebreak against the incumbent
+};
+
+class EpsilonBoxArchive {
+public:
+    /// \p epsilons must have one positive entry per objective.
+    explicit EpsilonBoxArchive(std::vector<double> epsilons);
+
+    /// Attempts to insert \p solution (must be evaluated). The archive
+    /// stores its own copy.
+    ArchiveAdd add(const Solution& solution);
+
+    std::size_t size() const noexcept { return entries_.size(); }
+    bool empty() const noexcept { return entries_.empty(); }
+
+    const Solution& operator[](std::size_t i) const {
+        return entries_[i].solution;
+    }
+
+    /// All archived solutions (ε-Pareto set approximation).
+    std::vector<Solution> solutions() const;
+
+    /// All archived objective vectors, e.g. for metric computation.
+    std::vector<std::vector<double>> objective_vectors() const;
+
+    const std::vector<double>& epsilons() const noexcept { return epsilons_; }
+
+    /// Monotone counter of ε-progress events (new boxes occupied) since
+    /// construction. Restart logic diffs this across a window.
+    std::uint64_t epsilon_progress() const noexcept { return progress_; }
+
+    /// Monotone counter of accepted insertions (new box or same-box win).
+    std::uint64_t improvements() const noexcept { return improvements_; }
+
+    /// Number of archive members attributed to each operator index; used by
+    /// the adaptive operator selector. \p num_operators sizes the result;
+    /// members with kNoOperator are counted in no bucket.
+    std::vector<std::size_t> operator_counts(std::size_t num_operators) const;
+
+    void clear() noexcept;
+
+    /// Checkpoint restore: re-inserts \p solutions (recomputing boxes) and
+    /// overwrites the progress counters with the saved values.
+    void restore(const std::vector<Solution>& solutions,
+                 std::uint64_t progress, std::uint64_t improvements);
+
+private:
+    struct Entry {
+        Solution solution;
+        std::vector<std::int64_t> box;
+    };
+
+    std::vector<double> epsilons_;
+    std::vector<Entry> entries_;
+    std::uint64_t progress_ = 0;
+    std::uint64_t improvements_ = 0;
+};
+
+} // namespace borg::moea
+
+#endif

@@ -1,0 +1,198 @@
+#include "moea/nsga2.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "moea/dominance.hpp"
+
+namespace borg::moea {
+
+std::vector<std::size_t> nondominated_rank(
+    const std::vector<std::vector<double>>& objectives) {
+    const std::size_t n = objectives.size();
+    std::vector<std::size_t> rank(n, 0);
+    std::vector<std::size_t> domination_count(n, 0);
+    std::vector<std::vector<std::size_t>> dominated_by(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            switch (compare_pareto(objectives[i], objectives[j])) {
+            case Dominance::kDominates:
+                dominated_by[i].push_back(j);
+                ++domination_count[j];
+                break;
+            case Dominance::kDominatedBy:
+                dominated_by[j].push_back(i);
+                ++domination_count[i];
+                break;
+            default:
+                break;
+            }
+        }
+    }
+
+    std::vector<std::size_t> current;
+    for (std::size_t i = 0; i < n; ++i)
+        if (domination_count[i] == 0) current.push_back(i);
+
+    std::size_t front = 0;
+    while (!current.empty()) {
+        std::vector<std::size_t> next;
+        for (const std::size_t i : current) {
+            rank[i] = front;
+            for (const std::size_t j : dominated_by[i])
+                if (--domination_count[j] == 0) next.push_back(j);
+        }
+        current = std::move(next);
+        ++front;
+    }
+    return rank;
+}
+
+std::vector<double> crowding_distance(
+    const std::vector<std::vector<double>>& objectives) {
+    const std::size_t n = objectives.size();
+    std::vector<double> distance(n, 0.0);
+    if (n <= 2) {
+        std::fill(distance.begin(), distance.end(),
+                  std::numeric_limits<double>::infinity());
+        return distance;
+    }
+    const std::size_t m = objectives[0].size();
+    std::vector<std::size_t> order(n);
+    for (std::size_t obj = 0; obj < m; ++obj) {
+        for (std::size_t i = 0; i < n; ++i) order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return objectives[a][obj] < objectives[b][obj];
+                  });
+        const double lo = objectives[order.front()][obj];
+        const double hi = objectives[order.back()][obj];
+        distance[order.front()] = std::numeric_limits<double>::infinity();
+        distance[order.back()] = std::numeric_limits<double>::infinity();
+        if (hi - lo < 1e-300) continue;
+        for (std::size_t k = 1; k + 1 < n; ++k)
+            distance[order[k]] += (objectives[order[k + 1]][obj] -
+                                   objectives[order[k - 1]][obj]) /
+                                  (hi - lo);
+    }
+    return distance;
+}
+
+Nsga2::Nsga2(const problems::Problem& problem, std::size_t population_size,
+             std::uint64_t seed)
+    : problem_(problem),
+      population_size_(population_size),
+      rng_(seed),
+      sbx_(problem),
+      pm_(problem) {
+    if (population_size < 2)
+        throw std::invalid_argument("nsga2: population size < 2");
+}
+
+const Solution& Nsga2::tournament(const std::vector<Ranked>& ranked) {
+    const auto pick = [&]() -> const Ranked& {
+        return ranked[static_cast<std::size_t>(rng_.below(ranked.size()))];
+    };
+    const Ranked& a = pick();
+    const Ranked& b = pick();
+    if (a.rank != b.rank) return (a.rank < b.rank ? a : b).solution;
+    return (a.crowding >= b.crowding ? a : b).solution;
+}
+
+std::vector<Solution> Nsga2::next_generation() {
+    std::vector<Solution> offspring;
+    offspring.reserve(population_size_);
+    if (!initialized_) {
+        for (std::size_t i = 0; i < population_size_; ++i)
+            offspring.push_back(random_solution(problem_, rng_));
+        return offspring;
+    }
+    while (offspring.size() < population_size_) {
+        const Solution& p1 = tournament(ranked_);
+        const Solution& p2 = tournament(ranked_);
+        Solution child;
+        const ParentView parents{std::span<const double>(p1.variables),
+                                 std::span<const double>(p2.variables)};
+        const std::vector<double> crossed = sbx_.apply(parents, rng_);
+        child.variables =
+            pm_.apply(ParentView{std::span<const double>(crossed)}, rng_);
+        offspring.push_back(std::move(child));
+    }
+    return offspring;
+}
+
+void Nsga2::receive_generation(std::vector<Solution> generation) {
+    for (const Solution& s : generation)
+        if (!s.evaluated)
+            throw std::invalid_argument("nsga2: unevaluated generation");
+    evaluations_ += generation.size();
+
+    std::vector<Solution> pool = std::move(generation);
+    if (initialized_)
+        pool.insert(pool.end(), population_.begin(), population_.end());
+    environmental_selection(std::move(pool));
+    initialized_ = true;
+}
+
+void Nsga2::environmental_selection(std::vector<Solution> pool) {
+    std::vector<std::vector<double>> objs;
+    objs.reserve(pool.size());
+    for (const Solution& s : pool) objs.push_back(s.objectives);
+    const std::vector<std::size_t> ranks = nondominated_rank(objs);
+
+    // Group indices by front rank.
+    std::size_t max_rank = 0;
+    for (const std::size_t r : ranks) max_rank = std::max(max_rank, r);
+    std::vector<std::vector<std::size_t>> fronts(max_rank + 1);
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+        fronts[ranks[i]].push_back(i);
+
+    population_.clear();
+    ranked_.clear();
+    for (std::size_t front = 0;
+         front < fronts.size() && population_.size() < population_size_;
+         ++front) {
+        std::vector<std::vector<double>> front_objs;
+        front_objs.reserve(fronts[front].size());
+        for (const std::size_t i : fronts[front])
+            front_objs.push_back(objs[i]);
+        const std::vector<double> crowding = crowding_distance(front_objs);
+
+        std::vector<std::size_t> order(fronts[front].size());
+        for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return crowding[a] > crowding[b];
+                  });
+        for (const std::size_t k : order) {
+            if (population_.size() >= population_size_) break;
+            const std::size_t i = fronts[front][k];
+            population_.push_back(pool[i]);
+            ranked_.push_back(Ranked{pool[i], front, crowding[k]});
+        }
+    }
+}
+
+std::vector<std::vector<double>> Nsga2::front() const {
+    std::vector<std::vector<double>> out;
+    for (const Ranked& r : ranked_)
+        if (r.rank == 0) out.push_back(r.solution.objectives);
+    return out;
+}
+
+void run_serial_generational(
+    GenerationalMoea& algorithm, const problems::Problem& problem,
+    std::uint64_t max_evaluations,
+    const std::function<void(std::uint64_t)>& on_generation) {
+    while (algorithm.evaluations() < max_evaluations) {
+        std::vector<Solution> generation = algorithm.next_generation();
+        for (Solution& s : generation) evaluate(problem, s);
+        algorithm.receive_generation(std::move(generation));
+        if (on_generation) on_generation(algorithm.evaluations());
+    }
+}
+
+} // namespace borg::moea

@@ -1,0 +1,103 @@
+#ifndef BORG_MOEA_NSGA2_HPP
+#define BORG_MOEA_NSGA2_HPP
+
+/// \file nsga2.hpp
+/// A generational, synchronous baseline MOEA (NSGA-II: Deb et al. 2002).
+///
+/// The paper's Section VI-B contrasts the asynchronous Borg MOEA with the
+/// classic synchronous master-slave model analyzed by Cantú-Paz, in which a
+/// full generation of offspring must be evaluated before the algorithm can
+/// proceed. This class supplies that algorithm family: it exposes the
+/// generational protocol (produce a whole generation, receive a whole
+/// generation) that the synchronous executor maps onto simulated workers.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "moea/operators.hpp"
+#include "moea/solution.hpp"
+#include "problems/problem.hpp"
+#include "util/rng.hpp"
+
+namespace borg::moea {
+
+/// Protocol for generational algorithms driven by the synchronous executor.
+class GenerationalMoea {
+public:
+    virtual ~GenerationalMoea() = default;
+
+    /// Produces one full generation of unevaluated offspring (the first
+    /// call returns the random initial population).
+    virtual std::vector<Solution> next_generation() = 0;
+
+    /// Ingests the evaluated generation (same order as produced).
+    virtual void receive_generation(std::vector<Solution> generation) = 0;
+
+    /// Current nondominated front (objective vectors).
+    virtual std::vector<std::vector<double>> front() const = 0;
+
+    virtual std::uint64_t evaluations() const = 0;
+};
+
+/// NSGA-II with SBX + polynomial mutation, binary tournament on
+/// (rank, crowding distance), and elitist (mu + lambda) truncation.
+class Nsga2 final : public GenerationalMoea {
+public:
+    Nsga2(const problems::Problem& problem, std::size_t population_size,
+          std::uint64_t seed);
+
+    std::vector<Solution> next_generation() override;
+    void receive_generation(std::vector<Solution> generation) override;
+    std::vector<std::vector<double>> front() const override;
+    std::uint64_t evaluations() const override { return evaluations_; }
+
+    std::size_t population_size() const noexcept { return population_size_; }
+    const std::vector<Solution>& population() const noexcept {
+        return population_;
+    }
+
+private:
+    struct Ranked {
+        Solution solution;
+        std::size_t rank = 0;
+        double crowding = 0.0;
+    };
+
+    /// Fast nondominated sort + crowding; truncates \p pool to the
+    /// population size.
+    void environmental_selection(std::vector<Solution> pool);
+    const Solution& tournament(const std::vector<Ranked>& ranked);
+
+    const problems::Problem& problem_;
+    std::size_t population_size_;
+    util::Rng rng_;
+    Sbx sbx_;
+    PolynomialMutation pm_;
+
+    std::vector<Solution> population_; // kept in ranked order
+    std::vector<Ranked> ranked_;
+    bool initialized_ = false;
+    std::uint64_t evaluations_ = 0;
+};
+
+/// Computes fronts by fast nondominated sorting; returns, per solution
+/// index, its front rank (0 = nondominated). Exposed for tests and for the
+/// metrics module.
+std::vector<std::size_t> nondominated_rank(
+    const std::vector<std::vector<double>>& objectives);
+
+/// Crowding distances within one front (infinite at the extremes).
+std::vector<double> crowding_distance(
+    const std::vector<std::vector<double>>& objectives);
+
+/// Runs a generational algorithm in serial for at most \p max_evaluations.
+void run_serial_generational(
+    GenerationalMoea& algorithm, const problems::Problem& problem,
+    std::uint64_t max_evaluations,
+    const std::function<void(std::uint64_t)>& on_generation = {});
+
+} // namespace borg::moea
+
+#endif

@@ -1,0 +1,54 @@
+#include "moea/operator_selector.hpp"
+
+#include <stdexcept>
+
+namespace borg::moea {
+
+OperatorSelector::OperatorSelector(std::size_t num_operators, double zeta,
+                                   std::size_t update_frequency)
+    : zeta_(zeta),
+      update_frequency_(update_frequency),
+      probabilities_(num_operators,
+                     1.0 / static_cast<double>(num_operators)) {
+    if (num_operators == 0)
+        throw std::invalid_argument("selector: no operators");
+    if (!(zeta > 0.0)) throw std::invalid_argument("selector: zeta <= 0");
+    if (update_frequency == 0)
+        throw std::invalid_argument("selector: update frequency == 0");
+}
+
+void OperatorSelector::restore(std::vector<double> probabilities,
+                               std::size_t countdown) {
+    if (probabilities.size() != probabilities_.size())
+        throw std::invalid_argument("selector restore: size mismatch");
+    probabilities_ = std::move(probabilities);
+    countdown_ = countdown;
+}
+
+void OperatorSelector::refresh(const EpsilonBoxArchive& archive) {
+    const auto counts = archive.operator_counts(probabilities_.size());
+    double total = 0.0;
+    for (const std::size_t c : counts) total += static_cast<double>(c);
+    const double denom =
+        total + zeta_ * static_cast<double>(probabilities_.size());
+    for (std::size_t i = 0; i < probabilities_.size(); ++i)
+        probabilities_[i] = (static_cast<double>(counts[i]) + zeta_) / denom;
+}
+
+std::size_t OperatorSelector::select(const EpsilonBoxArchive& archive,
+                                     util::Rng& rng) {
+    if (countdown_ == 0) {
+        refresh(archive);
+        countdown_ = update_frequency_;
+    }
+    --countdown_;
+
+    double u = rng.uniform();
+    for (std::size_t i = 0; i < probabilities_.size(); ++i) {
+        u -= probabilities_[i];
+        if (u < 0.0) return i;
+    }
+    return probabilities_.size() - 1; // numerical tail
+}
+
+} // namespace borg::moea

@@ -1,0 +1,57 @@
+#ifndef BORG_MOEA_OPERATOR_SELECTOR_HPP
+#define BORG_MOEA_OPERATOR_SELECTOR_HPP
+
+/// \file operator_selector.hpp
+/// Borg's auto-adaptive multi-operator selection.
+///
+/// Each operator i is chosen with probability
+///     p_i = (c_i + zeta) / (sum_j c_j + K zeta)
+/// where c_i is the number of current ε-archive members produced by operator
+/// i and zeta = 1 guarantees every operator retains a nonzero chance of
+/// being selected (so a currently unproductive operator can recover if the
+/// search landscape shifts, e.g. after a restart). Probabilities are
+/// recomputed every \p update_frequency offspring.
+
+#include <cstddef>
+#include <vector>
+
+#include "moea/epsilon_archive.hpp"
+#include "util/rng.hpp"
+
+namespace borg::moea {
+
+class OperatorSelector {
+public:
+    /// \p num_operators K >= 1; \p zeta > 0; \p update_frequency >= 1.
+    OperatorSelector(std::size_t num_operators, double zeta = 1.0,
+                     std::size_t update_frequency = 100);
+
+    /// Picks an operator index by roulette over the current probabilities,
+    /// refreshing them from \p archive every update_frequency calls.
+    std::size_t select(const EpsilonBoxArchive& archive, util::Rng& rng);
+
+    /// Forces a refresh on the next select() (called after restarts).
+    void invalidate() noexcept { countdown_ = 0; }
+
+    const std::vector<double>& probabilities() const noexcept {
+        return probabilities_;
+    }
+    std::size_t num_operators() const noexcept { return probabilities_.size(); }
+
+    /// Checkpoint support: calls until the next refresh, and wholesale
+    /// restore of probabilities + countdown.
+    std::size_t countdown() const noexcept { return countdown_; }
+    void restore(std::vector<double> probabilities, std::size_t countdown);
+
+private:
+    void refresh(const EpsilonBoxArchive& archive);
+
+    double zeta_;
+    std::size_t update_frequency_;
+    std::size_t countdown_ = 0;
+    std::vector<double> probabilities_;
+};
+
+} // namespace borg::moea
+
+#endif

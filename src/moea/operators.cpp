@@ -1,0 +1,400 @@
+#include "moea/operators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/matrix.hpp"
+
+namespace borg::moea {
+
+namespace {
+
+/// Centroid of the parent vectors.
+std::vector<double> centroid(const ParentView& parents) {
+    std::vector<double> g(parents[0].size(), 0.0);
+    for (const auto& parent : parents)
+        for (std::size_t i = 0; i < g.size(); ++i) g[i] += parent[i];
+    const auto inv = 1.0 / static_cast<double>(parents.size());
+    for (double& x : g) x *= inv;
+    return g;
+}
+
+double norm(std::span<const double> v) {
+    double sum = 0.0;
+    for (const double x : v) sum += x * x;
+    return std::sqrt(sum);
+}
+
+void require_parents(const ParentView& parents, std::size_t minimum,
+                     const char* op) {
+    if (parents.size() < minimum)
+        throw std::invalid_argument(std::string(op) + ": needs at least " +
+                                    std::to_string(minimum) + " parents");
+    for (const auto& p : parents)
+        if (p.size() != parents[0].size())
+            throw std::invalid_argument(std::string(op) +
+                                        ": parent arity mismatch");
+}
+
+} // namespace
+
+void Variation::clip(std::vector<double>& variables) const {
+    for (std::size_t i = 0; i < variables.size(); ++i)
+        variables[i] = std::clamp(variables[i], problem_.lower_bound(i),
+                                  problem_.upper_bound(i));
+}
+
+// --------------------------------------------------------------------- SBX
+
+Sbx::Sbx(const problems::Problem& problem, double distribution_index,
+         double swap_probability)
+    : Variation(problem),
+      distribution_index_(distribution_index),
+      swap_probability_(swap_probability) {
+    if (distribution_index <= 0.0)
+        throw std::invalid_argument("SBX: distribution index <= 0");
+}
+
+std::vector<double> Sbx::apply(const ParentView& parents,
+                               util::Rng& rng) const {
+    require_parents(parents, 2, "SBX");
+    const auto& p1 = parents[0];
+    const auto& p2 = parents[1];
+    std::vector<double> child(p1.begin(), p1.end());
+
+    for (std::size_t i = 0; i < child.size(); ++i) {
+        if (!rng.flip(swap_probability_)) continue;
+        const double x1 = p1[i];
+        const double x2 = p2[i];
+        if (std::abs(x1 - x2) < 1e-14) continue;
+
+        // Spread factor beta from the polynomial distribution.
+        const double u = rng.uniform();
+        double beta;
+        if (u < 0.5)
+            beta = std::pow(2.0 * u, 1.0 / (distribution_index_ + 1.0));
+        else
+            beta = std::pow(1.0 / (2.0 * (1.0 - u)),
+                            1.0 / (distribution_index_ + 1.0));
+
+        const double c1 = 0.5 * ((1.0 + beta) * x1 + (1.0 - beta) * x2);
+        const double c2 = 0.5 * ((1.0 - beta) * x1 + (1.0 + beta) * x2);
+        child[i] = rng.flip(0.5) ? c1 : c2;
+    }
+    clip(child);
+    return child;
+}
+
+// ---------------------------------------------------------------------- DE
+
+DifferentialEvolution::DifferentialEvolution(const problems::Problem& problem,
+                                             double crossover_rate,
+                                             double step_size)
+    : Variation(problem),
+      crossover_rate_(crossover_rate),
+      step_size_(step_size) {}
+
+std::vector<double> DifferentialEvolution::apply(const ParentView& parents,
+                                                 util::Rng& rng) const {
+    require_parents(parents, 4, "DE");
+    const auto& base = parents[0];
+    const auto& a = parents[1];
+    const auto& b = parents[2];
+    const auto& c = parents[3];
+    std::vector<double> child(base.begin(), base.end());
+
+    // Binomial crossover with a guaranteed index so the child differs from
+    // the base parent.
+    const std::size_t forced =
+        static_cast<std::size_t>(rng.below(child.size()));
+    for (std::size_t i = 0; i < child.size(); ++i) {
+        if (i == forced || rng.flip(crossover_rate_))
+            child[i] = a[i] + step_size_ * (b[i] - c[i]);
+    }
+    clip(child);
+    return child;
+}
+
+// --------------------------------------------------------------------- PCX
+
+Pcx::Pcx(const problems::Problem& problem, std::size_t num_parents, double eta,
+         double zeta)
+    : Variation(problem), num_parents_(num_parents), eta_(eta), zeta_(zeta) {
+    if (num_parents < 2) throw std::invalid_argument("PCX: needs >= 2 parents");
+}
+
+std::vector<double> Pcx::apply(const ParentView& parents,
+                               util::Rng& rng) const {
+    require_parents(parents, 2, "PCX");
+    const std::size_t n = parents[0].size();
+    const std::size_t k = parents.size();
+
+    const std::vector<double> g = centroid(parents);
+
+    // Direction from the centroid to the index parent (parents[0], drawn
+    // from the archive by Borg's parent selection).
+    std::vector<double> d(n);
+    for (std::size_t i = 0; i < n; ++i) d[i] = parents[0][i] - g[i];
+    const double d_norm = norm(d);
+
+    if (d_norm < 1e-14) {
+        // Index parent coincides with the centroid (e.g. duplicated
+        // parents): degenerate case, return the index parent unchanged and
+        // let the downstream mutation supply variation.
+        return {parents[0].begin(), parents[0].end()};
+    }
+
+    // Mean perpendicular distance of the other parents to the line (g, d),
+    // and an orthonormal basis of their span orthogonal to d.
+    std::vector<std::vector<double>> basis;
+    basis.reserve(k);
+    {
+        std::vector<double> d_unit(d);
+        for (double& x : d_unit) x /= d_norm;
+        basis.push_back(std::move(d_unit));
+    }
+    double mean_perp = 0.0;
+    std::size_t contributing = 0;
+    for (std::size_t p = 1; p < k; ++p) {
+        std::vector<double> diff(n);
+        for (std::size_t i = 0; i < n; ++i) diff[i] = parents[p][i] - g[i];
+        const double len = norm(diff);
+        if (len < 1e-14) continue;
+        double along = 0.0;
+        for (std::size_t i = 0; i < n; ++i) along += diff[i] * basis[0][i];
+        const double perp_sq = std::max(0.0, len * len - along * along);
+        mean_perp += std::sqrt(perp_sq);
+        ++contributing;
+        basis.push_back(std::move(diff));
+    }
+    if (contributing > 0) mean_perp /= static_cast<double>(contributing);
+
+    // Orthonormalize: element 0 is the d direction; the rest span the
+    // parent subspace orthogonal to d (zero rows mark dependent parents).
+    util::gram_schmidt(basis);
+
+    std::vector<double> child(parents[0].begin(), parents[0].end());
+    const double w_zeta = zeta_ * rng.gaussian();
+    for (std::size_t i = 0; i < n; ++i) child[i] += w_zeta * d[i];
+    for (std::size_t j = 1; j < basis.size(); ++j) {
+        if (norm(basis[j]) < 0.5) continue; // dependent parent, zeroed row
+        const double w_eta = eta_ * mean_perp * rng.gaussian();
+        for (std::size_t i = 0; i < n; ++i) child[i] += w_eta * basis[j][i];
+    }
+    clip(child);
+    return child;
+}
+
+// --------------------------------------------------------------------- SPX
+
+Spx::Spx(const problems::Problem& problem, std::size_t num_parents,
+         double expansion)
+    : Variation(problem), num_parents_(num_parents), expansion_(expansion) {
+    if (num_parents < 2) throw std::invalid_argument("SPX: needs >= 2 parents");
+    if (expansion <= 0.0) throw std::invalid_argument("SPX: expansion <= 0");
+}
+
+std::vector<double> Spx::apply(const ParentView& parents,
+                               util::Rng& rng) const {
+    require_parents(parents, 2, "SPX");
+    const std::size_t n = parents[0].size();
+    const std::size_t k = parents.size();
+    const std::vector<double> g = centroid(parents);
+
+    // Expanded simplex vertices y_p = g + expansion (x_p - g).
+    std::vector<std::vector<double>> y(k, std::vector<double>(n));
+    for (std::size_t p = 0; p < k; ++p)
+        for (std::size_t i = 0; i < n; ++i)
+            y[p][i] = g[i] + expansion_ * (parents[p][i] - g[i]);
+
+    // Tsutsui's recursive uniform sampling over the simplex.
+    std::vector<double> c(n, 0.0);
+    for (std::size_t p = 1; p < k; ++p) {
+        const double r =
+            std::pow(rng.uniform(), 1.0 / static_cast<double>(p + 1));
+        for (std::size_t i = 0; i < n; ++i)
+            c[i] = r * (y[p - 1][i] - y[p][i] + c[i]);
+    }
+    std::vector<double> child(n);
+    for (std::size_t i = 0; i < n; ++i) child[i] = y[k - 1][i] + c[i];
+    clip(child);
+    return child;
+}
+
+// -------------------------------------------------------------------- UNDX
+
+Undx::Undx(const problems::Problem& problem, std::size_t num_parents,
+           double zeta, double eta)
+    : Variation(problem), num_parents_(num_parents), zeta_(zeta), eta_(eta) {
+    if (num_parents < 3) throw std::invalid_argument("UNDX: needs >= 3 parents");
+}
+
+std::vector<double> Undx::apply(const ParentView& parents,
+                                util::Rng& rng) const {
+    require_parents(parents, 3, "UNDX");
+    const std::size_t n = parents[0].size();
+    const std::size_t k = parents.size();
+    const std::size_t m = k - 1; // primary parents; the last is secondary
+
+    // Centroid of the primary parents.
+    std::vector<double> g(n, 0.0);
+    for (std::size_t p = 0; p < m; ++p)
+        for (std::size_t i = 0; i < n; ++i) g[i] += parents[p][i];
+    for (double& x : g) x /= static_cast<double>(m);
+
+    // Primary difference vectors and their orthonormalized span.
+    std::vector<std::vector<double>> diffs(m, std::vector<double>(n));
+    for (std::size_t p = 0; p < m; ++p)
+        for (std::size_t i = 0; i < n; ++i)
+            diffs[p][i] = parents[p][i] - g[i];
+    std::vector<std::vector<double>> basis = diffs;
+    util::gram_schmidt(basis);
+
+    std::vector<double> child = g;
+
+    // Primary component: gaussian spread along each difference vector.
+    for (std::size_t p = 0; p < m; ++p) {
+        const double w = zeta_ * rng.gaussian();
+        for (std::size_t i = 0; i < n; ++i) child[i] += w * diffs[p][i];
+    }
+
+    // Secondary component: isotropic gaussian in the orthogonal complement
+    // of the primary subspace, scaled by the secondary parent's distance.
+    std::vector<double> secondary(n);
+    for (std::size_t i = 0; i < n; ++i)
+        secondary[i] = parents[k - 1][i] - g[i];
+    for (const auto& e : basis) {
+        if (norm(e) < 0.5) continue;
+        double dot = 0.0;
+        for (std::size_t i = 0; i < n; ++i) dot += secondary[i] * e[i];
+        for (std::size_t i = 0; i < n; ++i) secondary[i] -= dot * e[i];
+    }
+    const double d_perp = norm(secondary);
+    if (d_perp > 1e-14) {
+        std::vector<double> z(n);
+        for (double& x : z) x = rng.gaussian();
+        for (const auto& e : basis) {
+            if (norm(e) < 0.5) continue;
+            double dot = 0.0;
+            for (std::size_t i = 0; i < n; ++i) dot += z[i] * e[i];
+            for (std::size_t i = 0; i < n; ++i) z[i] -= dot * e[i];
+        }
+        const double scale = eta_ * d_perp / std::sqrt(static_cast<double>(m));
+        for (std::size_t i = 0; i < n; ++i) child[i] += scale * z[i];
+    }
+    clip(child);
+    return child;
+}
+
+// ---------------------------------------------------------------------- UM
+
+UniformMutation::UniformMutation(const problems::Problem& problem,
+                                 double probability)
+    : Variation(problem),
+      probability_(probability > 0.0
+                       ? probability
+                       : 1.0 / static_cast<double>(problem.num_variables())) {}
+
+std::vector<double> UniformMutation::apply(const ParentView& parents,
+                                           util::Rng& rng) const {
+    require_parents(parents, 1, "UM");
+    std::vector<double> child(parents[0].begin(), parents[0].end());
+    for (std::size_t i = 0; i < child.size(); ++i) {
+        if (rng.flip(probability_))
+            child[i] =
+                rng.uniform(problem_.lower_bound(i), problem_.upper_bound(i));
+    }
+    return child;
+}
+
+// ---------------------------------------------------------------------- PM
+
+PolynomialMutation::PolynomialMutation(const problems::Problem& problem,
+                                       double distribution_index,
+                                       double probability)
+    : Variation(problem),
+      distribution_index_(distribution_index),
+      probability_(probability > 0.0
+                       ? probability
+                       : 1.0 / static_cast<double>(problem.num_variables())) {
+    if (distribution_index <= 0.0)
+        throw std::invalid_argument("PM: distribution index <= 0");
+}
+
+std::vector<double> PolynomialMutation::apply(const ParentView& parents,
+                                              util::Rng& rng) const {
+    require_parents(parents, 1, "PM");
+    std::vector<double> child(parents[0].begin(), parents[0].end());
+    for (std::size_t i = 0; i < child.size(); ++i) {
+        if (!rng.flip(probability_)) continue;
+        const double lo = problem_.lower_bound(i);
+        const double hi = problem_.upper_bound(i);
+        const double range = hi - lo;
+        if (range <= 0.0) continue;
+        const double x = child[i];
+        const double d1 = (x - lo) / range;
+        const double d2 = (hi - x) / range;
+        const double u = rng.uniform();
+        const double mut_pow = 1.0 / (distribution_index_ + 1.0);
+        double deltaq;
+        if (u < 0.5) {
+            const double xy = 1.0 - d1;
+            const double val = 2.0 * u + (1.0 - 2.0 * u) *
+                                             std::pow(xy, distribution_index_ + 1.0);
+            deltaq = std::pow(val, mut_pow) - 1.0;
+        } else {
+            const double xy = 1.0 - d2;
+            const double val = 2.0 * (1.0 - u) +
+                               2.0 * (u - 0.5) *
+                                   std::pow(xy, distribution_index_ + 1.0);
+            deltaq = 1.0 - std::pow(val, mut_pow);
+        }
+        child[i] = x + deltaq * range;
+    }
+    clip(child);
+    return child;
+}
+
+// --------------------------------------------------------------- composite
+
+CompositeVariation::CompositeVariation(const problems::Problem& problem,
+                                       std::unique_ptr<Variation> first,
+                                       std::unique_ptr<Variation> second)
+    : Variation(problem), first_(std::move(first)), second_(std::move(second)) {
+    if (!first_ || !second_)
+        throw std::invalid_argument("composite: null stage");
+}
+
+std::string CompositeVariation::name() const {
+    return first_->name() + "+" + second_->name();
+}
+
+std::vector<double> CompositeVariation::apply(const ParentView& parents,
+                                              util::Rng& rng) const {
+    const std::vector<double> intermediate = first_->apply(parents, rng);
+    const ParentView stage2{std::span<const double>(intermediate)};
+    return second_->apply(stage2, rng);
+}
+
+// ---------------------------------------------------------------- ensemble
+
+std::vector<std::unique_ptr<Variation>> make_borg_operators(
+    const problems::Problem& problem) {
+    std::vector<std::unique_ptr<Variation>> ops;
+    auto with_pm = [&](std::unique_ptr<Variation> crossover) {
+        return std::make_unique<CompositeVariation>(
+            problem, std::move(crossover),
+            std::make_unique<PolynomialMutation>(problem));
+    };
+    ops.push_back(with_pm(std::make_unique<Sbx>(problem)));
+    ops.push_back(with_pm(std::make_unique<DifferentialEvolution>(problem)));
+    ops.push_back(with_pm(std::make_unique<Pcx>(problem)));
+    ops.push_back(with_pm(std::make_unique<Spx>(problem)));
+    ops.push_back(with_pm(std::make_unique<Undx>(problem)));
+    ops.push_back(std::make_unique<UniformMutation>(problem));
+    return ops;
+}
+
+} // namespace borg::moea

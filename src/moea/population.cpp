@@ -1,0 +1,98 @@
+#include "moea/population.hpp"
+
+#include <stdexcept>
+
+namespace borg::moea {
+
+Population::Population(std::size_t target_size) : target_size_(target_size) {
+    if (target_size == 0)
+        throw std::invalid_argument("population: target size must be >= 1");
+    members_.reserve(target_size);
+}
+
+void Population::set_target_size(std::size_t target) {
+    if (target == 0)
+        throw std::invalid_argument("population: target size must be >= 1");
+    target_size_ = target;
+}
+
+bool Population::inject(const Solution& offspring, util::Rng& rng) {
+    if (!offspring.evaluated)
+        throw std::invalid_argument("population: offspring not evaluated");
+
+    if (members_.size() < target_size_) {
+        members_.push_back(offspring);
+        return true;
+    }
+
+    // One pass: collect members the offspring dominates and check whether
+    // any member dominates the offspring. Replacement of a dominated
+    // member takes precedence over rejection (both can hold at once when
+    // the population carries mutually dominated members), keeping the rule
+    // order-independent.
+    std::vector<std::size_t> dominated;
+    bool offspring_dominated = false;
+    const double violation = offspring.total_violation();
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+        switch (compare_constrained(offspring.objectives, violation,
+                                    members_[i].objectives,
+                                    members_[i].total_violation())) {
+        case Dominance::kDominates:
+            dominated.push_back(i);
+            break;
+        case Dominance::kDominatedBy:
+            offspring_dominated = true;
+            break;
+        default:
+            break;
+        }
+    }
+    if (dominated.empty() && offspring_dominated) return false;
+    if (!dominated.empty()) {
+        const std::size_t victim =
+            dominated[static_cast<std::size_t>(rng.below(dominated.size()))];
+        members_[victim] = offspring;
+        return true;
+    }
+    const auto victim = static_cast<std::size_t>(rng.below(members_.size()));
+    members_[victim] = offspring;
+    return true;
+}
+
+void Population::append(Solution solution) {
+    members_.push_back(std::move(solution));
+}
+
+void Population::restore(std::vector<Solution> members, std::size_t target) {
+    set_target_size(target);
+    members_ = std::move(members);
+}
+
+const Solution& Population::random_member(util::Rng& rng) const {
+    if (members_.empty())
+        throw std::logic_error("population: random_member on empty population");
+    return members_[static_cast<std::size_t>(rng.below(members_.size()))];
+}
+
+const Solution& Population::tournament_select(std::size_t tournament_size,
+                                              util::Rng& rng) const {
+    if (members_.empty())
+        throw std::logic_error("population: tournament on empty population");
+    if (tournament_size == 0) tournament_size = 1;
+
+    const Solution* best =
+        &members_[static_cast<std::size_t>(rng.below(members_.size()))];
+    for (std::size_t round = 1; round < tournament_size; ++round) {
+        const Solution& challenger =
+            members_[static_cast<std::size_t>(rng.below(members_.size()))];
+        if (compare_constrained(challenger.objectives,
+                                challenger.total_violation(),
+                                best->objectives,
+                                best->total_violation()) ==
+            Dominance::kDominates)
+            best = &challenger;
+    }
+    return *best;
+}
+
+} // namespace borg::moea

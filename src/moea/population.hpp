@@ -1,0 +1,74 @@
+#ifndef BORG_MOEA_POPULATION_HPP
+#define BORG_MOEA_POPULATION_HPP
+
+/// \file population.hpp
+/// Borg's steady-state population with the ε-MOEA replacement rule.
+///
+/// The population has a target size that the restart machinery adapts at
+/// runtime (γ times the archive size). A newly evaluated offspring is
+/// injected one at a time:
+///  * while the population is below target size it is simply appended;
+///  * if it dominates one or more members, it replaces one of them at
+///    random (this takes precedence even when some other member dominates
+///    the offspring, keeping the rule independent of scan order);
+///  * else, if it is dominated by any member, it is discarded;
+///  * otherwise (mutually nondominated) it replaces a random member.
+/// This keeps the population size constant without generational sorting —
+/// the property that makes the algorithm natural to run asynchronously.
+
+#include <cstddef>
+#include <vector>
+
+#include "moea/dominance.hpp"
+#include "moea/solution.hpp"
+#include "util/rng.hpp"
+
+namespace borg::moea {
+
+class Population {
+public:
+    explicit Population(std::size_t target_size);
+
+    std::size_t size() const noexcept { return members_.size(); }
+    bool empty() const noexcept { return members_.empty(); }
+
+    std::size_t target_size() const noexcept { return target_size_; }
+    /// Changes the target size; a shrink does not evict members (the
+    /// steady-state replacement naturally converges back to target).
+    void set_target_size(std::size_t target);
+
+    const Solution& operator[](std::size_t i) const { return members_[i]; }
+
+    /// Steady-state injection per the rule above. Returns true if the
+    /// offspring entered the population.
+    bool inject(const Solution& offspring, util::Rng& rng);
+
+    /// Unconditional append (used for restart injection, which rebuilds the
+    /// population from the archive).
+    void append(Solution solution);
+
+    void clear() noexcept { members_.clear(); }
+
+    /// Uniform random member. Population must be non-empty.
+    const Solution& random_member(util::Rng& rng) const;
+
+    /// Tournament of \p tournament_size uniformly drawn members (with
+    /// replacement), decided by Pareto dominance; among mutually
+    /// nondominated contestants the earliest drawn wins (which, with random
+    /// draws, is an unbiased choice). Population must be non-empty.
+    const Solution& tournament_select(std::size_t tournament_size,
+                                      util::Rng& rng) const;
+
+    const std::vector<Solution>& members() const noexcept { return members_; }
+
+    /// Checkpoint restore: replaces contents and target wholesale.
+    void restore(std::vector<Solution> members, std::size_t target);
+
+private:
+    std::size_t target_size_;
+    std::vector<Solution> members_;
+};
+
+} // namespace borg::moea
+
+#endif

@@ -1,0 +1,70 @@
+#include "moea/restart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace borg::moea {
+
+RestartController::RestartController(RestartParams params)
+    : params_(params) {
+    if (params_.window == 0)
+        throw std::invalid_argument("restart: window must be >= 1");
+    if (params_.gamma < 1.0)
+        throw std::invalid_argument("restart: gamma must be >= 1");
+    if (params_.min_population == 0 ||
+        params_.max_population < params_.min_population)
+        throw std::invalid_argument("restart: bad population limits");
+}
+
+std::size_t RestartController::desired_population(
+    const EpsilonBoxArchive& archive) const {
+    const double ideal =
+        params_.gamma * static_cast<double>(std::max<std::size_t>(
+                            archive.size(), std::size_t{1}));
+    return std::clamp(static_cast<std::size_t>(std::llround(ideal)),
+                      params_.min_population, params_.max_population);
+}
+
+bool RestartController::should_restart(const EpsilonBoxArchive& archive,
+                                       const Population& population) {
+    if (++evaluations_since_check_ < params_.window) return false;
+    evaluations_since_check_ = 0;
+
+    // Stagnation: no new ε-box occupied during the whole window.
+    const std::uint64_t progress = archive.epsilon_progress();
+    const bool stagnated = progress == progress_at_last_check_;
+    progress_at_last_check_ = progress;
+    if (stagnated) return true;
+
+    // Ratio drift: population target far from γ times the archive size.
+    const auto desired = static_cast<double>(desired_population(archive));
+    const auto actual = static_cast<double>(population.target_size());
+    return std::abs(actual - desired) > params_.ratio_tolerance * desired;
+}
+
+std::size_t RestartController::perform_restart(
+    const EpsilonBoxArchive& archive, Population& population) {
+    ++restarts_;
+    const std::size_t new_size = desired_population(archive);
+
+    population.clear();
+    population.set_target_size(new_size);
+    for (std::size_t i = 0; i < archive.size(); ++i) {
+        if (population.size() >= new_size) break;
+        population.append(archive[i]);
+    }
+
+    evaluations_since_check_ = 0;
+    progress_at_last_check_ = archive.epsilon_progress();
+    return new_size - population.size();
+}
+
+std::size_t RestartController::tournament_size(
+    const Population& population) const {
+    const double raw =
+        params_.selection_ratio * static_cast<double>(population.target_size());
+    return std::max<std::size_t>(2, static_cast<std::size_t>(std::ceil(raw)));
+}
+
+} // namespace borg::moea

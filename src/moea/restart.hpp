@@ -1,0 +1,95 @@
+#ifndef BORG_MOEA_RESTART_HPP
+#define BORG_MOEA_RESTART_HPP
+
+/// \file restart.hpp
+/// Borg's preconvergence detection and randomized restarts.
+///
+/// Borg watches the ε-dominance archive: if no ε-progress (no newly
+/// occupied ε-box) is made over a window of evaluations, search has
+/// stagnated on a local front and a restart is triggered. Restarts also
+/// fire when the population-to-archive size ratio drifts far from the
+/// injection ratio γ, keeping selection pressure matched to the current
+/// front size.
+///
+/// A restart: empties the population; re-injects every archive member; then
+/// fills the population to γ·|archive| with archive members mutated by
+/// uniform mutation (probability 1/L). In this implementation the mutants
+/// flow through the algorithm's normal generate→evaluate→receive pipeline
+/// (RestartController reports how many to stage), which is exactly how the
+/// asynchronous master-slave version distributes them to workers. The
+/// tournament size is re-derived as a fixed fraction τ of the new
+/// population size, preserving selection pressure across re-sizing.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "moea/epsilon_archive.hpp"
+#include "moea/population.hpp"
+
+namespace borg::moea {
+
+struct RestartParams {
+    /// Evaluations between stagnation checks.
+    std::size_t window = 1000;
+    /// Population-to-archive injection ratio γ.
+    double gamma = 4.0;
+    /// Allowed relative drift of |population| / (γ |archive|) before a
+    /// ratio-triggered restart (paper lineage uses 25%).
+    double ratio_tolerance = 0.25;
+    /// Tournament size as a fraction τ of the population size.
+    double selection_ratio = 0.02;
+    /// Floor/ceiling for the adapted population size.
+    std::size_t min_population = 100;
+    std::size_t max_population = 10000;
+};
+
+class RestartController {
+public:
+    explicit RestartController(RestartParams params);
+
+    /// Called once per completed evaluation. Returns true when a restart
+    /// should fire (the caller then invokes perform_restart).
+    bool should_restart(const EpsilonBoxArchive& archive,
+                        const Population& population);
+
+    /// Executes the restart: clears the population, re-targets it to
+    /// γ·|archive| (clamped), re-injects the archive members, and resets
+    /// the stagnation window. Returns the number of mutated archive
+    /// members the caller must stage through its evaluation pipeline to
+    /// fill the population back to target.
+    std::size_t perform_restart(const EpsilonBoxArchive& archive,
+                                Population& population);
+
+    /// Tournament size implied by the current population target.
+    std::size_t tournament_size(const Population& population) const;
+
+    std::uint64_t restarts() const noexcept { return restarts_; }
+    const RestartParams& params() const noexcept { return params_; }
+
+    /// Checkpoint support.
+    std::size_t evaluations_since_check() const noexcept {
+        return evaluations_since_check_;
+    }
+    std::uint64_t progress_at_last_check() const noexcept {
+        return progress_at_last_check_;
+    }
+    void restore(std::size_t evaluations_since_check,
+                 std::uint64_t progress_at_last_check,
+                 std::uint64_t restarts) noexcept {
+        evaluations_since_check_ = evaluations_since_check;
+        progress_at_last_check_ = progress_at_last_check;
+        restarts_ = restarts;
+    }
+
+private:
+    std::size_t desired_population(const EpsilonBoxArchive& archive) const;
+
+    RestartParams params_;
+    std::size_t evaluations_since_check_ = 0;
+    std::uint64_t progress_at_last_check_ = 0;
+    std::uint64_t restarts_ = 0;
+};
+
+} // namespace borg::moea
+
+#endif

@@ -1,0 +1,30 @@
+#include "moea/selection.hpp"
+
+#include <stdexcept>
+
+namespace borg::moea {
+
+ParentView select_parents(std::size_t arity, const EpsilonBoxArchive& archive,
+                          const Population& population,
+                          std::size_t tournament_size, util::Rng& rng) {
+    if (arity == 0) throw std::invalid_argument("select_parents: arity 0");
+    if (population.empty())
+        throw std::logic_error("select_parents: empty population");
+
+    ParentView parents;
+    parents.reserve(arity);
+
+    if (!archive.empty()) {
+        const auto idx = static_cast<std::size_t>(rng.below(archive.size()));
+        parents.emplace_back(archive[idx].variables);
+    } else {
+        parents.emplace_back(
+            population.tournament_select(tournament_size, rng).variables);
+    }
+    while (parents.size() < arity)
+        parents.emplace_back(
+            population.tournament_select(tournament_size, rng).variables);
+    return parents;
+}
+
+} // namespace borg::moea

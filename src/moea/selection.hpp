@@ -1,0 +1,30 @@
+#ifndef BORG_MOEA_SELECTION_HPP
+#define BORG_MOEA_SELECTION_HPP
+
+/// \file selection.hpp
+/// Borg's parent selection: for a k-parent operator, one parent is drawn
+/// uniformly at random from the ε-dominance archive (anchoring search on the
+/// current Pareto approximation) and the remaining k - 1 come from the
+/// population by dominance tournaments.
+
+#include <vector>
+
+#include "moea/epsilon_archive.hpp"
+#include "moea/operators.hpp"
+#include "moea/population.hpp"
+
+namespace borg::moea {
+
+/// Selects parents for an operator of the given arity. The archive parent
+/// is placed first (parents[0]) so parent-centric operators center on it;
+/// when the archive is empty all parents come from the population.
+/// Returns views into the archive/population — do not mutate either while
+/// the views are live.
+ParentView select_parents(std::size_t arity,
+                          const EpsilonBoxArchive& archive,
+                          const Population& population,
+                          std::size_t tournament_size, util::Rng& rng);
+
+} // namespace borg::moea
+
+#endif

@@ -1,0 +1,31 @@
+#include "moea/solution.hpp"
+
+#include <algorithm>
+
+namespace borg::moea {
+
+Solution random_solution(const problems::Problem& problem, util::Rng& rng) {
+    Solution s;
+    s.variables.resize(problem.num_variables());
+    for (std::size_t i = 0; i < s.variables.size(); ++i)
+        s.variables[i] =
+            rng.uniform(problem.lower_bound(i), problem.upper_bound(i));
+    return s;
+}
+
+void evaluate(const problems::Problem& problem, Solution& solution) {
+    solution.objectives.resize(problem.num_objectives());
+    solution.constraints.resize(problem.num_constraints());
+    problem.evaluate(solution.variables, solution.objectives,
+                     solution.constraints);
+    solution.evaluated = true;
+}
+
+void clip_to_bounds(const problems::Problem& problem,
+                    std::vector<double>& variables) {
+    for (std::size_t i = 0; i < variables.size(); ++i)
+        variables[i] = std::clamp(variables[i], problem.lower_bound(i),
+                                  problem.upper_bound(i));
+}
+
+} // namespace borg::moea

@@ -1,0 +1,64 @@
+#ifndef BORG_MOEA_SOLUTION_HPP
+#define BORG_MOEA_SOLUTION_HPP
+
+/// \file solution.hpp
+/// Candidate solutions: a decision-variable vector plus (once evaluated) an
+/// objective vector, tagged with the search operator that produced it so the
+/// archive can credit operators for auto-adaptation.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "problems/problem.hpp"
+#include "util/rng.hpp"
+
+namespace borg::moea {
+
+/// Sentinel operator index for solutions not produced by a search operator
+/// (random initialization, restart injection).
+inline constexpr int kNoOperator = -1;
+
+struct Solution {
+    std::vector<double> variables;
+    std::vector<double> objectives;
+    /// Constraint violation magnitudes (empty for unconstrained problems;
+    /// 0 entries mean satisfied).
+    std::vector<double> constraints;
+    int operator_index = kNoOperator;
+    bool evaluated = false;
+
+    Solution() = default;
+    explicit Solution(std::vector<double> vars)
+        : variables(std::move(vars)) {}
+
+    /// Records the objective values computed by a worker.
+    void set_objectives(std::span<const double> values) {
+        objectives.assign(values.begin(), values.end());
+        evaluated = true;
+    }
+
+    /// Sum of constraint violations; 0 means feasible.
+    double total_violation() const {
+        double total = 0.0;
+        for (const double c : constraints)
+            if (c > 0.0) total += c;
+        return total;
+    }
+
+    bool feasible() const { return total_violation() == 0.0; }
+};
+
+/// Uniform random solution within the problem's bounds (unevaluated).
+Solution random_solution(const problems::Problem& problem, util::Rng& rng);
+
+/// Evaluates \p solution in place using \p problem.
+void evaluate(const problems::Problem& problem, Solution& solution);
+
+/// Clamps every variable into the problem's box (operators can overshoot).
+void clip_to_bounds(const problems::Problem& problem,
+                    std::vector<double>& variables);
+
+} // namespace borg::moea
+
+#endif

@@ -1,0 +1,272 @@
+#include "parallel/async_executor.hpp"
+
+#include <chrono>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "des/environment.hpp"
+#include "des/resource.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace borg::parallel {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point start) {
+    return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+/// Shared per-run state for the worker coroutines.
+struct ExecState {
+    moea::BorgMoea* algorithm = nullptr;
+    const problems::Problem* problem = nullptr;
+    const VirtualClusterConfig* config = nullptr;
+    des::Environment* env = nullptr;
+    TrajectoryRecorder* recorder = nullptr;
+    util::Rng rng{1};
+
+    std::uint64_t target = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    std::size_t failed_workers = 0;
+    double finish_time = 0.0;
+    double master_hold = 0.0;
+    stats::Accumulator queue_wait;
+    stats::Accumulator ta_applied;
+    stats::Accumulator tf_applied;
+
+    double sample_tf(std::size_t worker) {
+        const double speed = config->worker_speed.empty()
+                                 ? 1.0
+                                 : config->worker_speed[worker];
+        const double v = config->tf->sample(rng) * speed;
+        tf_applied.add(v);
+        return v;
+    }
+    double sample_tc() { return config->tc->sample(rng); }
+
+    double failure_time(std::size_t worker) const {
+        return config->worker_failure_at.empty()
+                   ? std::numeric_limits<double>::infinity()
+                   : config->worker_failure_at[worker];
+    }
+
+    /// The real master step: ingest the result and (if work remains)
+    /// produce the next offspring. Returns the applied T_A — sampled from
+    /// the configured distribution, or the measured CPU time of the step.
+    double master_step(moea::Solution result,
+                       std::optional<moea::Solution>& next_work) {
+        const auto start = SteadyClock::now();
+        algorithm->receive(std::move(result));
+        if (issued < target) {
+            next_work = algorithm->next_offspring();
+            ++issued;
+        }
+        const double measured = seconds_since(start);
+        const double ta = config->ta ? config->ta->sample(rng) : measured;
+        ta_applied.add(ta);
+        return ta;
+    }
+
+    void record() {
+        if (!recorder) return;
+        recorder->on_result(env->now(), completed, [this] {
+            return algorithm->archive().objective_vectors();
+        });
+    }
+};
+
+des::Process async_worker(ExecState& state, des::Resource& master,
+                          std::size_t index) {
+    des::Environment& env = *state.env;
+    const double fail_at = state.failure_time(index);
+    std::optional<moea::Solution> work;
+
+    // Initial assignment: the master sends the first offspring. Matching
+    // the simulation model, only the message cost T_C occupies the master
+    // here; generation cost is charged with the first result.
+    {
+        const double wait_start = env.now();
+        co_await master.acquire();
+        state.queue_wait.add(env.now() - wait_start);
+        if (state.issued < state.target) {
+            work = state.algorithm->next_offspring();
+            ++state.issued;
+        }
+        const double hold = state.sample_tc();
+        state.master_hold += hold;
+        co_await env.delay(hold);
+        master.release();
+    }
+
+    while (work) {
+        // Fault injection: a failed worker returns its claim to the pool
+        // (the master re-dispatches via a surviving worker's next
+        // interaction) and retires. The generated offspring is lost with
+        // the node.
+        if (env.now() >= fail_at) {
+            --state.issued;
+            ++state.failed_workers;
+            co_return;
+        }
+
+        // The worker evaluates the offspring: the objectives are computed
+        // for real, and the virtual clock advances by a sampled T_F
+        // (scaled by this worker's speed factor).
+        moea::evaluate(*state.problem, *work);
+        co_await env.delay(state.sample_tf(index));
+
+        const double wait_start = env.now();
+        co_await master.acquire();
+        state.queue_wait.add(env.now() - wait_start);
+
+        std::optional<moea::Solution> next_work;
+        const double ta = state.master_step(std::move(*work), next_work);
+        work = std::move(next_work);
+
+        const double hold = state.sample_tc() + ta + state.sample_tc();
+        state.master_hold += hold;
+        co_await env.delay(hold);
+        master.release();
+
+        ++state.completed;
+        state.record();
+        if (state.completed == state.target) {
+            state.finish_time = env.now();
+            env.stop();
+        }
+    }
+}
+
+VirtualRunResult collect(const ExecState& state, const des::Resource& master,
+                         double fallback_now) {
+    VirtualRunResult result;
+    result.evaluations = state.completed;
+    result.elapsed =
+        state.finish_time > 0.0 ? state.finish_time : fallback_now;
+    result.failed_workers = state.failed_workers;
+    result.master_busy_fraction =
+        result.elapsed > 0.0 ? state.master_hold / result.elapsed : 0.0;
+    result.mean_queue_wait = state.queue_wait.mean();
+    result.contention_rate =
+        master.total_acquires() > 0
+            ? static_cast<double>(master.contended_acquires()) /
+                  static_cast<double>(master.total_acquires())
+            : 0.0;
+    result.ta_applied.count = state.ta_applied.count();
+    result.ta_applied.mean = state.ta_applied.mean();
+    result.ta_applied.stddev = state.ta_applied.stddev();
+    result.ta_applied.min = state.ta_applied.min();
+    result.ta_applied.max = state.ta_applied.max();
+    result.tf_applied.count = state.tf_applied.count();
+    result.tf_applied.mean = state.tf_applied.mean();
+    result.tf_applied.stddev = state.tf_applied.stddev();
+    result.tf_applied.min = state.tf_applied.min();
+    result.tf_applied.max = state.tf_applied.max();
+    return result;
+}
+
+} // namespace
+
+AsyncMasterSlaveExecutor::AsyncMasterSlaveExecutor(
+    moea::BorgMoea& algorithm, const problems::Problem& problem,
+    VirtualClusterConfig config)
+    : algorithm_(algorithm), problem_(problem), config_(config) {
+    validate(config_);
+}
+
+VirtualRunResult AsyncMasterSlaveExecutor::run(std::uint64_t evaluations,
+                                               TrajectoryRecorder* recorder) {
+    if (evaluations == 0)
+        throw std::invalid_argument("async executor: evaluations == 0");
+    if (algorithm_.evaluations() != 0)
+        throw std::logic_error("async executor: algorithm already used");
+
+    des::Environment env;
+    des::Resource master(env, 1);
+    ExecState state;
+    state.algorithm = &algorithm_;
+    state.problem = &problem_;
+    state.config = &config_;
+    state.env = &env;
+    state.recorder = recorder;
+    state.rng = util::Rng(config_.seed);
+    state.target = evaluations;
+
+    const std::uint64_t workers = config_.processors - 1;
+    for (std::uint64_t w = 0; w < workers; ++w)
+        env.spawn(async_worker(state, master, static_cast<std::size_t>(w)));
+    env.run();
+
+    VirtualRunResult result = collect(state, master, env.now());
+    if (recorder)
+        recorder->finalize(result.elapsed, state.completed, [&] {
+            return algorithm_.archive().objective_vectors();
+        });
+    return result;
+}
+
+VirtualRunResult run_serial_virtual(moea::BorgMoea& algorithm,
+                                    const problems::Problem& problem,
+                                    const VirtualClusterConfig& config,
+                                    std::uint64_t evaluations,
+                                    TrajectoryRecorder* recorder) {
+    if (!config.tf)
+        throw std::invalid_argument("serial virtual: missing T_F distribution");
+    if (evaluations == 0)
+        throw std::invalid_argument("serial virtual: evaluations == 0");
+
+    util::Rng rng(config.seed);
+    stats::Accumulator ta_acc, tf_acc;
+    double now = 0.0;
+
+    for (std::uint64_t i = 0; i < evaluations; ++i) {
+        const auto t0 = SteadyClock::now();
+        moea::Solution offspring = algorithm.next_offspring();
+        const auto t1 = SteadyClock::now();
+        moea::evaluate(problem, offspring);
+        const auto t2 = SteadyClock::now();
+        algorithm.receive(std::move(offspring));
+        const auto t3 = SteadyClock::now();
+        // Measured T_A covers generate + receive, excluding the real
+        // evaluation in the middle (that time belongs to T_F).
+        const double generate_and_receive =
+            std::chrono::duration<double>((t1 - t0) + (t3 - t2)).count();
+        const double ta = config.ta ? config.ta->sample(rng)
+                                    : generate_and_receive;
+        const double tf = config.tf->sample(rng);
+        ta_acc.add(ta);
+        tf_acc.add(tf);
+        now += tf + ta;
+        if (recorder)
+            recorder->on_result(now, i + 1, [&] {
+                return algorithm.archive().objective_vectors();
+            });
+    }
+
+    VirtualRunResult result;
+    result.evaluations = evaluations;
+    result.elapsed = now;
+    result.master_busy_fraction = 1.0;
+    result.ta_applied.count = ta_acc.count();
+    result.ta_applied.mean = ta_acc.mean();
+    result.ta_applied.stddev = ta_acc.stddev();
+    result.ta_applied.min = ta_acc.min();
+    result.ta_applied.max = ta_acc.max();
+    result.tf_applied.count = tf_acc.count();
+    result.tf_applied.mean = tf_acc.mean();
+    result.tf_applied.stddev = tf_acc.stddev();
+    result.tf_applied.min = tf_acc.min();
+    result.tf_applied.max = tf_acc.max();
+    if (recorder)
+        recorder->finalize(now, evaluations, [&] {
+            return algorithm.archive().objective_vectors();
+        });
+    return result;
+}
+
+} // namespace borg::parallel

@@ -1,0 +1,67 @@
+#ifndef BORG_PARALLEL_MESSAGE_HPP
+#define BORG_PARALLEL_MESSAGE_HPP
+
+/// \file message.hpp
+/// Blocking message channels for the real-thread master-slave executor.
+///
+/// The paper's implementation moved decision variables and objectives
+/// between the master and workers as fixed-size MPI messages. Here the
+/// transport is in-process: a mutex/condition-variable channel with the
+/// same semantics as a matched MPI_Send/MPI_Recv pair. The master owns one
+/// send channel per worker and all workers share one result channel, which
+/// is exactly the MPI_ANY_SOURCE receive loop of the original.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace borg::parallel {
+
+/// Unbounded MPSC/SPSC blocking queue. close() wakes all receivers;
+/// receive() returns std::nullopt once the channel is closed and drained.
+template <typename T>
+class Channel {
+public:
+    Channel() = default;
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
+
+    void send(T value) {
+        {
+            const std::lock_guard lock(mutex_);
+            if (closed_) return; // messages to a closed channel are dropped
+            queue_.push_back(std::move(value));
+        }
+        ready_.notify_one();
+    }
+
+    /// Blocks until a message arrives or the channel is closed and empty.
+    std::optional<T> receive() {
+        std::unique_lock lock(mutex_);
+        ready_.wait(lock, [&] { return !queue_.empty() || closed_; });
+        if (queue_.empty()) return std::nullopt;
+        T value = std::move(queue_.front());
+        queue_.pop_front();
+        return value;
+    }
+
+    void close() {
+        {
+            const std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+private:
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<T> queue_;
+    bool closed_ = false;
+};
+
+} // namespace borg::parallel
+
+#endif

@@ -1,0 +1,200 @@
+#include "parallel/multi_master.hpp"
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+
+#include "des/environment.hpp"
+#include "des/resource.hpp"
+#include "util/rng.hpp"
+
+namespace borg::parallel {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+struct Island;
+
+/// Run-global state shared by all islands.
+struct Global {
+    const MultiMasterConfig* config = nullptr;
+    des::Environment* env = nullptr;
+    std::uint64_t target = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t migrations = 0;
+    double finish_time = 0.0;
+    std::vector<std::unique_ptr<Island>> islands;
+
+    bool claim() {
+        if (dispatched >= target) return false;
+        ++dispatched;
+        return true;
+    }
+
+    void complete() {
+        if (++completed == target) {
+            finish_time = env->now();
+            env->stop();
+        }
+    }
+};
+
+struct Island {
+    std::size_t index = 0;
+    std::unique_ptr<moea::BorgMoea> algorithm;
+    std::unique_ptr<des::Resource> master;
+    util::Rng rng{1};
+    std::uint64_t evaluations = 0;
+    std::uint64_t since_migration = 0;
+    double master_hold = 0.0;
+
+    double tf(const Global& g) { return g.config->cluster.tf->sample(rng); }
+    double tc(const Global& g) { return g.config->cluster.tc->sample(rng); }
+
+    /// Applied T_A: sampled, or measured from the real master step the
+    /// caller just timed.
+    double ta(const Global& g, double measured) {
+        return g.config->cluster.ta ? g.config->cluster.ta->sample(rng)
+                                    : measured;
+    }
+};
+
+/// Delivers one migrant into the target island through its master.
+des::Process migrate(Global& global, Island& from, Island& to) {
+    des::Environment& env = *global.env;
+    const auto& archive = from.algorithm->archive();
+    if (archive.empty()) co_return;
+    moea::Solution migrant =
+        archive[static_cast<std::size_t>(from.rng.below(archive.size()))];
+
+    co_await to.master->acquire();
+    const auto start = SteadyClock::now();
+    to.algorithm->receive(std::move(migrant));
+    const double measured =
+        std::chrono::duration<double>(SteadyClock::now() - start).count();
+    const double hold = to.tc(global) + to.ta(global, measured);
+    to.master_hold += hold;
+    co_await env.delay(hold);
+    to.master->release();
+    ++global.migrations;
+}
+
+des::Process island_worker(Global& global, Island& island) {
+    des::Environment& env = *global.env;
+    std::optional<moea::Solution> work;
+
+    // Initial assignment from this island's master.
+    {
+        co_await island.master->acquire();
+        if (global.claim()) work = island.algorithm->next_offspring();
+        const double hold = island.tc(global);
+        island.master_hold += hold;
+        co_await env.delay(hold);
+        island.master->release();
+    }
+
+    const problems::Problem& problem = island.algorithm->problem();
+    while (work) {
+        moea::evaluate(problem, *work);
+        co_await env.delay(island.tf(global));
+
+        co_await island.master->acquire();
+        const auto start = SteadyClock::now();
+        island.algorithm->receive(std::move(*work));
+        work.reset();
+        if (global.claim()) work = island.algorithm->next_offspring();
+        const double measured =
+            std::chrono::duration<double>(SteadyClock::now() - start)
+                .count();
+        const double hold = island.tc(global) +
+                            island.ta(global, measured) + island.tc(global);
+        island.master_hold += hold;
+        co_await env.delay(hold);
+        island.master->release();
+
+        ++island.evaluations;
+        ++island.since_migration;
+        global.complete();
+
+        const std::uint64_t interval = global.config->migration_interval;
+        if (interval > 0 && island.since_migration >= interval &&
+            global.islands.size() > 1) {
+            island.since_migration = 0;
+            Island& neighbour =
+                *global.islands[(island.index + 1) % global.islands.size()];
+            env.spawn(migrate(global, island, neighbour));
+        }
+    }
+}
+
+} // namespace
+
+MultiMasterExecutor::MultiMasterExecutor(const problems::Problem& problem,
+                                         moea::BorgParams params,
+                                         MultiMasterConfig config)
+    : problem_(problem), params_(std::move(params)), config_(config) {
+    validate(config_.cluster);
+    if (config_.islands == 0)
+        throw std::invalid_argument("multi-master: need >= 1 island");
+    if (config_.cluster.processors < 2 * config_.islands)
+        throw std::invalid_argument(
+            "multi-master: need >= 2 processors per island");
+}
+
+MultiMasterResult MultiMasterExecutor::run(std::uint64_t evaluations) {
+    if (evaluations == 0)
+        throw std::invalid_argument("multi-master: evaluations == 0");
+    if (used_) throw std::logic_error("multi-master: executor already used");
+    used_ = true;
+
+    des::Environment env;
+    Global global;
+    global.config = &config_;
+    global.env = &env;
+    global.target = evaluations;
+
+    // Split processors: each island gets a master; workers are distributed
+    // as evenly as possible.
+    const std::uint64_t islands = config_.islands;
+    const std::uint64_t total_workers = config_.cluster.processors - islands;
+    for (std::size_t i = 0; i < islands; ++i) {
+        auto island = std::make_unique<Island>();
+        island->index = i;
+        island->algorithm = std::make_unique<moea::BorgMoea>(
+            problem_, params_,
+            util::derive_seed(config_.cluster.seed, i, 100));
+        island->master = std::make_unique<des::Resource>(env, 1);
+        island->rng =
+            util::Rng(util::derive_seed(config_.cluster.seed, i, 200));
+        global.islands.push_back(std::move(island));
+    }
+    for (std::size_t i = 0; i < islands; ++i) {
+        const std::uint64_t workers =
+            total_workers / islands + (i < total_workers % islands ? 1 : 0);
+        for (std::uint64_t w = 0; w < workers; ++w)
+            env.spawn(island_worker(global, *global.islands[i]));
+    }
+    env.run();
+
+    MultiMasterResult result;
+    result.evaluations = global.completed;
+    result.elapsed =
+        global.finish_time > 0.0 ? global.finish_time : env.now();
+    result.migrations = global.migrations;
+
+    moea::EpsilonBoxArchive combined(params_.epsilons);
+    for (const auto& island : global.islands) {
+        result.island_evaluations.push_back(island->evaluations);
+        result.island_busy_fraction.push_back(
+            result.elapsed > 0.0 ? island->master_hold / result.elapsed
+                                 : 0.0);
+        for (const moea::Solution& s : island->algorithm->archive().solutions())
+            combined.add(s);
+    }
+    result.combined_archive = combined.solutions();
+    return result;
+}
+
+} // namespace borg::parallel

@@ -1,0 +1,134 @@
+#include "parallel/sync_executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace borg::parallel {
+
+SyncMasterSlaveExecutor::SyncMasterSlaveExecutor(
+    moea::GenerationalMoea& algorithm, const problems::Problem& problem,
+    VirtualClusterConfig config)
+    : algorithm_(algorithm), problem_(problem), config_(config) {
+    validate(config_);
+}
+
+VirtualRunResult SyncMasterSlaveExecutor::run(std::uint64_t evaluations,
+                                              TrajectoryRecorder* recorder) {
+    if (evaluations == 0)
+        throw std::invalid_argument("sync executor: evaluations == 0");
+    if (algorithm_.evaluations() != 0)
+        throw std::logic_error("sync executor: algorithm already used");
+
+    using SteadyClock = std::chrono::steady_clock;
+    util::Rng rng(config_.seed);
+    const std::uint64_t p = config_.processors;
+
+    double now = 0.0;
+    double master_busy = 0.0;
+    stats::Accumulator queue_wait, ta_acc, tf_acc;
+    std::uint64_t completed = 0;
+    std::uint64_t contended = 0;
+    std::uint64_t acquires = 0;
+
+    while (completed < evaluations) {
+        std::vector<moea::Solution> generation = algorithm_.next_generation();
+        const std::size_t batch = generation.size();
+        if (batch == 0)
+            throw std::logic_error("sync executor: empty generation");
+
+        // Round-robin assignment; node 0 is the master.
+        const std::uint64_t nodes =
+            std::min<std::uint64_t>(p, static_cast<std::uint64_t>(batch));
+        std::vector<double> node_eval(nodes, 0.0); // summed T_F per node
+        for (std::size_t i = 0; i < batch; ++i) {
+            moea::evaluate(problem_, generation[i]);
+            const std::size_t node = i % nodes;
+            // Node 0 is the master (nominal speed); workers may be
+            // heterogeneous (worker w = node w - 1).
+            const double speed =
+                (node == 0 || config_.worker_speed.empty())
+                    ? 1.0
+                    : config_.worker_speed[node - 1];
+            const double tf = config_.tf->sample(rng) * speed;
+            tf_acc.add(tf);
+            node_eval[node] += tf;
+        }
+
+        // Serialized sends to the participating workers (nodes 1..).
+        double send_clock = now;
+        std::vector<double> done_times;
+        done_times.reserve(nodes > 0 ? nodes - 1 : 0);
+        for (std::uint64_t w = 1; w < nodes; ++w) {
+            const double tc = config_.tc->sample(rng);
+            send_clock += tc;
+            master_busy += tc;
+            done_times.push_back(send_clock + node_eval[w]);
+        }
+        // The master evaluates its own share after the sends.
+        const double master_done = send_clock + node_eval[0];
+
+        // Serialized receives in completion order, gated by the master's
+        // own evaluation.
+        std::sort(done_times.begin(), done_times.end());
+        double recv_clock = master_done;
+        for (const double done : done_times) {
+            ++acquires;
+            const double start = std::max(recv_clock, done);
+            if (recv_clock > done) ++contended;
+            queue_wait.add(start - done);
+            const double tc = config_.tc->sample(rng);
+            master_busy += tc;
+            recv_clock = start + tc;
+        }
+
+        // Whole-generation processing: measured, or one T_A per offspring.
+        const auto t0 = SteadyClock::now();
+        algorithm_.receive_generation(std::move(generation));
+        const double measured =
+            std::chrono::duration<double>(SteadyClock::now() - t0).count();
+        double ta_sync = 0.0;
+        if (config_.ta) {
+            for (std::size_t i = 0; i < batch; ++i)
+                ta_sync += config_.ta->sample(rng);
+        } else {
+            ta_sync = measured;
+        }
+        ta_acc.add(ta_sync / static_cast<double>(batch));
+        master_busy += ta_sync;
+        now = recv_clock + ta_sync;
+
+        completed += batch;
+        if (recorder)
+            recorder->on_result(now, completed,
+                                [&] { return algorithm_.front(); });
+    }
+
+    VirtualRunResult result;
+    result.evaluations = completed;
+    result.elapsed = now;
+    result.master_busy_fraction = now > 0.0 ? master_busy / now : 0.0;
+    result.mean_queue_wait = queue_wait.mean();
+    result.contention_rate =
+        acquires > 0
+            ? static_cast<double>(contended) / static_cast<double>(acquires)
+            : 0.0;
+    result.ta_applied.count = ta_acc.count();
+    result.ta_applied.mean = ta_acc.mean();
+    result.ta_applied.stddev = ta_acc.stddev();
+    result.ta_applied.min = ta_acc.min();
+    result.ta_applied.max = ta_acc.max();
+    result.tf_applied.count = tf_acc.count();
+    result.tf_applied.mean = tf_acc.mean();
+    result.tf_applied.stddev = tf_acc.stddev();
+    result.tf_applied.min = tf_acc.min();
+    result.tf_applied.max = tf_acc.max();
+    if (recorder)
+        recorder->finalize(now, completed, [&] { return algorithm_.front(); });
+    return result;
+}
+
+} // namespace borg::parallel

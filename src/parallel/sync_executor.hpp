@@ -1,0 +1,47 @@
+#ifndef BORG_PARALLEL_SYNC_EXECUTOR_HPP
+#define BORG_PARALLEL_SYNC_EXECUTOR_HPP
+
+/// \file sync_executor.hpp
+/// The synchronous (generational) master-slave MOEA on the virtual-time
+/// cluster — the Figure 1 protocol.
+///
+/// Each generation: the master sends one message per participating worker
+/// (serialized T_C), every node — master included — evaluates its share of
+/// the generation, results return through serialized T_C receives (the
+/// master cannot receive while still evaluating its own offspring), and
+/// the whole generation is processed at once (T_A^sync: one T_A per
+/// offspring, or the measured receive_generation time). The generation
+/// barrier is what the asynchronous design removes; running both executors
+/// over the same problem quantifies the cost of that barrier, including
+/// its sensitivity to highly variable T_F (Section VI-B's final point).
+
+#include <cstdint>
+
+#include "moea/nsga2.hpp"
+#include "parallel/trajectory.hpp"
+#include "parallel/virtual_cluster.hpp"
+
+namespace borg::parallel {
+
+class SyncMasterSlaveExecutor {
+public:
+    /// \p algorithm must be freshly constructed; offspring are assigned to
+    /// nodes round-robin (node 0 is the master).
+    SyncMasterSlaveExecutor(moea::GenerationalMoea& algorithm,
+                            const problems::Problem& problem,
+                            VirtualClusterConfig config);
+
+    /// Runs whole generations until at least \p evaluations results have
+    /// been ingested (the final generation is not truncated).
+    VirtualRunResult run(std::uint64_t evaluations,
+                         TrajectoryRecorder* recorder = nullptr);
+
+private:
+    moea::GenerationalMoea& algorithm_;
+    const problems::Problem& problem_;
+    VirtualClusterConfig config_;
+};
+
+} // namespace borg::parallel
+
+#endif

@@ -1,0 +1,113 @@
+#include "parallel/thread_executor.hpp"
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "parallel/message.hpp"
+
+namespace borg::parallel {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+struct WorkMessage {
+    moea::Solution solution;
+};
+
+struct ResultMessage {
+    std::size_t worker = 0;
+    moea::Solution solution;
+    SteadyClock::time_point sent_at;
+};
+
+} // namespace
+
+ThreadMasterSlaveExecutor::ThreadMasterSlaveExecutor(std::size_t workers)
+    : workers_(workers) {
+    if (workers == 0)
+        throw std::invalid_argument("thread executor: need >= 1 worker");
+}
+
+ThreadRunResult ThreadMasterSlaveExecutor::run(
+    moea::BorgMoea& algorithm, const problems::Problem& problem,
+    std::uint64_t evaluations) {
+    if (evaluations == 0)
+        throw std::invalid_argument("thread executor: evaluations == 0");
+    if (algorithm.evaluations() != 0)
+        throw std::logic_error("thread executor: algorithm already used");
+
+    std::vector<std::unique_ptr<Channel<WorkMessage>>> work_channels;
+    work_channels.reserve(workers_);
+    for (std::size_t w = 0; w < workers_; ++w)
+        work_channels.push_back(std::make_unique<Channel<WorkMessage>>());
+    Channel<ResultMessage> results;
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers_);
+    for (std::size_t w = 0; w < workers_; ++w) {
+        threads.emplace_back([&, w] {
+            Channel<WorkMessage>& inbox = *work_channels[w];
+            for (;;) {
+                std::optional<WorkMessage> message = inbox.receive();
+                if (!message) return; // channel closed: shut down
+                moea::evaluate(problem, message->solution);
+                results.send(ResultMessage{w, std::move(message->solution),
+                                           SteadyClock::now()});
+            }
+        });
+    }
+
+    ThreadRunResult run_result;
+    run_result.ta_samples.reserve(evaluations);
+    run_result.tc_samples.reserve(evaluations);
+
+    const auto run_start = SteadyClock::now();
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+
+    // Seed every worker with initial work.
+    for (std::size_t w = 0; w < workers_ && issued < evaluations; ++w) {
+        work_channels[w]->send(WorkMessage{algorithm.next_offspring()});
+        ++issued;
+    }
+
+    while (completed < evaluations) {
+        std::optional<ResultMessage> result = results.receive();
+        if (!result)
+            throw std::logic_error("thread executor: result channel closed");
+        run_result.tc_samples.push_back(
+            std::chrono::duration<double>(SteadyClock::now() -
+                                          result->sent_at)
+                .count());
+
+        const auto ta_start = SteadyClock::now();
+        algorithm.receive(std::move(result->solution));
+        std::optional<moea::Solution> next;
+        if (issued < evaluations) {
+            next = algorithm.next_offspring();
+            ++issued;
+        }
+        run_result.ta_samples.push_back(
+            std::chrono::duration<double>(SteadyClock::now() - ta_start)
+                .count());
+
+        if (next)
+            work_channels[result->worker]->send(
+                WorkMessage{std::move(*next)});
+        ++completed;
+    }
+
+    for (auto& channel : work_channels) channel->close();
+    for (std::thread& t : threads) t.join();
+
+    run_result.elapsed =
+        std::chrono::duration<double>(SteadyClock::now() - run_start).count();
+    run_result.evaluations = completed;
+    return run_result;
+}
+
+} // namespace borg::parallel

@@ -1,0 +1,61 @@
+#ifndef BORG_PARALLEL_THREAD_EXECUTOR_HPP
+#define BORG_PARALLEL_THREAD_EXECUTOR_HPP
+
+/// \file thread_executor.hpp
+/// A physical asynchronous master-slave executor using std::thread workers
+/// and message channels — the in-process stand-in for the paper's OpenMPI
+/// deployment (DESIGN.md §2).
+///
+/// Protocol (identical to the MPI implementation):
+///  * the master seeds every worker with one offspring;
+///  * workers loop: receive work, evaluate (a DelayedProblem physically
+///    blocks for the sampled T_F), send the result back;
+///  * the master blocks on the shared result channel (MPI_ANY_SOURCE),
+///    ingests each result, and immediately dispatches fresh work to that
+///    worker — no barriers anywhere.
+///
+/// Besides demonstrating the production path at workstation scale, this
+/// executor is the measurement instrument of the model-calibration
+/// workflow: it records real T_A samples (master processing time per
+/// result) and per-message channel latencies, which stats::fit_all turns
+/// into the distributions the simulation model consumes — the paper's
+/// "collect timings on Ranger, fit with R" step.
+
+#include <cstdint>
+#include <vector>
+
+#include "moea/borg.hpp"
+#include "problems/problem.hpp"
+
+namespace borg::parallel {
+
+struct ThreadRunResult {
+    double elapsed = 0.0; ///< wall-clock seconds
+    std::uint64_t evaluations = 0;
+    /// Measured master processing time (receive + generate) per result.
+    std::vector<double> ta_samples;
+    /// Measured one-way result-channel latencies (send timestamp to
+    /// master pickup), the physical analogue of T_C.
+    std::vector<double> tc_samples;
+};
+
+class ThreadMasterSlaveExecutor {
+public:
+    /// \p workers physical worker threads (>= 1); total "processors" is
+    /// workers + 1 (the calling thread acts as the master).
+    explicit ThreadMasterSlaveExecutor(std::size_t workers);
+
+    /// Runs the algorithm for \p evaluations results. \p problem is
+    /// evaluated concurrently from the worker threads and must be
+    /// thread-safe.
+    ThreadRunResult run(moea::BorgMoea& algorithm,
+                        const problems::Problem& problem,
+                        std::uint64_t evaluations);
+
+private:
+    std::size_t workers_;
+};
+
+} // namespace borg::parallel
+
+#endif

@@ -1,0 +1,31 @@
+#include "parallel/virtual_cluster.hpp"
+
+#include <stdexcept>
+
+namespace borg::parallel {
+
+void validate(const VirtualClusterConfig& config) {
+    if (config.processors < 2)
+        throw std::invalid_argument(
+            "virtual cluster: need P >= 2 (1 master + 1 worker)");
+    if (!config.tf)
+        throw std::invalid_argument("virtual cluster: missing T_F distribution");
+    if (!config.tc)
+        throw std::invalid_argument("virtual cluster: missing T_C distribution");
+    const std::size_t workers =
+        static_cast<std::size_t>(config.processors - 1);
+    if (!config.worker_speed.empty() &&
+        config.worker_speed.size() != workers)
+        throw std::invalid_argument(
+            "virtual cluster: worker_speed size must equal worker count");
+    for (const double speed : config.worker_speed)
+        if (!(speed > 0.0))
+            throw std::invalid_argument(
+                "virtual cluster: worker speeds must be positive");
+    if (!config.worker_failure_at.empty() &&
+        config.worker_failure_at.size() != workers)
+        throw std::invalid_argument(
+            "virtual cluster: worker_failure_at size must equal worker count");
+}
+
+} // namespace borg::parallel

@@ -1,0 +1,82 @@
+#include "problems/delayed.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace borg::problems {
+
+DelayedProblem::DelayedProblem(std::shared_ptr<const Problem> inner,
+                               std::unique_ptr<stats::Distribution> delay,
+                               std::uint64_t seed, bool physically_sleep)
+    : inner_(std::move(inner)),
+      delay_(std::move(delay)),
+      seed_(seed),
+      physically_sleep_(physically_sleep) {
+    if (!inner_) throw std::invalid_argument("DelayedProblem: null inner");
+    if (!delay_) throw std::invalid_argument("DelayedProblem: null delay");
+}
+
+std::string DelayedProblem::name() const {
+    return inner_->name() + "+delay";
+}
+
+std::size_t DelayedProblem::num_variables() const {
+    return inner_->num_variables();
+}
+
+std::size_t DelayedProblem::num_objectives() const {
+    return inner_->num_objectives();
+}
+
+double DelayedProblem::lower_bound(std::size_t i) const {
+    return inner_->lower_bound(i);
+}
+
+double DelayedProblem::upper_bound(std::size_t i) const {
+    return inner_->upper_bound(i);
+}
+
+util::Rng& DelayedProblem::thread_rng() const {
+    // One RNG stream per evaluating thread, seeded deterministically from
+    // the wrapper seed and a monotonically assigned thread index. The
+    // thread_local cache is keyed by wrapper identity via a raw pointer so
+    // distinct wrappers on the same thread do not share streams.
+    struct Slot {
+        const DelayedProblem* owner = nullptr;
+        util::Rng rng{0};
+    };
+    thread_local Slot slot;
+    if (slot.owner != this) {
+        slot.owner = this;
+        const std::uint64_t stream =
+            next_stream_.fetch_add(1, std::memory_order_relaxed);
+        slot.rng = util::Rng(util::derive_seed(seed_, stream));
+    }
+    return slot.rng;
+}
+
+double DelayedProblem::sample_delay() const {
+    return delay_->sample(thread_rng());
+}
+
+void DelayedProblem::evaluate(std::span<const double> variables,
+                              std::span<double> objectives) const {
+    inner_->evaluate(variables, objectives);
+    if (physically_sleep_) precise_sleep(sample_delay());
+}
+
+void precise_sleep(double seconds) {
+    using clock = std::chrono::steady_clock;
+    if (seconds <= 0.0) return;
+    const auto deadline =
+        clock::now() + std::chrono::duration_cast<clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    // Sleep for all but the last ~200 us, then spin to the deadline.
+    const auto spin_margin = std::chrono::microseconds(200);
+    if (deadline - clock::now() > spin_margin)
+        std::this_thread::sleep_until(deadline - spin_margin);
+    while (clock::now() < deadline) std::this_thread::yield();
+}
+
+} // namespace borg::problems

@@ -1,0 +1,70 @@
+#ifndef BORG_PROBLEMS_DELAYED_HPP
+#define BORG_PROBLEMS_DELAYED_HPP
+
+/// \file delayed.hpp
+/// Controlled-delay problem wrapper.
+///
+/// The paper's experiments wrap DTLZ2 and UF11 (whose native evaluation time
+/// is < 1 microsecond) with controlled delays of 0.001 / 0.01 / 0.1 seconds
+/// (coefficient of variation 0.1) so that T_F can be swept relative to T_C
+/// and T_A. This wrapper serves two roles:
+///
+///  * In the *real-thread* executor it physically blocks the calling worker
+///    thread for the sampled duration (wall-clock sleep), reproducing an
+///    expensive black-box evaluation.
+///  * In the *virtual-time* executor the sleep is skipped; the executor
+///    calls sample_delay() itself and advances the simulated clock instead.
+///
+/// Sampling is thread-safe: each evaluating thread gets its own RNG stream
+/// derived deterministically from the wrapper seed and a per-thread index.
+
+#include <atomic>
+#include <memory>
+
+#include "problems/problem.hpp"
+#include "stats/distribution.hpp"
+
+namespace borg::problems {
+
+class DelayedProblem final : public Problem {
+public:
+    /// Wraps \p inner. \p delay describes T_F; \p seed fixes the sampling
+    /// streams. When \p physically_sleep is false, evaluate() computes the
+    /// objectives but does not block (virtual-time mode).
+    DelayedProblem(std::shared_ptr<const Problem> inner,
+                   std::unique_ptr<stats::Distribution> delay,
+                   std::uint64_t seed, bool physically_sleep = true);
+
+    std::string name() const override;
+    std::size_t num_variables() const override;
+    std::size_t num_objectives() const override;
+    double lower_bound(std::size_t i) const override;
+    double upper_bound(std::size_t i) const override;
+
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+
+    /// Draws one T_F value from the delay distribution (thread-safe).
+    double sample_delay() const;
+
+    const stats::Distribution& delay_distribution() const { return *delay_; }
+    const Problem& inner() const { return *inner_; }
+
+private:
+    util::Rng& thread_rng() const;
+
+    std::shared_ptr<const Problem> inner_;
+    std::unique_ptr<stats::Distribution> delay_;
+    std::uint64_t seed_;
+    bool physically_sleep_;
+    mutable std::atomic<std::uint64_t> next_stream_{0};
+};
+
+/// Busy-wait / sleep hybrid: sleeps for the bulk of \p seconds and spins for
+/// the tail so short controlled delays (1 ms) are honored with reasonable
+/// accuracy despite OS timer granularity.
+void precise_sleep(double seconds);
+
+} // namespace borg::problems
+
+#endif

@@ -1,0 +1,220 @@
+#include "problems/dtlz.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+namespace borg::problems {
+
+namespace {
+constexpr double kHalfPi = std::numbers::pi / 2.0;
+
+/// DTLZ1/DTLZ3's multimodal distance function over the last k variables.
+double g_multimodal(std::span<const double> xs, std::size_t start) {
+    double g = 0.0;
+    for (std::size_t i = start; i < xs.size(); ++i) {
+        const double d = xs[i] - 0.5;
+        g += d * d - std::cos(20.0 * std::numbers::pi * d);
+    }
+    const auto k = static_cast<double>(xs.size() - start);
+    return 100.0 * (k + g);
+}
+
+/// DTLZ2/DTLZ4's unimodal distance function.
+double g_sphere(std::span<const double> xs, std::size_t start) {
+    double g = 0.0;
+    for (std::size_t i = start; i < xs.size(); ++i) {
+        const double d = xs[i] - 0.5;
+        g += d * d;
+    }
+    return g;
+}
+
+} // namespace
+
+Dtlz::Dtlz(std::size_t num_objectives, std::size_t k)
+    : num_objectives_(num_objectives),
+      k_(k),
+      num_variables_(num_objectives - 1 + k) {
+    if (num_objectives < 2)
+        throw std::invalid_argument("DTLZ: need at least 2 objectives");
+    if (k < 1) throw std::invalid_argument("DTLZ: need k >= 1");
+}
+
+// ------------------------------------------------------------------- DTLZ1
+
+Dtlz1::Dtlz1(std::size_t num_objectives, std::size_t k)
+    : Dtlz(num_objectives, k) {}
+
+std::string Dtlz1::name() const {
+    return "DTLZ1_" + std::to_string(num_objectives_);
+}
+
+void Dtlz1::evaluate(std::span<const double> x,
+                     std::span<double> f) const {
+    assert(x.size() == num_variables_ && f.size() >= num_objectives_);
+    const std::size_t m = num_objectives_;
+    const double g = g_multimodal(x, m - 1);
+    for (std::size_t i = 0; i < m; ++i) {
+        double value = 0.5 * (1.0 + g);
+        for (std::size_t j = 0; j < m - 1 - i; ++j) value *= x[j];
+        if (i > 0) value *= 1.0 - x[m - 1 - i];
+        f[i] = value;
+    }
+}
+
+// ------------------------------------------------------------------- DTLZ2
+
+Dtlz2::Dtlz2(std::size_t num_objectives, std::size_t k)
+    : Dtlz(num_objectives, k) {}
+
+std::string Dtlz2::name() const {
+    return "DTLZ2_" + std::to_string(num_objectives_);
+}
+
+void Dtlz2::evaluate(std::span<const double> x,
+                     std::span<double> f) const {
+    assert(x.size() == num_variables_ && f.size() >= num_objectives_);
+    const std::size_t m = num_objectives_;
+    const double g = g_sphere(x, m - 1);
+    for (std::size_t i = 0; i < m; ++i) {
+        double value = 1.0 + g;
+        for (std::size_t j = 0; j < m - 1 - i; ++j)
+            value *= std::cos(x[j] * kHalfPi);
+        if (i > 0) value *= std::sin(x[m - 1 - i] * kHalfPi);
+        f[i] = value;
+    }
+}
+
+// ------------------------------------------------------------------- DTLZ3
+
+Dtlz3::Dtlz3(std::size_t num_objectives, std::size_t k)
+    : Dtlz(num_objectives, k) {}
+
+std::string Dtlz3::name() const {
+    return "DTLZ3_" + std::to_string(num_objectives_);
+}
+
+void Dtlz3::evaluate(std::span<const double> x,
+                     std::span<double> f) const {
+    assert(x.size() == num_variables_ && f.size() >= num_objectives_);
+    const std::size_t m = num_objectives_;
+    const double g = g_multimodal(x, m - 1);
+    for (std::size_t i = 0; i < m; ++i) {
+        double value = 1.0 + g;
+        for (std::size_t j = 0; j < m - 1 - i; ++j)
+            value *= std::cos(x[j] * kHalfPi);
+        if (i > 0) value *= std::sin(x[m - 1 - i] * kHalfPi);
+        f[i] = value;
+    }
+}
+
+// ------------------------------------------------------------------- DTLZ4
+
+Dtlz4::Dtlz4(std::size_t num_objectives, std::size_t k, double alpha)
+    : Dtlz(num_objectives, k), alpha_(alpha) {
+    if (alpha <= 0.0) throw std::invalid_argument("DTLZ4: alpha <= 0");
+}
+
+std::string Dtlz4::name() const {
+    return "DTLZ4_" + std::to_string(num_objectives_);
+}
+
+void Dtlz4::evaluate(std::span<const double> x,
+                     std::span<double> f) const {
+    assert(x.size() == num_variables_ && f.size() >= num_objectives_);
+    const std::size_t m = num_objectives_;
+    const double g = g_sphere(x, m - 1);
+    for (std::size_t i = 0; i < m; ++i) {
+        double value = 1.0 + g;
+        for (std::size_t j = 0; j < m - 1 - i; ++j)
+            value *= std::cos(std::pow(x[j], alpha_) * kHalfPi);
+        if (i > 0) value *= std::sin(std::pow(x[m - 1 - i], alpha_) * kHalfPi);
+        f[i] = value;
+    }
+}
+
+// ------------------------------------------------------------------- DTLZ5
+
+Dtlz5::Dtlz5(std::size_t num_objectives, std::size_t k)
+    : Dtlz(num_objectives, k) {}
+
+std::string Dtlz5::name() const {
+    return "DTLZ5_" + std::to_string(num_objectives_);
+}
+
+namespace {
+
+/// Shared DTLZ5/DTLZ6 evaluation given a precomputed g value: position
+/// variables beyond the first are squeezed by theta_i =
+/// pi/(4(1+g)) (1 + 2 g x_i).
+void evaluate_theta(std::span<const double> x, std::span<double> f,
+                    std::size_t m, double g) {
+    std::vector<double> theta(m - 1);
+    theta[0] = x[0] * kHalfPi;
+    const double squeeze = std::numbers::pi / (4.0 * (1.0 + g));
+    for (std::size_t i = 1; i < m - 1; ++i)
+        theta[i] = squeeze * (1.0 + 2.0 * g * x[i]);
+    for (std::size_t i = 0; i < m; ++i) {
+        double value = 1.0 + g;
+        for (std::size_t j = 0; j < m - 1 - i; ++j)
+            value *= std::cos(theta[j]);
+        if (i > 0) value *= std::sin(theta[m - 1 - i]);
+        f[i] = value;
+    }
+}
+
+} // namespace
+
+void Dtlz5::evaluate(std::span<const double> x,
+                     std::span<double> f) const {
+    assert(x.size() == num_variables_ && f.size() >= num_objectives_);
+    evaluate_theta(x, f, num_objectives_, g_sphere(x, num_objectives_ - 1));
+}
+
+// ------------------------------------------------------------------- DTLZ6
+
+Dtlz6::Dtlz6(std::size_t num_objectives, std::size_t k)
+    : Dtlz(num_objectives, k) {}
+
+std::string Dtlz6::name() const {
+    return "DTLZ6_" + std::to_string(num_objectives_);
+}
+
+void Dtlz6::evaluate(std::span<const double> x,
+                     std::span<double> f) const {
+    assert(x.size() == num_variables_ && f.size() >= num_objectives_);
+    double g = 0.0;
+    for (std::size_t i = num_objectives_ - 1; i < x.size(); ++i)
+        g += std::pow(x[i], 0.1);
+    evaluate_theta(x, f, num_objectives_, g);
+}
+
+// ------------------------------------------------------------------- DTLZ7
+
+Dtlz7::Dtlz7(std::size_t num_objectives, std::size_t k)
+    : Dtlz(num_objectives, k) {}
+
+std::string Dtlz7::name() const {
+    return "DTLZ7_" + std::to_string(num_objectives_);
+}
+
+void Dtlz7::evaluate(std::span<const double> x,
+                     std::span<double> f) const {
+    assert(x.size() == num_variables_ && f.size() >= num_objectives_);
+    const std::size_t m = num_objectives_;
+    double g = 0.0;
+    for (std::size_t i = m - 1; i < x.size(); ++i) g += x[i];
+    g = 1.0 + 9.0 * g / static_cast<double>(k_);
+
+    for (std::size_t i = 0; i + 1 < m; ++i) f[i] = x[i];
+    double h = static_cast<double>(m);
+    for (std::size_t i = 0; i + 1 < m; ++i)
+        h -= f[i] / (1.0 + g) *
+             (1.0 + std::sin(3.0 * std::numbers::pi * f[i]));
+    f[m - 1] = (1.0 + g) * h;
+}
+
+} // namespace borg::problems

@@ -1,0 +1,112 @@
+#ifndef BORG_PROBLEMS_DTLZ_HPP
+#define BORG_PROBLEMS_DTLZ_HPP
+
+/// \file dtlz.hpp
+/// The DTLZ scalable test suite (Deb, Thiele, Laumanns, Zitzler 2002).
+///
+/// The paper's "simple" validation problem is the 5-objective DTLZ2: all
+/// decision variables are separable and the Pareto front is the unit sphere
+/// restricted to the positive orthant. DTLZ1/3/4 are provided for the wider
+/// test and example suite (multimodal g, biased density variants).
+
+#include <cstddef>
+
+#include "problems/problem.hpp"
+
+namespace borg::problems {
+
+/// Common machinery for the DTLZ family: n = (M - 1) + k variables in
+/// [0, 1], where the first M - 1 are "position" variables and the last k
+/// are "distance" variables feeding the g function.
+class Dtlz : public Problem {
+public:
+    Dtlz(std::size_t num_objectives, std::size_t k);
+
+    std::size_t num_variables() const override { return num_variables_; }
+    std::size_t num_objectives() const override { return num_objectives_; }
+    double lower_bound(std::size_t) const override { return 0.0; }
+    double upper_bound(std::size_t) const override { return 1.0; }
+
+protected:
+    std::size_t num_objectives_;
+    std::size_t k_;
+    std::size_t num_variables_;
+};
+
+/// DTLZ1: linear Pareto front sum(f) = 0.5, highly multimodal g (11^k - 1
+/// local fronts). Default k = 5.
+class Dtlz1 final : public Dtlz {
+public:
+    explicit Dtlz1(std::size_t num_objectives = 2, std::size_t k = 5);
+    std::string name() const override;
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+};
+
+/// DTLZ2: spherical Pareto front sum(f^2) = 1, unimodal g. Default k = 10.
+/// This is the paper's easy problem (5 objectives in the experiments).
+class Dtlz2 final : public Dtlz {
+public:
+    explicit Dtlz2(std::size_t num_objectives = 2, std::size_t k = 10);
+    std::string name() const override;
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+};
+
+/// DTLZ3: DTLZ2's sphere with DTLZ1's multimodal g. Default k = 10.
+class Dtlz3 final : public Dtlz {
+public:
+    explicit Dtlz3(std::size_t num_objectives = 2, std::size_t k = 10);
+    std::string name() const override;
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+};
+
+/// DTLZ4: DTLZ2 with position variables raised to alpha = 100, biasing
+/// solution density toward the f_M axis. Default k = 10.
+class Dtlz4 final : public Dtlz {
+public:
+    explicit Dtlz4(std::size_t num_objectives = 2, std::size_t k = 10,
+                   double alpha = 100.0);
+    std::string name() const override;
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+
+private:
+    double alpha_;
+};
+
+/// DTLZ5: DTLZ2 with the position variables 2..M-1 collapsed toward a
+/// degenerate curve (theta mapping); tests an algorithm's behaviour on
+/// lower-dimensional embedded fronts. Default k = 10.
+class Dtlz5 final : public Dtlz {
+public:
+    explicit Dtlz5(std::size_t num_objectives = 3, std::size_t k = 10);
+    std::string name() const override;
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+};
+
+/// DTLZ6: DTLZ5 with the harder g = sum x^0.1 distance function, which
+/// biases random sampling far from the front. Default k = 10.
+class Dtlz6 final : public Dtlz {
+public:
+    explicit Dtlz6(std::size_t num_objectives = 3, std::size_t k = 10);
+    std::string name() const override;
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+};
+
+/// DTLZ7: disconnected front with 2^(M-1) Pareto-optimal regions.
+/// Default k = 20 (the suite's convention for DTLZ7).
+class Dtlz7 final : public Dtlz {
+public:
+    explicit Dtlz7(std::size_t num_objectives = 2, std::size_t k = 20);
+    std::string name() const override;
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+};
+
+} // namespace borg::problems
+
+#endif

@@ -1,0 +1,84 @@
+#include "problems/engineering.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace borg::problems {
+
+// --------------------------------------------------------------------- SRN
+
+void Srn::evaluate(std::span<const double> x, std::span<double> f) const {
+    assert(x.size() == 2 && f.size() >= 2);
+    f[0] = (x[0] - 2.0) * (x[0] - 2.0) + (x[1] - 1.0) * (x[1] - 1.0) + 2.0;
+    f[1] = 9.0 * x[0] - (x[1] - 1.0) * (x[1] - 1.0);
+}
+
+void Srn::evaluate(std::span<const double> x, std::span<double> f,
+                   std::span<double> v) const {
+    evaluate(x, f);
+    assert(v.size() >= 2);
+    v[0] = std::max(0.0, (x[0] * x[0] + x[1] * x[1] - 225.0) / 225.0);
+    v[1] = std::max(0.0, (x[0] - 3.0 * x[1] + 10.0) / 10.0);
+}
+
+// ------------------------------------------------------------- welded beam
+
+namespace {
+constexpr double kLoad = 6000.0;        // applied load P (lb)
+constexpr double kBeamLength = 14.0;    // cantilever length L (in)
+constexpr double kMaxShear = 13600.0;   // tau_max (psi)
+constexpr double kMaxBending = 30000.0; // sigma_max (psi)
+} // namespace
+
+double WeldedBeam::lower_bound(std::size_t i) const {
+    // h, l, t, b
+    constexpr double lo[4] = {0.125, 0.1, 0.1, 0.125};
+    return lo[i];
+}
+
+double WeldedBeam::upper_bound(std::size_t i) const {
+    constexpr double hi[4] = {5.0, 10.0, 10.0, 5.0};
+    return hi[i];
+}
+
+void WeldedBeam::evaluate(std::span<const double> x,
+                          std::span<double> f) const {
+    assert(x.size() == 4 && f.size() >= 2);
+    const double h = x[0], l = x[1], t = x[2], b = x[3];
+    f[0] = 1.10471 * h * h * l + 0.04811 * t * b * (kBeamLength + l);
+    f[1] = 2.1952 / (t * t * t * b); // end deflection
+}
+
+void WeldedBeam::evaluate(std::span<const double> x, std::span<double> f,
+                          std::span<double> v) const {
+    evaluate(x, f);
+    assert(v.size() >= 4);
+    const double h = x[0], l = x[1], t = x[2], b = x[3];
+
+    // Weld shear stress: primary (direct) and secondary (torsional) parts.
+    const double tau_prime = kLoad / (std::numbers::sqrt2 * h * l);
+    const double r =
+        std::sqrt(l * l / 4.0 + (h + t) * (h + t) / 4.0);
+    const double moment = kLoad * (kBeamLength + l / 2.0);
+    const double polar =
+        2.0 * (h * l * std::numbers::sqrt2 *
+               (l * l / 12.0 + (h + t) * (h + t) / 4.0));
+    const double tau_double_prime = moment * r / polar;
+    const double tau = std::sqrt(
+        tau_prime * tau_prime +
+        tau_prime * tau_double_prime * l / r +
+        tau_double_prime * tau_double_prime);
+
+    const double sigma = 6.0 * kLoad * kBeamLength / (b * t * t);
+    const double buckling =
+        64746.022 * (1.0 - 0.0282346 * t) * t * b * b * b;
+
+    v[0] = std::max(0.0, (tau - kMaxShear) / kMaxShear);
+    v[1] = std::max(0.0, (sigma - kMaxBending) / kMaxBending);
+    v[2] = std::max(0.0, (h - b) / 5.0); // weld cannot exceed beam thickness
+    v[3] = std::max(0.0, (kLoad - buckling) / kLoad);
+}
+
+} // namespace borg::problems

@@ -1,0 +1,66 @@
+#ifndef BORG_PROBLEMS_ENGINEERING_HPP
+#define BORG_PROBLEMS_ENGINEERING_HPP
+
+/// \file engineering.hpp
+/// Constrained engineering design problems.
+///
+/// The Borg MOEA's flagship applications are constrained, real-world
+/// design problems — the paper cites general-aviation aircraft design
+/// under 9 economic/performance constraints as the case where Borg found
+/// feasible designs while other MOEAs struggled. These two classic
+/// constrained problems exercise the same machinery (constraint-domination
+/// selection, feasibility-seeking archive) at test scale.
+
+#include "problems/problem.hpp"
+
+namespace borg::problems {
+
+/// SRN (Srinivas & Deb 1994): 2 variables in [-20, 20], 2 objectives,
+/// 2 constraints. The constrained Pareto set is x1 in [-2.5, 2.5] along
+/// the g2 boundary region — a standard correctness check for constrained
+/// MOEAs.
+///   f1 = (x1 - 2)^2 + (x2 - 1)^2 + 2
+///   f2 = 9 x1 - (x2 - 1)^2
+///   g1: x1^2 + x2^2 <= 225
+///   g2: x1 - 3 x2 + 10 <= 0
+class Srn final : public Problem {
+public:
+    std::string name() const override { return "SRN"; }
+    std::size_t num_variables() const override { return 2; }
+    std::size_t num_objectives() const override { return 2; }
+    std::size_t num_constraints() const override { return 2; }
+    double lower_bound(std::size_t) const override { return -20.0; }
+    double upper_bound(std::size_t) const override { return 20.0; }
+
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives,
+                  std::span<double> violations) const override;
+};
+
+/// Welded beam design (Deb's bi-objective formulation): minimize
+/// fabrication cost and end deflection subject to shear stress, bending
+/// stress, geometry, and buckling constraints.
+/// Variables: weld thickness h, weld length l, beam height t, beam
+/// thickness b. Violations are normalized by each constraint's limit so
+/// the total violation is scale-free.
+class WeldedBeam final : public Problem {
+public:
+    std::string name() const override { return "welded-beam"; }
+    std::size_t num_variables() const override { return 4; }
+    std::size_t num_objectives() const override { return 2; }
+    std::size_t num_constraints() const override { return 4; }
+    double lower_bound(std::size_t i) const override;
+    double upper_bound(std::size_t i) const override;
+
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives,
+                  std::span<double> violations) const override;
+};
+
+} // namespace borg::problems
+
+#endif

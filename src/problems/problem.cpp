@@ -1,0 +1,62 @@
+#include "problems/problem.hpp"
+
+#include <stdexcept>
+
+#include "problems/dtlz.hpp"
+#include "problems/engineering.hpp"
+#include "problems/uf.hpp"
+#include "problems/zdt.hpp"
+
+namespace borg::problems {
+
+bool Problem::within_bounds(std::span<const double> variables,
+                            double tolerance) const {
+    if (variables.size() != num_variables()) return false;
+    for (std::size_t i = 0; i < variables.size(); ++i) {
+        if (variables[i] < lower_bound(i) - tolerance ||
+            variables[i] > upper_bound(i) + tolerance)
+            return false;
+    }
+    return true;
+}
+
+std::unique_ptr<Problem> make_problem(const std::string& name) {
+    auto starts_with = [&](const char* prefix) {
+        return name.rfind(prefix, 0) == 0;
+    };
+    auto objectives_from_suffix = [&](std::size_t fallback) -> std::size_t {
+        const auto underscore = name.rfind('_');
+        if (underscore == std::string::npos) return fallback;
+        return static_cast<std::size_t>(
+            std::stoul(name.substr(underscore + 1)));
+    };
+
+    if (starts_with("dtlz1"))
+        return std::make_unique<Dtlz1>(objectives_from_suffix(2));
+    if (starts_with("dtlz2"))
+        return std::make_unique<Dtlz2>(objectives_from_suffix(2));
+    if (starts_with("dtlz3"))
+        return std::make_unique<Dtlz3>(objectives_from_suffix(2));
+    if (starts_with("dtlz4"))
+        return std::make_unique<Dtlz4>(objectives_from_suffix(2));
+    if (starts_with("dtlz5"))
+        return std::make_unique<Dtlz5>(objectives_from_suffix(3));
+    if (starts_with("dtlz6"))
+        return std::make_unique<Dtlz6>(objectives_from_suffix(3));
+    if (starts_with("dtlz7"))
+        return std::make_unique<Dtlz7>(objectives_from_suffix(2));
+    if (name == "uf1") return std::make_unique<Uf1>();
+    if (name == "uf2") return std::make_unique<Uf2>();
+    if (name == "uf3") return std::make_unique<Uf3>();
+    if (name == "uf4") return std::make_unique<Uf4>();
+    if (name == "uf7") return std::make_unique<Uf7>();
+    if (name == "uf11") return make_uf11();
+    if (name == "zdt1") return std::make_unique<Zdt1>();
+    if (name == "zdt2") return std::make_unique<Zdt2>();
+    if (name == "zdt3") return std::make_unique<Zdt3>();
+    if (name == "srn") return std::make_unique<Srn>();
+    if (name == "welded_beam") return std::make_unique<WeldedBeam>();
+    throw std::invalid_argument("unknown problem '" + name + "'");
+}
+
+} // namespace borg::problems

@@ -1,0 +1,75 @@
+#ifndef BORG_PROBLEMS_PROBLEM_HPP
+#define BORG_PROBLEMS_PROBLEM_HPP
+
+/// \file problem.hpp
+/// The optimization problem interface.
+///
+/// All problems are box-constrained, real-valued, multiobjective
+/// *minimization* problems (matching the DTLZ / CEC'09 conventions used in
+/// the paper). Implementations must be thread-safe for concurrent evaluate()
+/// calls: the real-thread master-slave executor evaluates offspring from
+/// many worker threads at once, exactly as the MPI workers did on Ranger.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace borg::problems {
+
+/// Abstract multiobjective minimization problem over a box domain.
+class Problem {
+public:
+    virtual ~Problem() = default;
+
+    /// Short identifier, e.g. "DTLZ2_5".
+    virtual std::string name() const = 0;
+
+    virtual std::size_t num_variables() const = 0;
+    virtual std::size_t num_objectives() const = 0;
+
+    /// Lower bound of variable \p i.
+    virtual double lower_bound(std::size_t i) const = 0;
+    /// Upper bound of variable \p i.
+    virtual double upper_bound(std::size_t i) const = 0;
+
+    /// Number of inequality constraints (0 for the unconstrained test
+    /// suites). Constraints are reported as violation magnitudes: 0 means
+    /// satisfied, larger is worse.
+    virtual std::size_t num_constraints() const { return 0; }
+
+    /// Evaluates the objectives for \p variables (size num_variables());
+    /// writes num_objectives() values into \p objectives. Must be
+    /// const-thread-safe.
+    virtual void evaluate(std::span<const double> variables,
+                          std::span<double> objectives) const = 0;
+
+    /// Constrained evaluation: additionally writes num_constraints()
+    /// violation magnitudes into \p violations. The default forwards to
+    /// evaluate() (no constraints). Override together with
+    /// num_constraints() for constrained problems.
+    virtual void evaluate(std::span<const double> variables,
+                          std::span<double> objectives,
+                          std::span<double> violations) const {
+        (void)violations;
+        evaluate(variables, objectives);
+    }
+
+    /// True if every variable lies within its bounds (with tolerance).
+    bool within_bounds(std::span<const double> variables,
+                       double tolerance = 1e-12) const;
+};
+
+/// Creates a problem by name. Recognized names (case-sensitive):
+///   "dtlz1".."dtlz7" — suffix "_M" selects M objectives, e.g. "dtlz2_5"
+///       (defaults: M = 2, except DTLZ5/6 default to 3);
+///   "uf1", "uf2", "uf3", "uf4", "uf7" — two-objective CEC'09 problems;
+///   "uf11" — the 5-objective rotated DTLZ2 variant used in the paper;
+///   "zdt1", "zdt2", "zdt3";
+///   "srn", "welded_beam" — constrained engineering problems.
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<Problem> make_problem(const std::string& name);
+
+} // namespace borg::problems
+
+#endif

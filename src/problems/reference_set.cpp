@@ -1,0 +1,205 @@
+#include "problems/reference_set.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+namespace borg::problems {
+
+namespace {
+
+void lattice_recurse(std::size_t remaining_axes, std::size_t remaining_units,
+                     std::size_t divisions, std::vector<double>& current,
+                     ReferenceSet& out) {
+    if (remaining_axes == 1) {
+        current.push_back(static_cast<double>(remaining_units) /
+                          static_cast<double>(divisions));
+        out.push_back(current);
+        current.pop_back();
+        return;
+    }
+    for (std::size_t units = 0; units <= remaining_units; ++units) {
+        current.push_back(static_cast<double>(units) /
+                          static_cast<double>(divisions));
+        lattice_recurse(remaining_axes - 1, remaining_units - units, divisions,
+                        current, out);
+        current.pop_back();
+    }
+}
+
+} // namespace
+
+ReferenceSet simplex_lattice(std::size_t num_objectives,
+                             std::size_t divisions) {
+    if (num_objectives < 2 || divisions < 1)
+        throw std::invalid_argument("simplex_lattice: M >= 2, divisions >= 1");
+    ReferenceSet out;
+    std::vector<double> current;
+    lattice_recurse(num_objectives, divisions, divisions, current, out);
+    return out;
+}
+
+ReferenceSet dtlz2_reference_set(std::size_t num_objectives,
+                                 std::size_t divisions) {
+    ReferenceSet lattice = simplex_lattice(num_objectives, divisions);
+    for (auto& point : lattice) {
+        double norm = 0.0;
+        for (const double f : point) norm += f * f;
+        norm = std::sqrt(norm);
+        if (norm == 0.0) continue; // cannot happen: weights sum to 1
+        for (double& f : point) f /= norm;
+    }
+    return lattice;
+}
+
+ReferenceSet dtlz1_reference_set(std::size_t num_objectives,
+                                 std::size_t divisions) {
+    ReferenceSet lattice = simplex_lattice(num_objectives, divisions);
+    for (auto& point : lattice)
+        for (double& f : point) f *= 0.5;
+    return lattice;
+}
+
+ReferenceSet uf11_reference_set(std::size_t divisions,
+                                const std::vector<double>& scales) {
+    ReferenceSet sphere = dtlz2_reference_set(scales.size(), divisions);
+    for (auto& point : sphere)
+        for (std::size_t i = 0; i < point.size(); ++i) point[i] *= scales[i];
+    return sphere;
+}
+
+ReferenceSet zdt1_reference_set(std::size_t points) {
+    ReferenceSet out;
+    out.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double f1 =
+            static_cast<double>(i) / static_cast<double>(points - 1);
+        out.push_back({f1, 1.0 - std::sqrt(f1)});
+    }
+    return out;
+}
+
+ReferenceSet zdt2_reference_set(std::size_t points) {
+    ReferenceSet out;
+    out.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double f1 =
+            static_cast<double>(i) / static_cast<double>(points - 1);
+        out.push_back({f1, 1.0 - f1 * f1});
+    }
+    return out;
+}
+
+ReferenceSet zdt3_reference_set(std::size_t points) {
+    // Sample the full curve, then filter to the nondominated subset.
+    ReferenceSet curve;
+    curve.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double f1 =
+            static_cast<double>(i) / static_cast<double>(points - 1);
+        curve.push_back({f1, 1.0 - std::sqrt(f1) -
+                                 f1 * std::sin(10.0 * std::numbers::pi * f1)});
+    }
+    ReferenceSet front;
+    for (const auto& candidate : curve) {
+        bool dominated = false;
+        for (const auto& other : curve) {
+            if (other[0] <= candidate[0] && other[1] <= candidate[1] &&
+                (other[0] < candidate[0] || other[1] < candidate[1])) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) front.push_back(candidate);
+    }
+    return front;
+}
+
+ReferenceSet uf_sqrt_reference_set(std::size_t points) {
+    return zdt1_reference_set(points); // identical closed form
+}
+
+ReferenceSet uf4_reference_set(std::size_t points) {
+    return zdt2_reference_set(points); // identical closed form
+}
+
+ReferenceSet uf7_reference_set(std::size_t points) {
+    ReferenceSet out;
+    out.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double f1 =
+            static_cast<double>(i) / static_cast<double>(points - 1);
+        out.push_back({f1, 1.0 - f1});
+    }
+    return out;
+}
+
+ReferenceSet dtlz7_reference_set(std::size_t points) {
+    // At the optimum g = 1: f2 = (1 + g) (2 - f1/(1+g) (1 + sin(3 pi f1))).
+    ReferenceSet curve;
+    curve.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double f1 =
+            static_cast<double>(i) / static_cast<double>(points - 1);
+        const double h =
+            2.0 - f1 / 2.0 * (1.0 + std::sin(3.0 * std::numbers::pi * f1));
+        curve.push_back({f1, 2.0 * h});
+    }
+    ReferenceSet front;
+    for (const auto& candidate : curve) {
+        bool dominated = false;
+        for (const auto& other : curve) {
+            if (other[0] <= candidate[0] && other[1] <= candidate[1] &&
+                (other[0] < candidate[0] || other[1] < candidate[1])) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) front.push_back(candidate);
+    }
+    return front;
+}
+
+ReferenceSet reference_set_for(const std::string& name, std::size_t density) {
+    auto starts_with = [&](const char* prefix) {
+        return name.rfind(prefix, 0) == 0;
+    };
+    auto objectives_from_suffix = [&](std::size_t fallback) -> std::size_t {
+        const auto underscore = name.rfind('_');
+        if (underscore == std::string::npos) return fallback;
+        return static_cast<std::size_t>(std::stoul(name.substr(underscore + 1)));
+    };
+
+    if (starts_with("dtlz1")) {
+        const std::size_t m = objectives_from_suffix(2);
+        return dtlz1_reference_set(m, density ? density : (m <= 3 ? 50 : 8));
+    }
+    if (starts_with("dtlz7")) {
+        if (objectives_from_suffix(2) != 2)
+            throw std::invalid_argument(
+                "dtlz7 reference set: only the 2-objective front is "
+                "generated");
+        return dtlz7_reference_set(density ? density : 2000);
+    }
+    if (starts_with("dtlz")) {
+        // DTLZ2/3/4 share the unit sphere; DTLZ5/6's 2-objective front
+        // also coincides with it (the theta squeeze only affects the
+        // middle position variables).
+        const std::size_t m = objectives_from_suffix(2);
+        return dtlz2_reference_set(m, density ? density : (m <= 3 ? 50 : 8));
+    }
+    if (starts_with("uf11"))
+        return uf11_reference_set(density ? density : 8,
+                                  std::vector<double>(5, 1.0));
+    if (name == "uf1" || name == "uf2" || name == "uf3")
+        return uf_sqrt_reference_set(density ? density : 500);
+    if (name == "uf4") return uf4_reference_set(density ? density : 500);
+    if (name == "uf7") return uf7_reference_set(density ? density : 500);
+    if (name == "zdt1") return zdt1_reference_set(density ? density : 500);
+    if (name == "zdt2") return zdt2_reference_set(density ? density : 500);
+    if (name == "zdt3") return zdt3_reference_set(density ? density : 2000);
+    throw std::invalid_argument("no known reference set for '" + name + "'");
+}
+
+} // namespace borg::problems

@@ -1,0 +1,63 @@
+#ifndef BORG_PROBLEMS_REFERENCE_SET_HPP
+#define BORG_PROBLEMS_REFERENCE_SET_HPP
+
+/// \file reference_set.hpp
+/// Generators for the known Pareto fronts ("reference sets") of the test
+/// problems. The paper's hypervolume-based speedup analysis normalizes each
+/// run's hypervolume against the reference set's hypervolume, so "1 is
+/// ideal" (Section VI-A).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace borg::problems {
+
+/// A reference set is a list of objective vectors on the true Pareto front.
+using ReferenceSet = std::vector<std::vector<double>>;
+
+/// Das-Dennis simplex-lattice weight vectors: all nonnegative M-vectors
+/// summing to 1 with components that are multiples of 1/divisions.
+/// C(divisions + M - 1, M - 1) points.
+ReferenceSet simplex_lattice(std::size_t num_objectives,
+                             std::size_t divisions);
+
+/// DTLZ2 / DTLZ3 / DTLZ4 front: the simplex lattice radially projected onto
+/// the unit sphere (sum f_i^2 = 1, f >= 0).
+ReferenceSet dtlz2_reference_set(std::size_t num_objectives,
+                                 std::size_t divisions);
+
+/// DTLZ1 front: the simplex lattice scaled by 0.5 (sum f_i = 0.5).
+ReferenceSet dtlz1_reference_set(std::size_t num_objectives,
+                                 std::size_t divisions);
+
+/// UF11 front: the DTLZ2 sphere with each objective multiplied by its scale
+/// factor (the identity scaling in this reproduction, see uf.hpp).
+ReferenceSet uf11_reference_set(std::size_t divisions,
+                                const std::vector<double>& scales);
+
+/// ZDT fronts sampled at \p points equally spaced f1 values.
+ReferenceSet zdt1_reference_set(std::size_t points);
+ReferenceSet zdt2_reference_set(std::size_t points);
+/// ZDT3's front keeps only the nondominated part of the disconnected curve.
+ReferenceSet zdt3_reference_set(std::size_t points);
+
+/// CEC'09 two-objective fronts: UF1/UF2/UF3 share f2 = 1 - sqrt(f1);
+/// UF4 has f2 = 1 - f1^2; UF7 is the line f2 = 1 - f1.
+ReferenceSet uf_sqrt_reference_set(std::size_t points);
+ReferenceSet uf4_reference_set(std::size_t points);
+ReferenceSet uf7_reference_set(std::size_t points);
+
+/// DTLZ7's disconnected front (2-objective): samples the curve at optimal
+/// g = 1 and filters to the nondominated subset.
+ReferenceSet dtlz7_reference_set(std::size_t points);
+
+/// Reference set for a problem created by make_problem(name); \p density
+/// controls lattice divisions / sample counts. Throws for problems with no
+/// known front.
+ReferenceSet reference_set_for(const std::string& name,
+                               std::size_t density = 0);
+
+} // namespace borg::problems
+
+#endif

@@ -1,0 +1,255 @@
+#include "problems/uf.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace borg::problems {
+
+namespace {
+constexpr double kHalfPi = std::numbers::pi / 2.0;
+constexpr double kPenaltyWeight = 10.0;
+} // namespace
+
+RotatedDtlz2::RotatedDtlz2(std::size_t num_objectives,
+                           std::size_t num_variables,
+                           std::uint64_t rotation_seed,
+                           std::vector<double> scales)
+    : num_objectives_(num_objectives),
+      num_variables_(num_variables),
+      scales_(std::move(scales)) {
+    if (num_objectives < 2)
+        throw std::invalid_argument("RotatedDtlz2: need >= 2 objectives");
+    if (num_variables < num_objectives)
+        throw std::invalid_argument("RotatedDtlz2: need n >= M variables");
+    if (scales_.empty()) scales_.assign(num_objectives_, 1.0);
+    if (scales_.size() != num_objectives_)
+        throw std::invalid_argument("RotatedDtlz2: scales size != M");
+    util::Rng rng(rotation_seed);
+    rotation_ = util::Matrix::random_rotation(num_variables_, rng);
+}
+
+std::string RotatedDtlz2::name() const {
+    return "UF11_R2-DTLZ2_" + std::to_string(num_objectives_);
+}
+
+void RotatedDtlz2::evaluate(std::span<const double> x,
+                            std::span<double> f) const {
+    assert(x.size() == num_variables_ && f.size() >= num_objectives_);
+    const std::size_t n = num_variables_;
+    const std::size_t m = num_objectives_;
+
+    // y = c + R (x - c), rotation about the unit-box center.
+    std::vector<double> centered(n), y(n);
+    for (std::size_t i = 0; i < n; ++i) centered[i] = x[i] - 0.5;
+    rotation_.multiply(centered, y);
+
+    // Clamp into the DTLZ2 domain, accumulating the boundary violation.
+    double violation = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        y[i] += 0.5;
+        if (y[i] < 0.0) {
+            violation += y[i] * y[i];
+            y[i] = 0.0;
+        } else if (y[i] > 1.0) {
+            violation += (y[i] - 1.0) * (y[i] - 1.0);
+            y[i] = 1.0;
+        }
+    }
+    const double penalty = kPenaltyWeight * violation;
+
+    double g = 0.0;
+    for (std::size_t i = m - 1; i < n; ++i) {
+        const double d = y[i] - 0.5;
+        g += d * d;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+        double value = 1.0 + g;
+        for (std::size_t j = 0; j < m - 1 - i; ++j)
+            value *= std::cos(y[j] * kHalfPi);
+        if (i > 0) value *= std::sin(y[m - 1 - i] * kHalfPi);
+        f[i] = scales_[i] * (value + penalty);
+    }
+}
+
+std::vector<double> RotatedDtlz2::to_decision_space(
+    std::span<const double> y) const {
+    assert(y.size() == num_variables_);
+    std::vector<double> centered(num_variables_), x(num_variables_);
+    for (std::size_t i = 0; i < num_variables_; ++i)
+        centered[i] = y[i] - 0.5;
+    rotation_.multiply_transpose(centered, x);
+    for (std::size_t i = 0; i < num_variables_; ++i) x[i] += 0.5;
+    return x;
+}
+
+std::unique_ptr<Problem> make_uf11() {
+    return std::make_unique<RotatedDtlz2>(5, 30, kUf11RotationSeed);
+}
+
+// ------------------------------------------------------------ UF1-4, UF7
+
+namespace {
+
+void require_uf_size(std::size_t n) {
+    if (n < 3)
+        throw std::invalid_argument("UF problems need >= 3 variables");
+}
+
+} // namespace
+
+Uf1::Uf1(std::size_t num_variables) : n_(num_variables) {
+    require_uf_size(n_);
+}
+
+void Uf1::evaluate(std::span<const double> x, std::span<double> f) const {
+    assert(x.size() == n_ && f.size() >= 2);
+    const auto n = static_cast<double>(n_);
+    double sum1 = 0.0, sum2 = 0.0;
+    std::size_t count1 = 0, count2 = 0;
+    for (std::size_t j = 2; j <= n_; ++j) {
+        const double y =
+            x[j - 1] - std::sin(6.0 * std::numbers::pi * x[0] +
+                                static_cast<double>(j) * std::numbers::pi / n);
+        if (j % 2 == 1) {
+            sum1 += y * y;
+            ++count1;
+        } else {
+            sum2 += y * y;
+            ++count2;
+        }
+    }
+    f[0] = x[0] + 2.0 * sum1 / static_cast<double>(count1);
+    f[1] = 1.0 - std::sqrt(x[0]) + 2.0 * sum2 / static_cast<double>(count2);
+}
+
+Uf2::Uf2(std::size_t num_variables) : n_(num_variables) {
+    require_uf_size(n_);
+}
+
+void Uf2::evaluate(std::span<const double> x, std::span<double> f) const {
+    assert(x.size() == n_ && f.size() >= 2);
+    const auto n = static_cast<double>(n_);
+    double sum1 = 0.0, sum2 = 0.0;
+    std::size_t count1 = 0, count2 = 0;
+    for (std::size_t j = 2; j <= n_; ++j) {
+        const double jd = static_cast<double>(j);
+        const double angle = 6.0 * std::numbers::pi * x[0] +
+                             jd * std::numbers::pi / n;
+        double y;
+        if (j % 2 == 1) {
+            y = x[j - 1] -
+                (0.3 * x[0] * x[0] *
+                     std::cos(24.0 * std::numbers::pi * x[0] +
+                              4.0 * jd * std::numbers::pi / n) +
+                 0.6 * x[0]) *
+                    std::cos(angle);
+            sum1 += y * y;
+            ++count1;
+        } else {
+            y = x[j - 1] -
+                (0.3 * x[0] * x[0] *
+                     std::cos(24.0 * std::numbers::pi * x[0] +
+                              4.0 * jd * std::numbers::pi / n) +
+                 0.6 * x[0]) *
+                    std::sin(angle);
+            sum2 += y * y;
+            ++count2;
+        }
+    }
+    f[0] = x[0] + 2.0 * sum1 / static_cast<double>(count1);
+    f[1] = 1.0 - std::sqrt(x[0]) + 2.0 * sum2 / static_cast<double>(count2);
+}
+
+Uf3::Uf3(std::size_t num_variables) : n_(num_variables) {
+    require_uf_size(n_);
+}
+
+double Uf3::optimal_xj(double x1, std::size_t j) const {
+    const auto n = static_cast<double>(n_);
+    const double exponent =
+        0.5 * (1.0 + 3.0 * (static_cast<double>(j) - 2.0) / (n - 2.0));
+    return std::pow(x1, exponent);
+}
+
+void Uf3::evaluate(std::span<const double> x, std::span<double> f) const {
+    assert(x.size() == n_ && f.size() >= 2);
+    double sum1 = 0.0, sum2 = 0.0, prod1 = 1.0, prod2 = 1.0;
+    std::size_t count1 = 0, count2 = 0;
+    for (std::size_t j = 2; j <= n_; ++j) {
+        const double y = x[j - 1] - optimal_xj(x[0], j);
+        const double c = std::cos(20.0 * y * std::numbers::pi /
+                                  std::sqrt(static_cast<double>(j)));
+        if (j % 2 == 1) {
+            sum1 += y * y;
+            prod1 *= c;
+            ++count1;
+        } else {
+            sum2 += y * y;
+            prod2 *= c;
+            ++count2;
+        }
+    }
+    f[0] = x[0] + 2.0 / static_cast<double>(count1) *
+                      (4.0 * sum1 - 2.0 * prod1 + 2.0);
+    f[1] = 1.0 - std::sqrt(x[0]) +
+           2.0 / static_cast<double>(count2) *
+               (4.0 * sum2 - 2.0 * prod2 + 2.0);
+}
+
+Uf4::Uf4(std::size_t num_variables) : n_(num_variables) {
+    require_uf_size(n_);
+}
+
+void Uf4::evaluate(std::span<const double> x, std::span<double> f) const {
+    assert(x.size() == n_ && f.size() >= 2);
+    const auto n = static_cast<double>(n_);
+    const auto h = [](double t) {
+        return std::abs(t) / (1.0 + std::exp(2.0 * std::abs(t)));
+    };
+    double sum1 = 0.0, sum2 = 0.0;
+    std::size_t count1 = 0, count2 = 0;
+    for (std::size_t j = 2; j <= n_; ++j) {
+        const double y =
+            x[j - 1] - std::sin(6.0 * std::numbers::pi * x[0] +
+                                static_cast<double>(j) * std::numbers::pi / n);
+        if (j % 2 == 1) {
+            sum1 += h(y);
+            ++count1;
+        } else {
+            sum2 += h(y);
+            ++count2;
+        }
+    }
+    f[0] = x[0] + 2.0 * sum1 / static_cast<double>(count1);
+    f[1] = 1.0 - x[0] * x[0] + 2.0 * sum2 / static_cast<double>(count2);
+}
+
+Uf7::Uf7(std::size_t num_variables) : n_(num_variables) {
+    require_uf_size(n_);
+}
+
+void Uf7::evaluate(std::span<const double> x, std::span<double> f) const {
+    assert(x.size() == n_ && f.size() >= 2);
+    const auto n = static_cast<double>(n_);
+    double sum1 = 0.0, sum2 = 0.0;
+    std::size_t count1 = 0, count2 = 0;
+    for (std::size_t j = 2; j <= n_; ++j) {
+        const double y =
+            x[j - 1] - std::sin(6.0 * std::numbers::pi * x[0] +
+                                static_cast<double>(j) * std::numbers::pi / n);
+        if (j % 2 == 1) {
+            sum1 += y * y;
+            ++count1;
+        } else {
+            sum2 += y * y;
+            ++count2;
+        }
+    }
+    const double root = std::pow(x[0], 0.2);
+    f[0] = root + 2.0 * sum1 / static_cast<double>(count1);
+    f[1] = 1.0 - root + 2.0 * sum2 / static_cast<double>(count2);
+}
+
+} // namespace borg::problems

@@ -1,0 +1,176 @@
+#ifndef BORG_PROBLEMS_UF_HPP
+#define BORG_PROBLEMS_UF_HPP
+
+/// \file uf.hpp
+/// The paper's "hard" validation problem: CEC 2009 UF11, i.e. R2-DTLZ2 — a
+/// 5-objective DTLZ2 whose decision variables are rotated (and scaled) to
+/// introduce dependencies between all variables, defeating coordinate-wise
+/// search.
+///
+/// SUBSTITUTION (documented in DESIGN.md): the official CEC'09 rotation
+/// matrix is distributed as a data file with the competition toolkit, not
+/// printed in any paper, and is unavailable offline. We therefore use a
+/// deterministic Haar-random orthogonal rotation generated from a fixed seed
+/// (see util::Matrix::random_rotation). Any fixed orthogonal rotation
+/// produces the same qualitative problem class — a non-separable, scaled
+/// DTLZ2 — which is exactly the property the scalability study depends on.
+///
+/// Construction of RotatedDtlz2 with n variables, M objectives:
+///   y = c + R (x - c),  c = (0.5, ..., 0.5)   (rotation about box center)
+/// Components of y falling outside [0, 1] are clamped for the DTLZ2
+/// evaluation and their squared violation is added to every objective as a
+/// penalty. Decision bounds are extended to [-0.5, 1.5] so the entire
+/// Pareto set (||y* - c|| <= 1 over position variables) remains
+/// representable; the Pareto front is exactly the DTLZ2 unit sphere scaled
+/// by the per-objective scale factors.
+
+#include <memory>
+#include <vector>
+
+#include "problems/problem.hpp"
+#include "util/matrix.hpp"
+
+namespace borg::problems {
+
+class RotatedDtlz2 final : public Problem {
+public:
+    /// \p rotation_seed fixes the orthogonal matrix; \p scales (size M,
+    /// defaults to all ones) multiply the objectives ("rotated and scaled").
+    RotatedDtlz2(std::size_t num_objectives, std::size_t num_variables,
+                 std::uint64_t rotation_seed,
+                 std::vector<double> scales = {});
+
+    std::string name() const override;
+    std::size_t num_variables() const override { return num_variables_; }
+    std::size_t num_objectives() const override { return num_objectives_; }
+    double lower_bound(std::size_t) const override { return -0.5; }
+    double upper_bound(std::size_t) const override { return 1.5; }
+
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+
+    const util::Matrix& rotation() const noexcept { return rotation_; }
+    const std::vector<double>& scales() const noexcept { return scales_; }
+
+    /// Maps a point y in DTLZ2 space back to decision space:
+    /// x = c + R^T (y - c). Used by tests to verify the Pareto set is
+    /// representable within the bounds.
+    std::vector<double> to_decision_space(std::span<const double> y) const;
+
+private:
+    std::size_t num_objectives_;
+    std::size_t num_variables_;
+    util::Matrix rotation_;
+    std::vector<double> scales_;
+};
+
+/// UF11 as used in the paper: 5 objectives, 30 decision variables, fixed
+/// rotation seed, unit objective scales.
+std::unique_ptr<Problem> make_uf11();
+
+/// The two-objective unconstrained CEC 2009 problems UF1-UF4 and UF7
+/// (Zhang et al., CES-487). These are the siblings of the paper's UF11 in
+/// the same competition suite: each couples every decision variable to the
+/// position variable x1 through sinusoidal "shape functions", so — like
+/// UF11 — they defeat coordinate-wise search. UF5/UF6 (discrete fronts)
+/// are omitted.
+///
+/// Shared conventions: n decision variables (default 30); J1/J2 partition
+/// indices {2..n} into odd/even (1-based); the Pareto front is attained at
+/// y_j = 0 for every coupled variable.
+class Uf1 final : public Problem {
+public:
+    explicit Uf1(std::size_t num_variables = 30);
+    std::string name() const override { return "UF1"; }
+    std::size_t num_variables() const override { return n_; }
+    std::size_t num_objectives() const override { return 2; }
+    double lower_bound(std::size_t i) const override {
+        return i == 0 ? 0.0 : -1.0;
+    }
+    double upper_bound(std::size_t) const override { return 1.0; }
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+
+private:
+    std::size_t n_;
+};
+
+class Uf2 final : public Problem {
+public:
+    explicit Uf2(std::size_t num_variables = 30);
+    std::string name() const override { return "UF2"; }
+    std::size_t num_variables() const override { return n_; }
+    std::size_t num_objectives() const override { return 2; }
+    double lower_bound(std::size_t i) const override {
+        return i == 0 ? 0.0 : -1.0;
+    }
+    double upper_bound(std::size_t) const override { return 1.0; }
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+
+private:
+    std::size_t n_;
+};
+
+class Uf3 final : public Problem {
+public:
+    explicit Uf3(std::size_t num_variables = 30);
+    std::string name() const override { return "UF3"; }
+    std::size_t num_variables() const override { return n_; }
+    std::size_t num_objectives() const override { return 2; }
+    double lower_bound(std::size_t) const override { return 0.0; }
+    double upper_bound(std::size_t) const override { return 1.0; }
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+
+    /// The coupled-variable target: x_j on the front follows a power curve
+    /// of x1. Exposed for tests and reference-solution construction.
+    double optimal_xj(double x1, std::size_t j) const;
+
+private:
+    std::size_t n_;
+};
+
+class Uf4 final : public Problem {
+public:
+    explicit Uf4(std::size_t num_variables = 30);
+    std::string name() const override { return "UF4"; }
+    std::size_t num_variables() const override { return n_; }
+    std::size_t num_objectives() const override { return 2; }
+    double lower_bound(std::size_t i) const override {
+        return i == 0 ? 0.0 : -2.0;
+    }
+    double upper_bound(std::size_t i) const override {
+        return i == 0 ? 1.0 : 2.0;
+    }
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+
+private:
+    std::size_t n_;
+};
+
+class Uf7 final : public Problem {
+public:
+    explicit Uf7(std::size_t num_variables = 30);
+    std::string name() const override { return "UF7"; }
+    std::size_t num_variables() const override { return n_; }
+    std::size_t num_objectives() const override { return 2; }
+    double lower_bound(std::size_t i) const override {
+        return i == 0 ? 0.0 : -1.0;
+    }
+    double upper_bound(std::size_t) const override { return 1.0; }
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+
+private:
+    std::size_t n_;
+};
+
+/// The fixed rotation seed used by make_uf11 (exposed so reference-set code
+/// and tests construct the identical instance).
+inline constexpr std::uint64_t kUf11RotationSeed = 0xCEC2009u;
+
+} // namespace borg::problems
+
+#endif

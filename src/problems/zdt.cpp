@@ -1,0 +1,50 @@
+#include "problems/zdt.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace borg::problems {
+
+Zdt::Zdt(std::size_t num_variables) : num_variables_(num_variables) {
+    if (num_variables < 2)
+        throw std::invalid_argument("ZDT: need at least 2 variables");
+}
+
+double Zdt::g(std::span<const double> x) const {
+    double sum = 0.0;
+    for (std::size_t i = 1; i < x.size(); ++i) sum += x[i];
+    return 1.0 + 9.0 * sum / static_cast<double>(x.size() - 1);
+}
+
+Zdt1::Zdt1(std::size_t num_variables) : Zdt(num_variables) {}
+
+void Zdt1::evaluate(std::span<const double> x, std::span<double> f) const {
+    assert(x.size() == num_variables_ && f.size() >= 2);
+    const double gv = g(x);
+    f[0] = x[0];
+    f[1] = gv * (1.0 - std::sqrt(x[0] / gv));
+}
+
+Zdt2::Zdt2(std::size_t num_variables) : Zdt(num_variables) {}
+
+void Zdt2::evaluate(std::span<const double> x, std::span<double> f) const {
+    assert(x.size() == num_variables_ && f.size() >= 2);
+    const double gv = g(x);
+    const double ratio = x[0] / gv;
+    f[0] = x[0];
+    f[1] = gv * (1.0 - ratio * ratio);
+}
+
+Zdt3::Zdt3(std::size_t num_variables) : Zdt(num_variables) {}
+
+void Zdt3::evaluate(std::span<const double> x, std::span<double> f) const {
+    assert(x.size() == num_variables_ && f.size() >= 2);
+    const double gv = g(x);
+    f[0] = x[0];
+    f[1] = gv * (1.0 - std::sqrt(x[0] / gv) -
+                 (x[0] / gv) * std::sin(10.0 * std::numbers::pi * x[0]));
+}
+
+} // namespace borg::problems

@@ -1,0 +1,58 @@
+#ifndef BORG_PROBLEMS_ZDT_HPP
+#define BORG_PROBLEMS_ZDT_HPP
+
+/// \file zdt.hpp
+/// The two-objective ZDT suite (Zitzler, Deb, Thiele 2000). Not part of the
+/// paper's experiments; used throughout the test suite because the fronts
+/// have simple closed forms and two-objective hypervolume is cheap and easy
+/// to verify by hand.
+
+#include "problems/problem.hpp"
+
+namespace borg::problems {
+
+/// Shared shape: n variables in [0, 1], f1 = x0, f2 = g * h(f1, g).
+class Zdt : public Problem {
+public:
+    explicit Zdt(std::size_t num_variables);
+
+    std::size_t num_variables() const override { return num_variables_; }
+    std::size_t num_objectives() const override { return 2; }
+    double lower_bound(std::size_t) const override { return 0.0; }
+    double upper_bound(std::size_t) const override { return 1.0; }
+
+protected:
+    double g(std::span<const double> x) const;
+    std::size_t num_variables_;
+};
+
+/// ZDT1: convex front f2 = 1 - sqrt(f1).
+class Zdt1 final : public Zdt {
+public:
+    explicit Zdt1(std::size_t num_variables = 30);
+    std::string name() const override { return "ZDT1"; }
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+};
+
+/// ZDT2: concave front f2 = 1 - f1^2.
+class Zdt2 final : public Zdt {
+public:
+    explicit Zdt2(std::size_t num_variables = 30);
+    std::string name() const override { return "ZDT2"; }
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+};
+
+/// ZDT3: disconnected front f2 = 1 - sqrt(f1) - f1 sin(10 pi f1).
+class Zdt3 final : public Zdt {
+public:
+    explicit Zdt3(std::size_t num_variables = 30);
+    std::string name() const override { return "ZDT3"; }
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override;
+};
+
+} // namespace borg::problems
+
+#endif

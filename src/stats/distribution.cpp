@@ -1,0 +1,309 @@
+#include "stats/distribution.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace borg::stats {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kLogSqrt2Pi = 0.9189385332046727; // log(sqrt(2*pi))
+} // namespace
+
+double normal_pdf(double x) {
+    return std::exp(-0.5 * x * x) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double normal_cdf(double x) {
+    return 0.5 * std::erfc(-x / std::numbers::sqrt2);
+}
+
+double Distribution::stddev() const { return std::sqrt(variance()); }
+
+double Distribution::cv() const {
+    const double m = mean();
+    return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+// ---------------------------------------------------------------- constant
+
+ConstantDistribution::ConstantDistribution(double value) : value_(value) {}
+
+double ConstantDistribution::log_pdf(double x) const {
+    return x == value_ ? 0.0 : kNegInf;
+}
+
+std::string ConstantDistribution::describe() const {
+    return "constant(" + util::format_fixed(value_, 6) + ")";
+}
+
+std::unique_ptr<Distribution> ConstantDistribution::clone() const {
+    return std::make_unique<ConstantDistribution>(*this);
+}
+
+// ----------------------------------------------------------------- uniform
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi) {
+    if (!(lo < hi)) throw std::invalid_argument("uniform: requires lo < hi");
+}
+
+double UniformDistribution::sample(util::Rng& rng) const {
+    return rng.uniform(lo_, hi_);
+}
+
+double UniformDistribution::log_pdf(double x) const {
+    if (x < lo_ || x > hi_) return kNegInf;
+    return -std::log(hi_ - lo_);
+}
+
+double UniformDistribution::variance() const {
+    const double w = hi_ - lo_;
+    return w * w / 12.0;
+}
+
+std::string UniformDistribution::describe() const {
+    return "uniform(" + util::format_fixed(lo_, 6) + ", " +
+           util::format_fixed(hi_, 6) + ")";
+}
+
+std::unique_ptr<Distribution> UniformDistribution::clone() const {
+    return std::make_unique<UniformDistribution>(*this);
+}
+
+// ------------------------------------------------------------- exponential
+
+ExponentialDistribution::ExponentialDistribution(double rate) : rate_(rate) {
+    if (!(rate > 0.0)) throw std::invalid_argument("exponential: rate <= 0");
+}
+
+double ExponentialDistribution::sample(util::Rng& rng) const {
+    // Inverse CDF; 1 - uniform() is in (0, 1] so the log is finite.
+    return -std::log(1.0 - rng.uniform()) / rate_;
+}
+
+double ExponentialDistribution::log_pdf(double x) const {
+    if (x < 0.0) return kNegInf;
+    return std::log(rate_) - rate_ * x;
+}
+
+std::string ExponentialDistribution::describe() const {
+    return "exponential(rate=" + util::format_fixed(rate_, 6) + ")";
+}
+
+std::unique_ptr<Distribution> ExponentialDistribution::clone() const {
+    return std::make_unique<ExponentialDistribution>(*this);
+}
+
+// ------------------------------------------------------------------ normal
+
+NormalDistribution::NormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+    if (!(sigma > 0.0)) throw std::invalid_argument("normal: sigma <= 0");
+}
+
+double NormalDistribution::sample(util::Rng& rng) const {
+    return rng.gaussian(mu_, sigma_);
+}
+
+double NormalDistribution::log_pdf(double x) const {
+    const double z = (x - mu_) / sigma_;
+    return -0.5 * z * z - std::log(sigma_) - kLogSqrt2Pi;
+}
+
+std::string NormalDistribution::describe() const {
+    return "normal(mu=" + util::format_fixed(mu_, 6) +
+           ", sigma=" + util::format_fixed(sigma_, 6) + ")";
+}
+
+std::unique_ptr<Distribution> NormalDistribution::clone() const {
+    return std::make_unique<NormalDistribution>(*this);
+}
+
+// -------------------------------------------------------- truncated normal
+
+TruncatedNormalDistribution::TruncatedNormalDistribution(double mu,
+                                                         double sigma,
+                                                         double lo)
+    : mu_(mu), sigma_(sigma), lo_(lo) {
+    if (!(sigma > 0.0))
+        throw std::invalid_argument("truncated normal: sigma <= 0");
+    alpha_ = (lo_ - mu_) / sigma_;
+    z_ = 1.0 - normal_cdf(alpha_);
+    if (z_ <= 0.0)
+        throw std::invalid_argument("truncated normal: no mass above lo");
+    lambda_ = normal_pdf(alpha_) / z_;
+}
+
+double TruncatedNormalDistribution::sample(util::Rng& rng) const {
+    // Rejection against the parent normal. For the regimes used here the
+    // acceptance probability z_ is close to 1 (cv <= ~0.3), so this is cheap.
+    for (;;) {
+        const double x = rng.gaussian(mu_, sigma_);
+        if (x >= lo_) return x;
+    }
+}
+
+double TruncatedNormalDistribution::log_pdf(double x) const {
+    if (x < lo_) return kNegInf;
+    const double z = (x - mu_) / sigma_;
+    return -0.5 * z * z - std::log(sigma_) - kLogSqrt2Pi - std::log(z_);
+}
+
+double TruncatedNormalDistribution::mean() const {
+    return mu_ + sigma_ * lambda_;
+}
+
+double TruncatedNormalDistribution::variance() const {
+    const double delta = lambda_ * (lambda_ - alpha_);
+    return sigma_ * sigma_ * (1.0 - delta);
+}
+
+std::string TruncatedNormalDistribution::describe() const {
+    return "truncnormal(mu=" + util::format_fixed(mu_, 6) +
+           ", sigma=" + util::format_fixed(sigma_, 6) +
+           ", lo=" + util::format_fixed(lo_, 6) + ")";
+}
+
+std::unique_ptr<Distribution> TruncatedNormalDistribution::clone() const {
+    return std::make_unique<TruncatedNormalDistribution>(*this);
+}
+
+// --------------------------------------------------------------- lognormal
+
+LogNormalDistribution::LogNormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+    if (!(sigma > 0.0)) throw std::invalid_argument("lognormal: sigma <= 0");
+}
+
+double LogNormalDistribution::sample(util::Rng& rng) const {
+    return std::exp(rng.gaussian(mu_, sigma_));
+}
+
+double LogNormalDistribution::log_pdf(double x) const {
+    if (x <= 0.0) return kNegInf;
+    const double z = (std::log(x) - mu_) / sigma_;
+    return -0.5 * z * z - std::log(x * sigma_) - kLogSqrt2Pi;
+}
+
+double LogNormalDistribution::mean() const {
+    return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormalDistribution::variance() const {
+    const double s2 = sigma_ * sigma_;
+    return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+std::string LogNormalDistribution::describe() const {
+    return "lognormal(mu=" + util::format_fixed(mu_, 6) +
+           ", sigma=" + util::format_fixed(sigma_, 6) + ")";
+}
+
+std::unique_ptr<Distribution> LogNormalDistribution::clone() const {
+    return std::make_unique<LogNormalDistribution>(*this);
+}
+
+// ------------------------------------------------------------------- gamma
+
+GammaDistribution::GammaDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+    if (!(shape > 0.0) || !(scale > 0.0))
+        throw std::invalid_argument("gamma: shape/scale <= 0");
+}
+
+double GammaDistribution::sample(util::Rng& rng) const {
+    // Marsaglia & Tsang squeeze method; the shape < 1 case boosts to
+    // shape + 1 and applies the standard power-of-uniform correction.
+    double k = shape_;
+    double boost = 1.0;
+    if (k < 1.0) {
+        boost = std::pow(rng.uniform(), 1.0 / k);
+        k += 1.0;
+    }
+    const double d = k - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        double x, v;
+        do {
+            x = rng.gaussian();
+            v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        const double u = rng.uniform();
+        if (u < 1.0 - 0.0331 * x * x * x * x)
+            return boost * d * v * scale_;
+        if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+            return boost * d * v * scale_;
+    }
+}
+
+double GammaDistribution::log_pdf(double x) const {
+    if (x <= 0.0) return kNegInf;
+    return (shape_ - 1.0) * std::log(x) - x / scale_ -
+           std::lgamma(shape_) - shape_ * std::log(scale_);
+}
+
+std::string GammaDistribution::describe() const {
+    return "gamma(k=" + util::format_fixed(shape_, 4) +
+           ", theta=" + util::format_fixed(scale_, 6) + ")";
+}
+
+std::unique_ptr<Distribution> GammaDistribution::clone() const {
+    return std::make_unique<GammaDistribution>(*this);
+}
+
+// ----------------------------------------------------------------- weibull
+
+WeibullDistribution::WeibullDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+    if (!(shape > 0.0) || !(scale > 0.0))
+        throw std::invalid_argument("weibull: shape/scale <= 0");
+}
+
+double WeibullDistribution::sample(util::Rng& rng) const {
+    const double u = 1.0 - rng.uniform(); // in (0, 1]
+    return scale_ * std::pow(-std::log(u), 1.0 / shape_);
+}
+
+double WeibullDistribution::log_pdf(double x) const {
+    if (x <= 0.0) return kNegInf;
+    const double z = x / scale_;
+    return std::log(shape_ / scale_) + (shape_ - 1.0) * std::log(z) -
+           std::pow(z, shape_);
+}
+
+double WeibullDistribution::mean() const {
+    return scale_ * std::exp(std::lgamma(1.0 + 1.0 / shape_));
+}
+
+double WeibullDistribution::variance() const {
+    const double g1 = std::exp(std::lgamma(1.0 + 1.0 / shape_));
+    const double g2 = std::exp(std::lgamma(1.0 + 2.0 / shape_));
+    return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+std::string WeibullDistribution::describe() const {
+    return "weibull(k=" + util::format_fixed(shape_, 4) +
+           ", lambda=" + util::format_fixed(scale_, 6) + ")";
+}
+
+std::unique_ptr<Distribution> WeibullDistribution::clone() const {
+    return std::make_unique<WeibullDistribution>(*this);
+}
+
+// ------------------------------------------------------------------ helper
+
+std::unique_ptr<Distribution> make_delay(double mean, double cv) {
+    if (!(mean >= 0.0)) throw std::invalid_argument("delay mean < 0");
+    if (cv <= 0.0 || mean == 0.0)
+        return std::make_unique<ConstantDistribution>(mean);
+    return std::make_unique<TruncatedNormalDistribution>(mean, cv * mean, 0.0);
+}
+
+} // namespace borg::stats

@@ -1,0 +1,204 @@
+#ifndef BORG_STATS_DISTRIBUTION_HPP
+#define BORG_STATS_DISTRIBUTION_HPP
+
+/// \file distribution.hpp
+/// Probability distributions for the timing quantities T_F, T_C, T_A.
+///
+/// The paper's simulation model samples the function-evaluation time,
+/// communication time, and algorithm overhead from fitted probability
+/// distributions rather than treating them as constants. This hierarchy
+/// provides the distributions the paper's workflow fits (via R): constant,
+/// uniform, exponential, normal, truncated normal, lognormal, gamma, and
+/// Weibull. Each distribution can sample variates, evaluate its log-density
+/// (for maximum-likelihood model selection), and report its moments.
+
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace borg::stats {
+
+/// Abstract interface for a univariate distribution over the reals.
+class Distribution {
+public:
+    virtual ~Distribution() = default;
+
+    /// Draws one variate using \p rng.
+    virtual double sample(util::Rng& rng) const = 0;
+
+    /// Natural log of the density at \p x (-inf where the density is zero).
+    virtual double log_pdf(double x) const = 0;
+
+    virtual double mean() const = 0;
+    virtual double variance() const = 0;
+
+    /// Short human-readable name, e.g. "gamma(k=3.1, theta=0.2)".
+    virtual std::string describe() const = 0;
+
+    /// Polymorphic copy (distributions are immutable values).
+    virtual std::unique_ptr<Distribution> clone() const = 0;
+
+    double stddev() const;
+
+    /// Coefficient of variation: stddev / mean (0 when the mean is 0).
+    double cv() const;
+};
+
+/// Degenerate point mass at a value; the analytical model's assumption.
+class ConstantDistribution final : public Distribution {
+public:
+    explicit ConstantDistribution(double value);
+    double sample(util::Rng&) const override { return value_; }
+    double log_pdf(double x) const override;
+    double mean() const override { return value_; }
+    double variance() const override { return 0.0; }
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+private:
+    double value_;
+};
+
+/// Uniform on [lo, hi].
+class UniformDistribution final : public Distribution {
+public:
+    UniformDistribution(double lo, double hi);
+    double sample(util::Rng& rng) const override;
+    double log_pdf(double x) const override;
+    double mean() const override { return 0.5 * (lo_ + hi_); }
+    double variance() const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    double lo() const noexcept { return lo_; }
+    double hi() const noexcept { return hi_; }
+
+private:
+    double lo_, hi_;
+};
+
+/// Exponential with rate lambda (mean 1/lambda).
+class ExponentialDistribution final : public Distribution {
+public:
+    explicit ExponentialDistribution(double rate);
+    double sample(util::Rng& rng) const override;
+    double log_pdf(double x) const override;
+    double mean() const override { return 1.0 / rate_; }
+    double variance() const override { return 1.0 / (rate_ * rate_); }
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    double rate() const noexcept { return rate_; }
+
+private:
+    double rate_;
+};
+
+/// Normal(mu, sigma).
+class NormalDistribution final : public Distribution {
+public:
+    NormalDistribution(double mu, double sigma);
+    double sample(util::Rng& rng) const override;
+    double log_pdf(double x) const override;
+    double mean() const override { return mu_; }
+    double variance() const override { return sigma_ * sigma_; }
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    double mu() const noexcept { return mu_; }
+    double sigma() const noexcept { return sigma_; }
+
+private:
+    double mu_, sigma_;
+};
+
+/// Normal(mu, sigma) truncated to [lo, inf). Timing quantities are positive;
+/// the paper's controlled delays are normal with cv = 0.1 which places the
+/// mass safely above zero, but truncation makes the simulator robust for any
+/// cv without producing negative holds. Sampling is by rejection (cheap for
+/// the regimes used here); the log-density includes the renormalization term.
+class TruncatedNormalDistribution final : public Distribution {
+public:
+    TruncatedNormalDistribution(double mu, double sigma, double lo = 0.0);
+    double sample(util::Rng& rng) const override;
+    double log_pdf(double x) const override;
+    double mean() const override;
+    double variance() const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+private:
+    double mu_, sigma_, lo_;
+    double alpha_;         // (lo - mu) / sigma
+    double z_;             // survival mass P[X >= lo] of the parent normal
+    double lambda_;        // hazard phi(alpha)/Z used by the moment formulas
+};
+
+/// Lognormal: log X ~ Normal(mu, sigma).
+class LogNormalDistribution final : public Distribution {
+public:
+    LogNormalDistribution(double mu, double sigma);
+    double sample(util::Rng& rng) const override;
+    double log_pdf(double x) const override;
+    double mean() const override;
+    double variance() const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    double mu() const noexcept { return mu_; }
+    double sigma() const noexcept { return sigma_; }
+
+private:
+    double mu_, sigma_;
+};
+
+/// Gamma with shape k and scale theta (mean k*theta).
+class GammaDistribution final : public Distribution {
+public:
+    GammaDistribution(double shape, double scale);
+    double sample(util::Rng& rng) const override;
+    double log_pdf(double x) const override;
+    double mean() const override { return shape_ * scale_; }
+    double variance() const override { return shape_ * scale_ * scale_; }
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    double shape() const noexcept { return shape_; }
+    double scale() const noexcept { return scale_; }
+
+private:
+    double shape_, scale_;
+};
+
+/// Weibull with shape k and scale lambda.
+class WeibullDistribution final : public Distribution {
+public:
+    WeibullDistribution(double shape, double scale);
+    double sample(util::Rng& rng) const override;
+    double log_pdf(double x) const override;
+    double mean() const override;
+    double variance() const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    double shape() const noexcept { return shape_; }
+    double scale() const noexcept { return scale_; }
+
+private:
+    double shape_, scale_;
+};
+
+/// Convenience: the paper's controlled delay — a positive "normal-ish"
+/// distribution specified by mean and coefficient of variation (cv = 0.1 in
+/// the experiments). Returns a constant when cv == 0.
+std::unique_ptr<Distribution> make_delay(double mean, double cv);
+
+/// Standard normal pdf / cdf helpers shared by the distribution classes and
+/// the fitting code.
+double normal_pdf(double x);
+double normal_cdf(double x);
+
+} // namespace borg::stats
+
+#endif

@@ -1,0 +1,354 @@
+#include "stats/fitting.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace borg::stats {
+
+namespace {
+
+double total_log_likelihood(const Distribution& d, std::span<const double> xs) {
+    double total = 0.0;
+    for (const double x : xs) total += d.log_pdf(x);
+    return total;
+}
+
+Fit finish(std::unique_ptr<Distribution> d, std::string family,
+           std::span<const double> xs, int parameter_count) {
+    Fit fit;
+    fit.log_likelihood = total_log_likelihood(*d, xs);
+    fit.aic = 2.0 * parameter_count - 2.0 * fit.log_likelihood;
+    fit.distribution = std::move(d);
+    fit.family = std::move(family);
+    return fit;
+}
+
+void require_positive(std::span<const double> xs, const char* family) {
+    for (const double x : xs)
+        if (x <= 0.0)
+            throw std::invalid_argument(std::string(family) +
+                                        ": sample contains non-positive values");
+}
+
+void require_size(std::span<const double> xs, std::size_t n,
+                  const char* family) {
+    if (xs.size() < n)
+        throw std::invalid_argument(std::string(family) + ": sample too small");
+}
+
+} // namespace
+
+double digamma(double x) {
+    assert(x > 0.0);
+    double result = 0.0;
+    // Recurrence psi(x) = psi(x+1) - 1/x until the asymptotic region.
+    while (x < 10.0) {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    // Asymptotic expansion through the 1/x^8 term (~1e-14 at x >= 10).
+    const double inv = 1.0 / x;
+    const double inv2 = inv * inv;
+    result += std::log(x) - 0.5 * inv -
+              inv2 * (1.0 / 12.0 -
+                      inv2 * (1.0 / 120.0 -
+                              inv2 * (1.0 / 252.0 - inv2 / 240.0)));
+    return result;
+}
+
+Fit fit_normal(std::span<const double> xs) {
+    require_size(xs, 2, "normal");
+    const Summary s = summarize(xs);
+    // MLE uses the biased variance.
+    double var = 0.0;
+    for (const double x : xs) var += (x - s.mean) * (x - s.mean);
+    var /= static_cast<double>(xs.size());
+    if (var <= 0.0) throw std::invalid_argument("normal: zero variance");
+    return finish(std::make_unique<NormalDistribution>(s.mean, std::sqrt(var)),
+                  "normal", xs, 2);
+}
+
+Fit fit_lognormal(std::span<const double> xs) {
+    require_size(xs, 2, "lognormal");
+    require_positive(xs, "lognormal");
+    double mu = 0.0;
+    for (const double x : xs) mu += std::log(x);
+    mu /= static_cast<double>(xs.size());
+    double var = 0.0;
+    for (const double x : xs) {
+        const double d = std::log(x) - mu;
+        var += d * d;
+    }
+    var /= static_cast<double>(xs.size());
+    if (var <= 0.0) throw std::invalid_argument("lognormal: zero variance");
+    return finish(std::make_unique<LogNormalDistribution>(mu, std::sqrt(var)),
+                  "lognormal", xs, 2);
+}
+
+Fit fit_exponential(std::span<const double> xs) {
+    require_size(xs, 1, "exponential");
+    require_positive(xs, "exponential");
+    const Summary s = summarize(xs);
+    return finish(std::make_unique<ExponentialDistribution>(1.0 / s.mean),
+                  "exponential", xs, 1);
+}
+
+Fit fit_uniform(std::span<const double> xs) {
+    require_size(xs, 2, "uniform");
+    const auto [lo_it, hi_it] = std::minmax_element(xs.begin(), xs.end());
+    if (*lo_it >= *hi_it) throw std::invalid_argument("uniform: degenerate");
+    // Widen infinitesimally so the observed extremes have finite density.
+    const double pad = (*hi_it - *lo_it) * 1e-12;
+    return finish(
+        std::make_unique<UniformDistribution>(*lo_it - pad, *hi_it + pad),
+        "uniform", xs, 2);
+}
+
+Fit fit_gamma(std::span<const double> xs) {
+    require_size(xs, 2, "gamma");
+    require_positive(xs, "gamma");
+    const Summary sm = summarize(xs);
+    double mean_log = 0.0;
+    for (const double x : xs) mean_log += std::log(x);
+    mean_log /= static_cast<double>(xs.size());
+
+    // Newton iteration on f(k) = log(k) - psi(k) - s, with
+    // s = log(mean) - mean(log x) >= 0 (Jensen). Standard starting point.
+    const double s = std::log(sm.mean) - mean_log;
+    if (s <= 0.0) throw std::invalid_argument("gamma: zero dispersion");
+    double k = (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) + 24.0 * s)) /
+               (12.0 * s);
+    for (int iter = 0; iter < 100; ++iter) {
+        const double f = std::log(k) - digamma(k) - s;
+        // f'(k) = 1/k - psi'(k); approximate psi' by finite difference of psi
+        // (adequate here; f is smooth and monotone).
+        const double h = std::max(1e-8, k * 1e-6);
+        const double fp = 1.0 / k - (digamma(k + h) - digamma(k)) / h;
+        const double step = f / fp;
+        double next = k - step;
+        if (next <= 0.0) next = k / 2.0;
+        if (std::abs(next - k) < 1e-12 * std::max(1.0, k)) {
+            k = next;
+            break;
+        }
+        k = next;
+    }
+    const double theta = sm.mean / k;
+    return finish(std::make_unique<GammaDistribution>(k, theta), "gamma", xs,
+                  2);
+}
+
+Fit fit_weibull(std::span<const double> xs) {
+    require_size(xs, 2, "weibull");
+    require_positive(xs, "weibull");
+    const auto n = static_cast<double>(xs.size());
+    double mean_log = 0.0;
+    for (const double x : xs) mean_log += std::log(x);
+    mean_log /= n;
+
+    // Fixed-point/Newton on the profile likelihood shape equation:
+    //   g(k) = sum(x^k log x)/sum(x^k) - 1/k - mean(log x) = 0.
+    double k = 1.0;
+    for (int iter = 0; iter < 200; ++iter) {
+        double sum_xk = 0.0, sum_xk_log = 0.0, sum_xk_log2 = 0.0;
+        for (const double x : xs) {
+            const double lx = std::log(x);
+            const double xk = std::pow(x, k);
+            sum_xk += xk;
+            sum_xk_log += xk * lx;
+            sum_xk_log2 += xk * lx * lx;
+        }
+        const double ratio = sum_xk_log / sum_xk;
+        const double g = ratio - 1.0 / k - mean_log;
+        const double gp =
+            (sum_xk_log2 * sum_xk - sum_xk_log * sum_xk_log) /
+                (sum_xk * sum_xk) +
+            1.0 / (k * k);
+        double next = k - g / gp;
+        if (next <= 0.0) next = k / 2.0;
+        if (std::abs(next - k) < 1e-12 * std::max(1.0, k)) {
+            k = next;
+            break;
+        }
+        k = next;
+    }
+    double sum_xk = 0.0;
+    for (const double x : xs) sum_xk += std::pow(x, k);
+    const double lambda = std::pow(sum_xk / n, 1.0 / k);
+    if (!(k > 0.0) || !(lambda > 0.0) || !std::isfinite(k) ||
+        !std::isfinite(lambda))
+        throw std::invalid_argument("weibull: iteration diverged");
+    return finish(std::make_unique<WeibullDistribution>(k, lambda), "weibull",
+                  xs, 2);
+}
+
+KsResult ks_test(std::span<const double> xs,
+                 const std::function<double(double)>& cdf) {
+    if (xs.empty()) throw std::invalid_argument("ks_test: empty sample");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+
+    const auto n = static_cast<double>(sorted.size());
+    double d = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const double f = cdf(sorted[i]);
+        const double above = (static_cast<double>(i) + 1.0) / n - f;
+        const double below = f - static_cast<double>(i) / n;
+        d = std::max({d, above, below});
+    }
+
+    // Asymptotic Kolmogorov survival function at sqrt(n) D.
+    const double x = std::sqrt(n) * d;
+    double q = 0.0;
+    for (int k = 1; k <= 100; ++k) {
+        const double term =
+            2.0 * (k % 2 == 1 ? 1.0 : -1.0) *
+            std::exp(-2.0 * static_cast<double>(k) * static_cast<double>(k) *
+                     x * x);
+        q += term;
+        if (std::abs(term) < 1e-12) break;
+    }
+    return KsResult{d, std::clamp(q, 0.0, 1.0)};
+}
+
+double normal_cdf_value(double x, double mu, double sigma) {
+    return normal_cdf((x - mu) / sigma);
+}
+
+double lognormal_cdf_value(double x, double mu, double sigma) {
+    if (x <= 0.0) return 0.0;
+    return normal_cdf((std::log(x) - mu) / sigma);
+}
+
+double exponential_cdf_value(double x, double rate) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-rate * x);
+}
+
+double uniform_cdf_value(double x, double lo, double hi) {
+    if (x <= lo) return 0.0;
+    if (x >= hi) return 1.0;
+    return (x - lo) / (hi - lo);
+}
+
+double weibull_cdf_value(double x, double shape, double scale) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-std::pow(x / scale, shape));
+}
+
+double regularized_gamma_p(double a, double x) {
+    if (x <= 0.0) return 0.0;
+    if (a <= 0.0) throw std::invalid_argument("regularized_gamma_p: a <= 0");
+    const double log_prefactor = a * std::log(x) - x - std::lgamma(a);
+    if (x < a + 1.0) {
+        // Series expansion: P(a,x) = e^... sum x^k / (a)_{k+1}.
+        double term = 1.0 / a;
+        double sum = term;
+        for (int k = 1; k < 1000; ++k) {
+            term *= x / (a + static_cast<double>(k));
+            sum += term;
+            if (term < sum * 1e-15) break;
+        }
+        return std::clamp(std::exp(log_prefactor) * sum, 0.0, 1.0);
+    }
+    // Continued fraction (Lentz) for Q(a,x); P = 1 - Q.
+    double b = x + 1.0 - a;
+    double c = 1e300;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i < 1000; ++i) {
+        const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::abs(d) < 1e-300) d = 1e-300;
+        c = b + an / c;
+        if (std::abs(c) < 1e-300) c = 1e-300;
+        d = 1.0 / d;
+        const double delta = d * c;
+        h *= delta;
+        if (std::abs(delta - 1.0) < 1e-15) break;
+    }
+    return std::clamp(1.0 - std::exp(log_prefactor) * h, 0.0, 1.0);
+}
+
+double gamma_cdf_value(double x, double shape, double scale) {
+    return x <= 0.0 ? 0.0 : regularized_gamma_p(shape, x / scale);
+}
+
+KsResult ks_test_fit(const Fit& fit, std::span<const double> xs) {
+    const Distribution& d = *fit.distribution;
+    std::function<double(double)> cdf;
+    if (const auto* normal = dynamic_cast<const NormalDistribution*>(&d)) {
+        cdf = [=](double x) {
+            return normal_cdf_value(x, normal->mu(), normal->sigma());
+        };
+    } else if (const auto* lognormal =
+                   dynamic_cast<const LogNormalDistribution*>(&d)) {
+        cdf = [=](double x) {
+            return lognormal_cdf_value(x, lognormal->mu(),
+                                       lognormal->sigma());
+        };
+    } else if (const auto* expo =
+                   dynamic_cast<const ExponentialDistribution*>(&d)) {
+        cdf = [=](double x) {
+            return exponential_cdf_value(x, expo->rate());
+        };
+    } else if (const auto* uniform =
+                   dynamic_cast<const UniformDistribution*>(&d)) {
+        cdf = [=](double x) {
+            return uniform_cdf_value(x, uniform->lo(), uniform->hi());
+        };
+    } else if (const auto* gamma =
+                   dynamic_cast<const GammaDistribution*>(&d)) {
+        cdf = [=](double x) {
+            return gamma_cdf_value(x, gamma->shape(), gamma->scale());
+        };
+    } else if (const auto* weibull =
+                   dynamic_cast<const WeibullDistribution*>(&d)) {
+        cdf = [=](double x) {
+            return weibull_cdf_value(x, weibull->shape(), weibull->scale());
+        };
+    } else {
+        throw std::invalid_argument("ks_test_fit: no CDF for family '" +
+                                    fit.family + "'");
+    }
+    return ks_test(xs, cdf);
+}
+
+std::vector<Fit> fit_all(std::span<const double> xs) {
+    if (xs.size() < 2)
+        throw std::invalid_argument("fit_all: need at least 2 samples");
+    std::vector<Fit> fits;
+    using Fitter = Fit (*)(std::span<const double>);
+    constexpr Fitter fitters[] = {fit_normal,  fit_lognormal, fit_exponential,
+                                  fit_uniform, fit_gamma,     fit_weibull};
+    for (const Fitter fitter : fitters) {
+        try {
+            Fit fit = fitter(xs);
+            if (std::isfinite(fit.log_likelihood)) fits.push_back(std::move(fit));
+        } catch (const std::invalid_argument&) {
+            // Family not applicable to this sample; skip it.
+        }
+    }
+    std::sort(fits.begin(), fits.end(), [](const Fit& a, const Fit& b) {
+        return a.log_likelihood > b.log_likelihood;
+    });
+    return fits;
+}
+
+std::unique_ptr<Distribution> best_fit(std::span<const double> xs) {
+    if (!xs.empty()) {
+        const Summary s = summarize(xs);
+        if (s.stddev == 0.0 || xs.size() < 2)
+            return std::make_unique<ConstantDistribution>(s.mean);
+        auto fits = fit_all(xs);
+        if (!fits.empty()) return std::move(fits.front().distribution);
+        return std::make_unique<ConstantDistribution>(s.mean);
+    }
+    return std::make_unique<ConstantDistribution>(0.0);
+}
+
+} // namespace borg::stats

@@ -1,0 +1,92 @@
+#ifndef BORG_STATS_FITTING_HPP
+#define BORG_STATS_FITTING_HPP
+
+/// \file fitting.hpp
+/// Maximum-likelihood distribution fitting and log-likelihood model selection.
+///
+/// The paper fits sampled T_C / T_A / T_F timings to candidate distributions
+/// with the R Project and selects the family with the best log-likelihood
+/// (Section IV-B). This module reproduces that workflow: closed-form MLE for
+/// normal / lognormal / exponential / uniform, Newton iteration for the gamma
+/// and Weibull shape parameters, and selection by log-likelihood (AIC is also
+/// reported to penalize parameter count).
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/distribution.hpp"
+
+namespace borg::stats {
+
+/// One fitted candidate.
+struct Fit {
+    std::unique_ptr<Distribution> distribution;
+    std::string family;       ///< "normal", "gamma", ...
+    double log_likelihood = 0; ///< total over the sample
+    double aic = 0;            ///< 2p - 2 log L
+};
+
+/// Closed-form MLE fits. Each throws std::invalid_argument when the sample
+/// is unusable for the family (e.g. non-positive values for lognormal).
+Fit fit_normal(std::span<const double> xs);
+Fit fit_lognormal(std::span<const double> xs);
+Fit fit_exponential(std::span<const double> xs);
+Fit fit_uniform(std::span<const double> xs);
+
+/// Newton-iteration MLE fits (positive samples required).
+Fit fit_gamma(std::span<const double> xs);
+Fit fit_weibull(std::span<const double> xs);
+
+/// Fits every applicable family to the sample and returns the fits sorted by
+/// descending log-likelihood (families that fail to fit are skipped). The
+/// first element is the paper's "best fit". Requires at least 2 samples.
+std::vector<Fit> fit_all(std::span<const double> xs);
+
+/// Convenience: best fit by log-likelihood; falls back to a constant
+/// distribution at the sample mean when no family is applicable (e.g. a
+/// zero-variance sample).
+std::unique_ptr<Distribution> best_fit(std::span<const double> xs);
+
+/// Digamma function psi(x) for x > 0 (recurrence + asymptotic series);
+/// needed by the gamma MLE. Accurate to ~1e-12 for x >= 10.
+double digamma(double x);
+
+/// One-sample Kolmogorov-Smirnov goodness-of-fit test: supremum distance
+/// between the sample's empirical CDF and the distribution's CDF
+/// (estimated numerically from the log-density via sampling-free
+/// trapezoidal integration would be fragile, so the CDF is supplied).
+struct KsResult {
+    double statistic = 0.0; ///< D_n = sup |F_empirical - F|
+    double p_value = 0.0;   ///< asymptotic Kolmogorov distribution
+};
+
+/// \p cdf evaluates the hypothesized distribution's CDF. The asymptotic
+/// p-value (valid for n >= ~35) uses the Kolmogorov series
+/// Q(x) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 x^2) at x = sqrt(n) D_n.
+KsResult ks_test(std::span<const double> xs,
+                 const std::function<double(double)>& cdf);
+
+/// Convenience: KS test of a Fit against the sample it was (or wasn't)
+/// fitted to, dispatching on the fitted family. Throws for families with
+/// no closed-form CDF here (constant, truncated normal).
+KsResult ks_test_fit(const Fit& fit, std::span<const double> xs);
+
+/// CDF helpers for the fitted families (exact closed forms; gamma uses the
+/// regularized lower incomplete gamma via series/continued fraction).
+double normal_cdf_value(double x, double mu, double sigma);
+double lognormal_cdf_value(double x, double mu, double sigma);
+double exponential_cdf_value(double x, double rate);
+double uniform_cdf_value(double x, double lo, double hi);
+double weibull_cdf_value(double x, double shape, double scale);
+double gamma_cdf_value(double x, double shape, double scale);
+
+/// Regularized lower incomplete gamma P(a, x), needed by gamma_cdf_value;
+/// exposed for testing.
+double regularized_gamma_p(double a, double x);
+
+} // namespace borg::stats
+
+#endif

@@ -1,0 +1,52 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace borg::stats {
+
+void Accumulator::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+Summary summarize(std::span<const double> xs) {
+    Summary s;
+    if (xs.empty()) return s;
+    Accumulator acc;
+    for (const double x : xs) acc.add(x);
+    s.count = acc.count();
+    s.mean = acc.mean();
+    s.stddev = acc.stddev();
+    s.min = acc.min();
+    s.max = acc.max();
+    s.median = quantile(std::vector<double>(xs.begin(), xs.end()), 0.5);
+    return s;
+}
+
+double quantile(std::vector<double> xs, double q) {
+    assert(!xs.empty() && q >= 0.0 && q <= 1.0);
+    std::sort(xs.begin(), xs.end());
+    const double h = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(h));
+    const auto hi = static_cast<std::size_t>(std::ceil(h));
+    const double frac = h - std::floor(h);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+} // namespace borg::stats

@@ -1,0 +1,103 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace borg::util {
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& value) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        const std::size_t comma = value.find(',', start);
+        if (comma == std::string::npos) {
+            parts.push_back(value.substr(start));
+            break;
+        }
+        parts.push_back(value.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return parts;
+}
+
+} // namespace
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0 || arg.size() <= 2)
+            throw std::invalid_argument("expected --flag, got '" + arg + "'");
+        arg.erase(0, 2);
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+            continue;
+        }
+        // "--name value" unless the next token is itself a flag (or absent),
+        // in which case this is a boolean switch.
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            values_[arg] = argv[++i];
+        } else {
+            values_[arg] = "true";
+        }
+    }
+}
+
+bool CliArgs::has(const std::string& name) const {
+    return values_.count(name) > 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<double> CliArgs::get_doubles(const std::string& name,
+                                         std::vector<double> fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    std::vector<double> out;
+    for (const auto& part : split_commas(it->second))
+        if (!part.empty()) out.push_back(std::stod(part));
+    return out;
+}
+
+std::vector<std::int64_t> CliArgs::get_ints(
+    const std::string& name, std::vector<std::int64_t> fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    std::vector<std::int64_t> out;
+    for (const auto& part : split_commas(it->second))
+        if (!part.empty()) out.push_back(std::stoll(part));
+    return out;
+}
+
+void CliArgs::check_known(const std::vector<std::string>& known) const {
+    for (const auto& [name, value] : values_) {
+        (void)value;
+        if (std::find(known.begin(), known.end(), name) == known.end())
+            throw std::invalid_argument("unknown flag --" + name);
+    }
+}
+
+} // namespace borg::util

@@ -1,0 +1,46 @@
+#ifndef BORG_UTIL_CLI_HPP
+#define BORG_UTIL_CLI_HPP
+
+/// \file cli.hpp
+/// Minimal command-line flag parsing for the benchmark drivers and examples.
+/// Flags take the forms "--name value" or "--name=value"; bare "--name" is a
+/// boolean switch. Unknown flags are an error so typos do not silently run
+/// the default experiment.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace borg::util {
+
+class CliArgs {
+public:
+    /// Parses argv. Throws std::invalid_argument on malformed input.
+    CliArgs(int argc, const char* const* argv);
+
+    bool has(const std::string& name) const;
+
+    std::string get(const std::string& name, const std::string& fallback) const;
+    std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+    double get_double(const std::string& name, double fallback) const;
+    bool get_bool(const std::string& name, bool fallback = false) const;
+
+    /// Comma-separated list of doubles, e.g. "--tf 0.001,0.01,0.1".
+    std::vector<double> get_doubles(const std::string& name,
+                                    std::vector<double> fallback) const;
+
+    /// Comma-separated list of integers, e.g. "--procs 16,32,64".
+    std::vector<std::int64_t> get_ints(const std::string& name,
+                                       std::vector<std::int64_t> fallback) const;
+
+    /// Verifies every provided flag is one of \p known; throws otherwise.
+    void check_known(const std::vector<std::string>& known) const;
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace borg::util
+
+#endif

@@ -1,0 +1,117 @@
+#include "util/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace borg::util {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+}
+
+Matrix Matrix::random_rotation(std::size_t n, Rng& rng) {
+    // Fill with i.i.d. normals, then orthonormalize columns via modified
+    // Gram-Schmidt (numerically equivalent to thin QR for these sizes).
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.gaussian();
+
+    for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t prev = 0; prev < c; ++prev) {
+            double dot = 0.0;
+            for (std::size_t r = 0; r < n; ++r) dot += a(r, c) * a(r, prev);
+            for (std::size_t r = 0; r < n; ++r) a(r, c) -= dot * a(r, prev);
+        }
+        double norm = 0.0;
+        for (std::size_t r = 0; r < n; ++r) norm += a(r, c) * a(r, c);
+        norm = std::sqrt(norm);
+        if (norm < 1e-12) {
+            // Degenerate column (probability ~0): restart with fresh draws.
+            return random_rotation(n, rng);
+        }
+        // Haar sign convention: make the leading entry's sign deterministic
+        // in terms of the draw (R_cc > 0).
+        const double sign = a(c, c) < 0.0 ? -1.0 : 1.0;
+        for (std::size_t r = 0; r < n; ++r) a(r, c) *= sign / norm;
+    }
+    return a;
+}
+
+void Matrix::multiply(std::span<const double> x, std::span<double> y) const {
+    assert(x.size() == cols_ && y.size() >= rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        const double* row = &data_[r * cols_];
+        for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+        y[r] = acc;
+    }
+}
+
+void Matrix::multiply_transpose(std::span<const double> x,
+                                std::span<double> y) const {
+    assert(x.size() == rows_ && y.size() >= cols_);
+    for (std::size_t c = 0; c < cols_; ++c) y[c] = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const double* row = &data_[r * cols_];
+        for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * x[r];
+    }
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+    assert(cols_ == other.rows_);
+    Matrix out(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(r, k);
+            if (a == 0.0) continue;
+            for (std::size_t c = 0; c < other.cols_; ++c)
+                out(r, c) += a * other(k, c);
+        }
+    return out;
+}
+
+Matrix Matrix::transposed() const {
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+    return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+    assert(rows_ == other.rows_ && cols_ == other.cols_);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+    return worst;
+}
+
+std::size_t gram_schmidt(std::vector<std::vector<double>>& vectors,
+                         double tolerance) {
+    std::size_t independent = 0;
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+        auto& v = vectors[i];
+        for (std::size_t j = 0; j < i; ++j) {
+            const auto& u = vectors[j];
+            double dot = 0.0;
+            for (std::size_t k = 0; k < v.size(); ++k) dot += v[k] * u[k];
+            for (std::size_t k = 0; k < v.size(); ++k) v[k] -= dot * u[k];
+        }
+        double norm = 0.0;
+        for (const double x : v) norm += x * x;
+        norm = std::sqrt(norm);
+        if (norm <= tolerance) {
+            for (double& x : v) x = 0.0;
+            continue;
+        }
+        for (double& x : v) x /= norm;
+        ++independent;
+    }
+    return independent;
+}
+
+} // namespace borg::util

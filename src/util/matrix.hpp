@@ -1,0 +1,77 @@
+#ifndef BORG_UTIL_MATRIX_HPP
+#define BORG_UTIL_MATRIX_HPP
+
+/// \file matrix.hpp
+/// Small dense matrix support used by the rotated test problems (UF11 is a
+/// rotated, scaled DTLZ2) and the multi-parent recombination operators (PCX,
+/// SPX, UNDX work in the subspace spanned by the parents).
+///
+/// These matrices are tiny (at most #decision-variables squared, i.e. tens by
+/// tens), so a straightforward row-major implementation with no blocking is
+/// both adequate and the simplest thing that can be verified.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace borg::util {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+public:
+    Matrix() = default;
+
+    /// rows x cols matrix, zero-initialized.
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /// Identity matrix of order n.
+    static Matrix identity(std::size_t n);
+
+    /// Random orthogonal matrix of order n: QR decomposition of a matrix of
+    /// i.i.d. standard normals, with the sign convention (R diagonal positive)
+    /// that makes the result Haar-distributed. Deterministic given \p rng.
+    static Matrix random_rotation(std::size_t n, Rng& rng);
+
+    std::size_t rows() const noexcept { return rows_; }
+    std::size_t cols() const noexcept { return cols_; }
+
+    double& operator()(std::size_t r, std::size_t c) noexcept {
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const noexcept {
+        return data_[r * cols_ + c];
+    }
+
+    /// y = A x. Requires x.size() == cols(); writes rows() values into y.
+    void multiply(std::span<const double> x, std::span<double> y) const;
+
+    /// y = A^T x. Requires x.size() == rows(); writes cols() values into y.
+    void multiply_transpose(std::span<const double> x, std::span<double> y) const;
+
+    /// C = A B.
+    Matrix multiply(const Matrix& other) const;
+
+    /// A^T.
+    Matrix transposed() const;
+
+    /// max_ij |A_ij - B_ij|; used by tests to check orthogonality (A A^T = I).
+    double max_abs_diff(const Matrix& other) const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Gram-Schmidt orthonormalization of the rows of \p vectors, in place.
+/// Rows that are (numerically) linearly dependent on earlier rows are left
+/// as zero vectors and reported via the return value (count of independent
+/// rows). Used by UNDX to build an orthonormal basis of the parent subspace.
+std::size_t gram_schmidt(std::vector<std::vector<double>>& vectors,
+                         double tolerance = 1e-12);
+
+} // namespace borg::util
+
+#endif

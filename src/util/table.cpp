@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace borg::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << std::string(widths[c] - cells[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+    auto quote = [](const std::string& cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+        std::string out = "\"";
+        for (const char ch : cell) {
+            if (ch == '"') out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << quote(cells[c]);
+            if (c + 1 < cells.size()) os << ',';
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+}
+
+std::string format_fixed(double value, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+    return buf;
+}
+
+std::string format_percent(double ratio) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f%%", 100.0 * ratio);
+    return buf;
+}
+
+std::string format_seconds(double seconds) {
+    if (!std::isfinite(seconds)) return "inf";
+    if (seconds >= 1.0) return format_fixed(seconds, 1);
+    if (seconds >= 0.001) return format_fixed(seconds, 4);
+    return format_fixed(seconds, 6);
+}
+
+} // namespace borg::util

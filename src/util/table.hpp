@@ -1,0 +1,49 @@
+#ifndef BORG_UTIL_TABLE_HPP
+#define BORG_UTIL_TABLE_HPP
+
+/// \file table.hpp
+/// Plain-text table and CSV emission for the benchmark harnesses. The
+/// reproduction drivers print rows in the same layout as the paper's Table II
+/// and figure series, so their output can be eyeballed against the original.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace borg::util {
+
+/// Accumulates rows of string cells and renders them column-aligned.
+class Table {
+public:
+    /// Creates a table with the given column headers.
+    explicit Table(std::vector<std::string> headers);
+
+    /// Appends a row; pads or truncates to the header width.
+    void add_row(std::vector<std::string> cells);
+
+    std::size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Renders with space-aligned columns and a separator under the header.
+    void print(std::ostream& os) const;
+
+    /// Renders as CSV (RFC-4180 quoting for cells containing commas/quotes).
+    void print_csv(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with \p precision significant-looking decimal places.
+std::string format_fixed(double value, int precision);
+
+/// Formats a ratio as an integer percentage, e.g. 0.23 -> "23%".
+std::string format_percent(double ratio);
+
+/// Formats seconds in the paper's Table II style (one decimal for >= 1 s,
+/// more precision for sub-second values).
+std::string format_seconds(double seconds);
+
+} // namespace borg::util
+
+#endif

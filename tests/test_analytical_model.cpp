@@ -1,0 +1,159 @@
+#include "models/analytical.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace borg::models;
+
+// The paper's DTLZ2 / T_F = 0.01 configuration used in Section VI.
+const TimingCosts kPaperCosts{0.01, 0.000006, 0.000029};
+
+TEST(Analytical, SerialTimeEq1) {
+    EXPECT_NEAR(serial_time(100000, kPaperCosts), 100000 * 0.010029, 1e-9);
+}
+
+TEST(Analytical, ParallelTimeEq2) {
+    // N/(P-1) (T_F + 2 T_C + T_A)
+    const double expected = 100000.0 / 15.0 * (0.01 + 0.000012 + 0.000029);
+    EXPECT_NEAR(async_parallel_time(100000, 16, kPaperCosts), expected, 1e-9);
+}
+
+TEST(Analytical, ParallelTimeRequiresTwoProcessors) {
+    EXPECT_THROW(async_parallel_time(1000, 1, kPaperCosts),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(async_parallel_time(1000, 2, kPaperCosts));
+}
+
+TEST(Analytical, UpperBoundEq3MatchesPaperExample) {
+    // Paper Section VI: "T_A = 0.000029, T_C = 0.000006 and T_F = 0.01.
+    // From (3), the processor count upper bound is 244."
+    EXPECT_NEAR(processor_upper_bound(kPaperCosts), 243.9, 0.15);
+}
+
+TEST(Analytical, LowerBoundEq4AlwaysAboveTwo) {
+    EXPECT_GT(processor_lower_bound(kPaperCosts), 2.0);
+    // Regardless of the cost values (paper's remark under Eq. 4).
+    const TimingCosts extreme{1e-9, 10.0, 1e-9};
+    EXPECT_GT(processor_lower_bound(extreme), 2.0);
+}
+
+TEST(Analytical, LowerBoundFormula) {
+    const TimingCosts c{0.5, 0.25, 0.5};
+    EXPECT_NEAR(processor_lower_bound(c), 2.0 + 0.5 / 1.0, 1e-12);
+}
+
+TEST(Analytical, SpeedupAndEfficiencyConsistent) {
+    for (const std::uint64_t p : {2, 16, 64, 1024}) {
+        const double s = async_speedup(p, kPaperCosts);
+        const double e = async_efficiency(p, kPaperCosts);
+        EXPECT_NEAR(e, s / static_cast<double>(p), 1e-12);
+    }
+}
+
+TEST(Analytical, SpeedupGrowsLinearlyWithWorkers) {
+    const double s16 = async_speedup(16, kPaperCosts);
+    const double s32 = async_speedup(32, kPaperCosts);
+    EXPECT_NEAR(s32 / s16, 31.0 / 15.0, 1e-9);
+}
+
+TEST(Analytical, EfficiencyApproachesCommunicationRatio) {
+    // As P -> inf with the model's assumptions, E = (P-1)/P * ratio where
+    // ratio = (T_F + T_A) / (T_F + 2 T_C + T_A). At P = 10000 we are there.
+    const double ratio = (0.01 + 0.000029) / (0.01 + 0.000012 + 0.000029);
+    EXPECT_NEAR(async_efficiency(10000, kPaperCosts), ratio * 9999.0 / 10000.0,
+                1e-9);
+}
+
+TEST(Analytical, UpperBoundScalesWithTf) {
+    TimingCosts c = kPaperCosts;
+    const double base = processor_upper_bound(c);
+    c.tf *= 10.0;
+    EXPECT_NEAR(processor_upper_bound(c), 10.0 * base, 1e-9);
+}
+
+TEST(Analytical, RelativeErrorEq5) {
+    EXPECT_NEAR(relative_error(10.0, 9.0), 0.1, 1e-12);
+    EXPECT_NEAR(relative_error(10.0, 12.5), 0.25, 1e-12);
+    EXPECT_THROW(relative_error(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Analytical, DegenerateCostsRejected) {
+    const TimingCosts zero{1.0, 0.0, 0.0};
+    EXPECT_THROW(processor_upper_bound(zero), std::invalid_argument);
+    const TimingCosts zero2{0.0, 1.0, 0.0};
+    EXPECT_THROW(processor_lower_bound(zero2), std::invalid_argument);
+}
+
+TEST(SaturatingModel, MatchesEq2BelowSaturation) {
+    // Well under P_UB = 244 the service bound is slack.
+    for (const std::uint64_t p : {4, 16, 64}) {
+        EXPECT_DOUBLE_EQ(
+            async_parallel_time_saturating(1000, p, kPaperCosts),
+            async_parallel_time(1000, p, kPaperCosts));
+    }
+}
+
+TEST(SaturatingModel, FloorsAtMasterServiceBound) {
+    const TimingCosts small_tf{0.001, 0.000006, 0.000029};
+    const double bound = 100000 * (2 * 0.000006 + 0.000029);
+    for (const std::uint64_t p : {256, 1024, 16384}) {
+        EXPECT_DOUBLE_EQ(
+            async_parallel_time_saturating(100000, p, small_tf), bound);
+    }
+}
+
+TEST(SaturatingModel, CrossoverNearUpperBound) {
+    const TimingCosts costs{0.001, 0.000006, 0.000029};
+    const double p_ub = processor_upper_bound(costs); // ~24.4
+    const auto below = static_cast<std::uint64_t>(p_ub * 0.8);
+    const auto above = static_cast<std::uint64_t>(p_ub * 1.5);
+    EXPECT_GT(async_parallel_time_saturating(1000, below, costs),
+              1000 * (2 * costs.tc + costs.ta));
+    EXPECT_DOUBLE_EQ(async_parallel_time_saturating(1000, above, costs),
+                     1000 * (2 * costs.tc + costs.ta));
+}
+
+TEST(SaturatingModel, EfficiencyDecaysAsOneOverP) {
+    const TimingCosts costs{0.001, 0.000006, 0.000029};
+    const double e256 = async_efficiency_saturating(256, costs);
+    const double e512 = async_efficiency_saturating(512, costs);
+    EXPECT_NEAR(e256 / e512, 2.0, 1e-9); // both saturated: E ~ 1/P
+}
+
+// Table II sanity: predicted analytical times for the paper's rows.
+struct PaperRow {
+    std::uint64_t p;
+    double ta;
+    double tf;
+    double paper_analytical_time;
+};
+
+class TableTwoAnalytical : public ::testing::TestWithParam<PaperRow> {};
+
+TEST_P(TableTwoAnalytical, ReproducesPaperPrediction) {
+    const PaperRow row = GetParam();
+    const TimingCosts costs{row.tf, 0.000006, row.ta};
+    const double predicted = async_parallel_time(100000, row.p, costs);
+    // Paper reports one decimal place; allow rounding slack.
+    EXPECT_NEAR(predicted, row.paper_analytical_time,
+                0.05 * row.paper_analytical_time + 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, TableTwoAnalytical,
+    ::testing::Values(
+        // (The paper's sub-second analytical entries for T_F = 0.001 at
+        // P >= 512 round to 0.2-0.3 s where Eq. 2 itself gives ~0.1-0.2 s;
+        // those rows are excluded as irreproducible from the equation.)
+        PaperRow{16, 0.000023, 0.001, 7.1},   // DTLZ2
+        PaperRow{64, 0.000027, 0.001, 1.7},   // DTLZ2
+        PaperRow{16, 0.000023, 0.01, 67.1},   // DTLZ2
+        PaperRow{128, 0.000029, 0.01, 8.0},   // DTLZ2
+        PaperRow{16, 0.000023, 0.1, 667.1},   // DTLZ2
+        PaperRow{1024, 0.000045, 0.1, 9.8},   // DTLZ2
+        PaperRow{16, 0.000055, 0.001, 7.5},   // UF11
+        PaperRow{256, 0.000064, 0.01, 4.0},   // UF11
+        PaperRow{1024, 0.000078, 0.1, 9.8})); // UF11
+
+} // namespace

@@ -1,0 +1,211 @@
+#include "parallel/async_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "metrics/hypervolume.hpp"
+#include "models/analytical.hpp"
+#include "models/simulation_model.hpp"
+#include "problems/problem.hpp"
+#include "problems/reference_set.hpp"
+
+namespace {
+
+using namespace borg;
+using namespace borg::parallel;
+using borg::stats::Distribution;
+using borg::stats::make_delay;
+
+struct Fixture {
+    std::unique_ptr<problems::Problem> problem =
+        problems::make_problem("zdt1");
+    std::unique_ptr<Distribution> tf = make_delay(0.01, 0.1);
+    std::unique_ptr<Distribution> tc = make_delay(0.000006, 0.0);
+    std::unique_ptr<Distribution> ta = make_delay(0.000029, 0.3);
+
+    moea::BorgParams params() const {
+        return moea::BorgParams::for_problem(*problem, 0.01);
+    }
+    VirtualClusterConfig cluster(std::uint64_t p,
+                                 std::uint64_t seed = 1) const {
+        return VirtualClusterConfig{p, tf.get(), tc.get(), ta.get(), seed};
+    }
+};
+
+TEST(AsyncExecutor, CompletesRequestedEvaluations) {
+    Fixture f;
+    moea::BorgMoea algo(*f.problem, f.params(), 1);
+    AsyncMasterSlaveExecutor exec(algo, *f.problem, f.cluster(8));
+    const auto result = exec.run(2000);
+    EXPECT_EQ(result.evaluations, 2000u);
+    EXPECT_EQ(algo.evaluations(), 2000u);
+    EXPECT_GT(result.elapsed, 0.0);
+}
+
+TEST(AsyncExecutor, ElapsedMatchesAnalyticalBelowSaturation) {
+    Fixture f;
+    moea::BorgMoea algo(*f.problem, f.params(), 2);
+    AsyncMasterSlaveExecutor exec(algo, *f.problem, f.cluster(16));
+    const auto result = exec.run(5000);
+    const models::TimingCosts costs{0.01, 0.000006, 0.000029};
+    const double predicted = models::async_parallel_time(5000, 16, costs);
+    EXPECT_NEAR(result.elapsed, predicted, 0.03 * predicted);
+}
+
+TEST(AsyncExecutor, AgreesWithTimingOnlySimulationModel) {
+    // The real-algorithm executor and the distribution-only model must
+    // produce closely matching elapsed times for the same configuration —
+    // the property Table II's "Simulation Model" column relies on.
+    Fixture f;
+    moea::BorgMoea algo(*f.problem, f.params(), 3);
+    AsyncMasterSlaveExecutor exec(algo, *f.problem, f.cluster(64, 7));
+    const auto run = exec.run(20000);
+
+    models::SimulationConfig sim_cfg{20000, 64, f.tf.get(), f.tc.get(),
+                                     f.ta.get(), 7};
+    const auto sim = models::simulate_async(sim_cfg);
+    EXPECT_NEAR(run.elapsed, sim.elapsed, 0.02 * sim.elapsed);
+}
+
+TEST(AsyncExecutor, SearchProgressesUnderParallelism) {
+    Fixture f;
+    moea::BorgMoea algo(*f.problem, f.params(), 4);
+    AsyncMasterSlaveExecutor exec(algo, *f.problem, f.cluster(32));
+    exec.run(20000);
+    const auto refset = problems::reference_set_for("zdt1");
+    const double hv = metrics::normalized_hypervolume(
+        algo.archive().objective_vectors(), refset);
+    EXPECT_GT(hv, 0.9);
+}
+
+TEST(AsyncExecutor, DeterministicGivenSeeds) {
+    Fixture f;
+    moea::BorgMoea a(*f.problem, f.params(), 42);
+    moea::BorgMoea b(*f.problem, f.params(), 42);
+    const auto ra =
+        AsyncMasterSlaveExecutor(a, *f.problem, f.cluster(16, 5)).run(3000);
+    const auto rb =
+        AsyncMasterSlaveExecutor(b, *f.problem, f.cluster(16, 5)).run(3000);
+    EXPECT_DOUBLE_EQ(ra.elapsed, rb.elapsed);
+    ASSERT_EQ(a.archive().size(), b.archive().size());
+    for (std::size_t i = 0; i < a.archive().size(); ++i)
+        EXPECT_EQ(a.archive()[i].objectives, b.archive()[i].objectives);
+}
+
+TEST(AsyncExecutor, MoreWorkersSaturateMaster) {
+    Fixture f;
+    std::unique_ptr<Distribution> tiny_tf = make_delay(0.0005, 0.1);
+    moea::BorgMoea algo(*f.problem, f.params(), 6);
+    VirtualClusterConfig cfg{256, tiny_tf.get(), f.tc.get(), f.ta.get(), 6};
+    AsyncMasterSlaveExecutor exec(algo, *f.problem, cfg);
+    const auto result = exec.run(10000);
+    EXPECT_GT(result.master_busy_fraction, 0.9);
+    EXPECT_GT(result.contention_rate, 0.9);
+    EXPECT_GT(result.mean_queue_wait, 0.0);
+}
+
+TEST(AsyncExecutor, RecordsTrajectory) {
+    Fixture f;
+    moea::BorgMoea algo(*f.problem, f.params(), 7);
+    const auto refset = problems::reference_set_for("zdt1");
+    metrics::HypervolumeNormalizer normalizer(refset);
+    TrajectoryRecorder recorder(normalizer, 1000);
+    AsyncMasterSlaveExecutor exec(algo, *f.problem, f.cluster(16));
+    const auto result = exec.run(10000, &recorder);
+
+    ASSERT_GE(recorder.points().size(), 10u);
+    double last_time = 0.0;
+    for (const auto& point : recorder.points()) {
+        EXPECT_GE(point.time, last_time);
+        last_time = point.time;
+        EXPECT_GE(point.hypervolume, 0.0);
+        EXPECT_LE(point.hypervolume, 1.0);
+    }
+    EXPECT_NEAR(recorder.points().back().time, result.elapsed, 1e-9);
+    EXPECT_GT(recorder.final_hypervolume(), 0.5);
+}
+
+TEST(AsyncExecutor, MeasuredTaModeProducesPositiveSamples) {
+    Fixture f;
+    moea::BorgMoea algo(*f.problem, f.params(), 8);
+    VirtualClusterConfig cfg{8, f.tf.get(), f.tc.get(), nullptr, 8};
+    AsyncMasterSlaveExecutor exec(algo, *f.problem, cfg);
+    const auto result = exec.run(2000);
+    EXPECT_EQ(result.ta_applied.count, 2000u);
+    EXPECT_GT(result.ta_applied.mean, 0.0);
+    EXPECT_LT(result.ta_applied.mean, 0.01); // master step is microseconds
+}
+
+TEST(AsyncExecutor, TfSummaryMatchesDistribution) {
+    Fixture f;
+    moea::BorgMoea algo(*f.problem, f.params(), 9);
+    AsyncMasterSlaveExecutor exec(algo, *f.problem, f.cluster(16, 11));
+    const auto result = exec.run(10000);
+    EXPECT_NEAR(result.tf_applied.mean, 0.01, 0.0005);
+    EXPECT_NEAR(result.tf_applied.stddev, 0.001, 0.0002);
+}
+
+TEST(AsyncExecutor, RejectsReuseAndBadInput) {
+    Fixture f;
+    moea::BorgMoea algo(*f.problem, f.params(), 10);
+    AsyncMasterSlaveExecutor exec(algo, *f.problem, f.cluster(4));
+    exec.run(100);
+    EXPECT_THROW(exec.run(100), std::logic_error);
+    moea::BorgMoea fresh(*f.problem, f.params(), 11);
+    AsyncMasterSlaveExecutor exec2(fresh, *f.problem, f.cluster(4));
+    EXPECT_THROW(exec2.run(0), std::invalid_argument);
+}
+
+TEST(AsyncExecutor, ValidatesClusterConfig) {
+    Fixture f;
+    moea::BorgMoea algo(*f.problem, f.params(), 12);
+    VirtualClusterConfig bad{1, f.tf.get(), f.tc.get(), f.ta.get(), 1};
+    EXPECT_THROW(AsyncMasterSlaveExecutor(algo, *f.problem, bad),
+                 std::invalid_argument);
+    VirtualClusterConfig no_tf{4, nullptr, f.tc.get(), f.ta.get(), 1};
+    EXPECT_THROW(AsyncMasterSlaveExecutor(algo, *f.problem, no_tf),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- serial
+
+TEST(SerialVirtual, ElapsedIsSumOfCosts) {
+    Fixture f;
+    moea::BorgMoea algo(*f.problem, f.params(), 13);
+    const auto result =
+        run_serial_virtual(algo, *f.problem, f.cluster(2, 3), 5000);
+    // T_S = N (T_F + T_A) with sampled values.
+    const double expected = 5000 * (0.01 + 0.000029);
+    EXPECT_NEAR(result.elapsed, expected, 0.01 * expected);
+    EXPECT_EQ(result.evaluations, 5000u);
+}
+
+TEST(SerialVirtual, SpeedupAgainstParallelMatchesTheory) {
+    Fixture f;
+    moea::BorgMoea serial_algo(*f.problem, f.params(), 14);
+    const auto ts =
+        run_serial_virtual(serial_algo, *f.problem, f.cluster(2, 4), 20000);
+
+    moea::BorgMoea parallel_algo(*f.problem, f.params(), 14);
+    AsyncMasterSlaveExecutor exec(parallel_algo, *f.problem, f.cluster(16, 4));
+    const auto tp = exec.run(20000);
+
+    const double speedup = ts.elapsed / tp.elapsed;
+    EXPECT_NEAR(speedup, 15.0, 0.8); // P - 1 below saturation
+}
+
+TEST(SerialVirtual, RecordsTrajectory) {
+    Fixture f;
+    moea::BorgMoea algo(*f.problem, f.params(), 15);
+    const auto refset = problems::reference_set_for("zdt1");
+    metrics::HypervolumeNormalizer normalizer(refset);
+    TrajectoryRecorder recorder(normalizer, 2000);
+    run_serial_virtual(algo, *f.problem, f.cluster(2, 5), 10000, &recorder);
+    EXPECT_GE(recorder.points().size(), 5u);
+    // Hypervolume should improve over the run on ZDT1.
+    EXPECT_GT(recorder.points().back().hypervolume,
+              recorder.points().front().hypervolume);
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+#include "moea/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "problems/problem.hpp"
+
+namespace {
+
+using namespace borg;
+using namespace borg::moea;
+
+BorgParams params_for(const problems::Problem& problem) {
+    return BorgParams::for_problem(problem, 0.01);
+}
+
+/// The gold property: save at evaluation k, load into a fresh instance,
+/// continue both to N — the archives must be bit-identical.
+TEST(Checkpoint, ResumedRunIsBitIdentical) {
+    const auto problem = problems::make_problem("zdt1");
+
+    BorgMoea uninterrupted(*problem, params_for(*problem), 42);
+    run_serial(uninterrupted, *problem, 10000);
+
+    BorgMoea first_half(*problem, params_for(*problem), 42);
+    run_serial(first_half, *problem, 4000);
+    std::stringstream snapshot;
+    save_checkpoint(first_half, snapshot);
+
+    BorgMoea resumed(*problem, params_for(*problem), 999); // wrong seed —
+    load_checkpoint(resumed, snapshot); // — overwritten by the checkpoint
+    run_serial(resumed, *problem, 10000);
+
+    ASSERT_EQ(resumed.archive().size(), uninterrupted.archive().size());
+    for (std::size_t i = 0; i < resumed.archive().size(); ++i) {
+        EXPECT_EQ(resumed.archive()[i].objectives,
+                  uninterrupted.archive()[i].objectives);
+        EXPECT_EQ(resumed.archive()[i].variables,
+                  uninterrupted.archive()[i].variables);
+    }
+    EXPECT_EQ(resumed.restarts(), uninterrupted.restarts());
+    EXPECT_EQ(resumed.operator_usage(), uninterrupted.operator_usage());
+    EXPECT_EQ(resumed.operator_probabilities(),
+              uninterrupted.operator_probabilities());
+}
+
+TEST(Checkpoint, CountersSurviveRoundTrip) {
+    const auto problem = problems::make_problem("zdt1");
+    BorgMoea original(*problem, params_for(*problem), 7);
+    run_serial(original, *problem, 3000);
+
+    std::stringstream snapshot;
+    save_checkpoint(original, snapshot);
+    BorgMoea restored(*problem, params_for(*problem), 8);
+    load_checkpoint(restored, snapshot);
+
+    EXPECT_EQ(restored.issued(), original.issued());
+    EXPECT_EQ(restored.evaluations(), original.evaluations());
+    EXPECT_EQ(restored.pending_restart_mutants(),
+              original.pending_restart_mutants());
+    EXPECT_EQ(restored.archive().size(), original.archive().size());
+    EXPECT_EQ(restored.archive().epsilon_progress(),
+              original.archive().epsilon_progress());
+    EXPECT_EQ(restored.archive().improvements(),
+              original.archive().improvements());
+    EXPECT_EQ(restored.population().size(), original.population().size());
+    EXPECT_EQ(restored.population().target_size(),
+              original.population().target_size());
+}
+
+TEST(Checkpoint, ExactDoubleRoundTrip) {
+    const auto problem = problems::make_problem("zdt1");
+    BorgMoea original(*problem, params_for(*problem), 3);
+    run_serial(original, *problem, 500);
+
+    std::stringstream snapshot;
+    save_checkpoint(original, snapshot);
+    BorgMoea restored(*problem, params_for(*problem), 4);
+    load_checkpoint(restored, snapshot);
+
+    for (std::size_t i = 0; i < original.population().size(); ++i)
+        EXPECT_EQ(restored.population()[i].variables,
+                  original.population()[i].variables);
+}
+
+TEST(Checkpoint, WorksMidRestartRefill) {
+    // Checkpoint while restart mutants are pending: the pending count and
+    // the resulting stream must survive.
+    const auto problem = problems::make_problem("zdt1");
+    BorgParams params = params_for(*problem);
+    params.restart.window = 100;
+    BorgMoea algo(*problem, params, 5);
+    std::uint64_t i = 0;
+    while (algo.pending_restart_mutants() == 0 && i < 50000) {
+        Solution s = algo.next_offspring();
+        evaluate(*problem, s);
+        algo.receive(std::move(s));
+        ++i;
+    }
+    ASSERT_GT(algo.pending_restart_mutants(), 0u);
+
+    std::stringstream snapshot;
+    save_checkpoint(algo, snapshot);
+    BorgMoea restored(*problem, params, 6);
+    load_checkpoint(restored, snapshot);
+    EXPECT_EQ(restored.pending_restart_mutants(),
+              algo.pending_restart_mutants());
+    const Solution a = algo.next_offspring();
+    const Solution b = restored.next_offspring();
+    EXPECT_EQ(a.variables, b.variables);
+    EXPECT_EQ(a.operator_index, b.operator_index);
+}
+
+TEST(Checkpoint, ConstrainedSolutionsRoundTrip) {
+    const auto problem = problems::make_problem("srn");
+    BorgParams params;
+    params.epsilons = {1.0, 1.0};
+    BorgMoea original(*problem, params, 9);
+    run_serial(original, *problem, 2000);
+
+    std::stringstream snapshot;
+    save_checkpoint(original, snapshot);
+    BorgMoea restored(*problem, params, 10);
+    load_checkpoint(restored, snapshot);
+    ASSERT_EQ(restored.archive().size(), original.archive().size());
+    for (std::size_t i = 0; i < restored.archive().size(); ++i)
+        EXPECT_EQ(restored.archive()[i].constraints,
+                  original.archive()[i].constraints);
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+    const auto problem = problems::make_problem("zdt1");
+    BorgMoea algo(*problem, params_for(*problem), 11);
+    std::stringstream garbage("not a checkpoint at all");
+    EXPECT_THROW(load_checkpoint(algo, garbage), CheckpointError);
+}
+
+TEST(Checkpoint, RejectsTruncated) {
+    const auto problem = problems::make_problem("zdt1");
+    BorgMoea original(*problem, params_for(*problem), 12);
+    run_serial(original, *problem, 1000);
+    std::stringstream snapshot;
+    save_checkpoint(original, snapshot);
+    const std::string full = snapshot.str();
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    BorgMoea restored(*problem, params_for(*problem), 13);
+    EXPECT_THROW(load_checkpoint(restored, truncated), CheckpointError);
+}
+
+TEST(Checkpoint, RejectsDifferentProblemDimensions) {
+    const auto zdt = problems::make_problem("zdt1");
+    BorgMoea original(*zdt, params_for(*zdt), 14);
+    run_serial(original, *zdt, 1000);
+    std::stringstream snapshot;
+    save_checkpoint(original, snapshot);
+
+    const auto dtlz = problems::make_problem("dtlz2_2");
+    BorgMoea other(*dtlz, params_for(*dtlz), 15);
+    EXPECT_THROW(load_checkpoint(other, snapshot), CheckpointError);
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using borg::util::CliArgs;
+
+CliArgs parse(std::initializer_list<const char*> args) {
+    std::vector<const char*> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+    const auto args = parse({"--procs", "64"});
+    EXPECT_EQ(args.get_int("procs", 0), 64);
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+    const auto args = parse({"--tf=0.01"});
+    EXPECT_DOUBLE_EQ(args.get_double("tf", 0.0), 0.01);
+}
+
+TEST(Cli, BooleanSwitch) {
+    const auto args = parse({"--verbose"});
+    EXPECT_TRUE(args.get_bool("verbose"));
+    EXPECT_FALSE(args.get_bool("quiet"));
+}
+
+TEST(Cli, BooleanSwitchBeforeFlag) {
+    const auto args = parse({"--verbose", "--procs", "8"});
+    EXPECT_TRUE(args.get_bool("verbose"));
+    EXPECT_EQ(args.get_int("procs", 0), 8);
+}
+
+TEST(Cli, FallbacksUsedWhenAbsent) {
+    const auto args = parse({});
+    EXPECT_EQ(args.get("name", "default"), "default");
+    EXPECT_EQ(args.get_int("n", 42), 42);
+    EXPECT_DOUBLE_EQ(args.get_double("x", 2.5), 2.5);
+}
+
+TEST(Cli, CommaSeparatedDoubles) {
+    const auto args = parse({"--tf", "0.001,0.01,0.1"});
+    const auto values = args.get_doubles("tf", {});
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_DOUBLE_EQ(values[0], 0.001);
+    EXPECT_DOUBLE_EQ(values[2], 0.1);
+}
+
+TEST(Cli, CommaSeparatedInts) {
+    const auto args = parse({"--procs=16,32,64"});
+    const auto values = args.get_ints("procs", {});
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_EQ(values[1], 32);
+}
+
+TEST(Cli, HasDetectsPresence) {
+    const auto args = parse({"--x", "1"});
+    EXPECT_TRUE(args.has("x"));
+    EXPECT_FALSE(args.has("y"));
+}
+
+TEST(Cli, RejectsNonFlagToken) {
+    EXPECT_THROW(parse({"positional"}), std::invalid_argument);
+}
+
+TEST(Cli, CheckKnownAcceptsKnown) {
+    const auto args = parse({"--a", "1", "--b=2"});
+    EXPECT_NO_THROW(args.check_known({"a", "b", "c"}));
+}
+
+TEST(Cli, CheckKnownRejectsUnknown) {
+    const auto args = parse({"--oops", "1"});
+    EXPECT_THROW(args.check_known({"a", "b"}), std::invalid_argument);
+}
+
+TEST(Cli, NegativeNumberAsValue) {
+    const auto args = parse({"--offset", "-5"});
+    EXPECT_EQ(args.get_int("offset", 0), -5);
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+#include "moea/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "problems/problem.hpp"
+
+namespace {
+
+using namespace borg;
+using namespace borg::moea;
+
+struct DiagFixture : ::testing::Test {
+    DiagFixture()
+        : problem(problems::make_problem("zdt1")),
+          algo(*problem, BorgParams::for_problem(*problem, 0.01), 9) {}
+
+    void run(std::uint64_t evals, DiagnosticLog& log) {
+        run_serial(algo, *problem, evals,
+                   [&](std::uint64_t) { log.observe(algo); });
+    }
+
+    std::unique_ptr<problems::Problem> problem;
+    BorgMoea algo;
+};
+
+TEST_F(DiagFixture, SnapshotsAtWindowBoundaries) {
+    DiagnosticLog log(500);
+    run(5000, log);
+    ASSERT_GE(log.snapshots().size(), 10u);
+    // Window-boundary snapshots are >= 500 apart unless restart-triggered.
+    for (const auto& snap : log.snapshots()) {
+        EXPECT_LE(snap.evaluations, 5000u);
+        EXPECT_EQ(snap.operator_probabilities.size(), algo.num_operators());
+    }
+}
+
+TEST_F(DiagFixture, EvaluationCountsMonotone) {
+    DiagnosticLog log(300);
+    run(4000, log);
+    for (std::size_t i = 1; i < log.snapshots().size(); ++i)
+        EXPECT_GE(log.snapshots()[i].evaluations,
+                  log.snapshots()[i - 1].evaluations);
+}
+
+TEST_F(DiagFixture, RestartsForceExtraSnapshots) {
+    DiagnosticLog log(1000000); // window larger than the run
+    run(20000, log);
+    // ZDT1 at this budget restarts several times; each must snapshot.
+    EXPECT_EQ(log.snapshots().size(),
+              static_cast<std::size_t>(algo.restarts()));
+    EXPECT_GE(algo.restarts(), 1u);
+}
+
+TEST_F(DiagFixture, AdaptationVisibleInSwing) {
+    DiagnosticLog log(500);
+    run(10000, log);
+    EXPECT_GT(log.max_probability_swing(), 0.01);
+}
+
+TEST_F(DiagFixture, PrintFormatsContainOperatorColumns) {
+    DiagnosticLog log(1000);
+    run(3000, log);
+    std::ostringstream table, csv;
+    log.print(table);
+    log.print_csv(csv);
+    EXPECT_NE(table.str().find("p(SBX+PM)"), std::string::npos);
+    EXPECT_NE(csv.str().find("p(UM)"), std::string::npos);
+    EXPECT_NE(table.str().find("restarts"), std::string::npos);
+}
+
+TEST(DiagnosticLog, RejectsZeroWindow) {
+    EXPECT_THROW(DiagnosticLog(0), std::invalid_argument);
+}
+
+TEST(DiagnosticLog, ObserveReturnsFalseBetweenWindows) {
+    const auto problem = problems::make_problem("zdt1");
+    BorgMoea algo(*problem, BorgParams::for_problem(*problem, 0.01), 10);
+    DiagnosticLog log(1000);
+    EXPECT_FALSE(log.observe(algo)); // nothing evaluated yet
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+#include "stats/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace borg::stats;
+using borg::util::Rng;
+
+/// Checks that sampled mean and variance match the distribution's declared
+/// moments to within sampling tolerance.
+void check_moments(const Distribution& d, std::uint64_t seed,
+                   int n = 200000) {
+    Rng rng(seed);
+    Accumulator acc;
+    for (int i = 0; i < n; ++i) acc.add(d.sample(rng));
+    const double tol_mean =
+        5.0 * d.stddev() / std::sqrt(static_cast<double>(n)) + 1e-12;
+    EXPECT_NEAR(acc.mean(), d.mean(), tol_mean) << d.describe();
+    if (d.variance() > 0.0)
+        EXPECT_NEAR(acc.variance(), d.variance(), 0.05 * d.variance())
+            << d.describe();
+}
+
+TEST(Constant, SamplesExactValue) {
+    ConstantDistribution d(0.01);
+    Rng rng(1);
+    for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 0.01);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.01);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(d.cv(), 0.0);
+}
+
+TEST(Constant, LogPdfPointMass) {
+    ConstantDistribution d(2.0);
+    EXPECT_DOUBLE_EQ(d.log_pdf(2.0), 0.0);
+    EXPECT_TRUE(std::isinf(d.log_pdf(2.1)));
+}
+
+TEST(Uniform, Moments) { check_moments(UniformDistribution(1.0, 3.0), 10); }
+
+TEST(Uniform, SamplesWithinSupport) {
+    UniformDistribution d(-1.0, 1.0);
+    Rng rng(2);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = d.sample(rng);
+        ASSERT_GE(x, -1.0);
+        ASSERT_LT(x, 1.0);
+    }
+}
+
+TEST(Uniform, RejectsDegenerate) {
+    EXPECT_THROW(UniformDistribution(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Exponential, Moments) { check_moments(ExponentialDistribution(4.0), 11); }
+
+TEST(Exponential, LogPdfMatchesFormula) {
+    ExponentialDistribution d(2.0);
+    EXPECT_NEAR(d.log_pdf(0.5), std::log(2.0) - 1.0, 1e-12);
+    EXPECT_TRUE(std::isinf(d.log_pdf(-0.1)));
+}
+
+TEST(Normal, Moments) { check_moments(NormalDistribution(5.0, 2.0), 12); }
+
+TEST(Normal, LogPdfPeakAtMean) {
+    NormalDistribution d(1.0, 0.5);
+    EXPECT_GT(d.log_pdf(1.0), d.log_pdf(1.4));
+    EXPECT_GT(d.log_pdf(1.0), d.log_pdf(0.6));
+}
+
+TEST(TruncatedNormal, Moments) {
+    check_moments(TruncatedNormalDistribution(0.01, 0.001, 0.0), 13);
+}
+
+TEST(TruncatedNormal, NeverBelowBound) {
+    // Heavy truncation: half the parent mass is below the bound.
+    TruncatedNormalDistribution d(0.0, 1.0, 0.0);
+    Rng rng(14);
+    for (int i = 0; i < 20000; ++i) ASSERT_GE(d.sample(rng), 0.0);
+    // Mean of half-normal is sqrt(2/pi).
+    EXPECT_NEAR(d.mean(), std::sqrt(2.0 / M_PI), 1e-9);
+}
+
+TEST(TruncatedNormal, MomentsUnderHeavyTruncation) {
+    check_moments(TruncatedNormalDistribution(0.0, 1.0, 0.0), 15);
+}
+
+TEST(LogNormal, Moments) { check_moments(LogNormalDistribution(-2.0, 0.5), 16); }
+
+TEST(LogNormal, PositiveSupport) {
+    LogNormalDistribution d(0.0, 1.0);
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i) ASSERT_GT(d.sample(rng), 0.0);
+    EXPECT_TRUE(std::isinf(d.log_pdf(0.0)));
+}
+
+class GammaMoments : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(GammaMoments, SampleMatchesDeclared) {
+    const auto [shape, scale] = GetParam();
+    check_moments(GammaDistribution(shape, scale), 18);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GammaMoments,
+    ::testing::Values(std::pair{0.5, 1.0}, std::pair{1.0, 2.0},
+                      std::pair{3.0, 0.01}, std::pair{20.0, 0.5}));
+
+TEST(Gamma, RejectsBadParameters) {
+    EXPECT_THROW(GammaDistribution(0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(GammaDistribution(1.0, -1.0), std::invalid_argument);
+}
+
+class WeibullMoments
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(WeibullMoments, SampleMatchesDeclared) {
+    const auto [shape, scale] = GetParam();
+    check_moments(WeibullDistribution(shape, scale), 19);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WeibullMoments,
+    ::testing::Values(std::pair{0.8, 1.0}, std::pair{1.0, 0.01},
+                      std::pair{2.5, 3.0}));
+
+TEST(Weibull, ShapeOneIsExponential) {
+    WeibullDistribution w(1.0, 2.0);
+    ExponentialDistribution e(0.5);
+    EXPECT_NEAR(w.mean(), e.mean(), 1e-12);
+    EXPECT_NEAR(w.log_pdf(1.0), e.log_pdf(1.0), 1e-12);
+}
+
+TEST(MakeDelay, ZeroCvGivesConstant) {
+    const auto d = make_delay(0.01, 0.0);
+    EXPECT_DOUBLE_EQ(d->mean(), 0.01);
+    EXPECT_DOUBLE_EQ(d->variance(), 0.0);
+}
+
+TEST(MakeDelay, PaperSettingHasRequestedCv) {
+    // The paper's controlled delays use cv = 0.1; truncation at zero is
+    // negligible for that regime, so mean and cv must match closely.
+    const auto d = make_delay(0.01, 0.1);
+    EXPECT_NEAR(d->mean(), 0.01, 1e-6);
+    EXPECT_NEAR(d->cv(), 0.1, 1e-3);
+}
+
+TEST(MakeDelay, SamplesNeverNegative) {
+    const auto d = make_delay(0.001, 0.5);
+    Rng rng(20);
+    for (int i = 0; i < 50000; ++i) ASSERT_GE(d->sample(rng), 0.0);
+}
+
+TEST(Clone, PreservesBehaviour) {
+    GammaDistribution original(3.0, 0.25);
+    const auto copy = original.clone();
+    EXPECT_DOUBLE_EQ(copy->mean(), original.mean());
+    EXPECT_DOUBLE_EQ(copy->log_pdf(1.0), original.log_pdf(1.0));
+    EXPECT_EQ(copy->describe(), original.describe());
+}
+
+TEST(NormalHelpers, CdfKnownValues) {
+    EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+    EXPECT_NEAR(normal_pdf(0.0), 0.3989422804, 1e-9);
+}
+
+} // namespace

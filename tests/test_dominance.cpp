@@ -1,0 +1,94 @@
+#include "moea/dominance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using namespace borg::moea;
+
+TEST(Pareto, StrictDomination) {
+    const std::vector<double> a{1.0, 2.0};
+    const std::vector<double> b{2.0, 3.0};
+    EXPECT_EQ(compare_pareto(a, b), Dominance::kDominates);
+    EXPECT_EQ(compare_pareto(b, a), Dominance::kDominatedBy);
+    EXPECT_TRUE(dominates(a, b));
+    EXPECT_FALSE(dominates(b, a));
+}
+
+TEST(Pareto, WeakDominationCounts) {
+    const std::vector<double> a{1.0, 2.0};
+    const std::vector<double> b{1.0, 3.0};
+    EXPECT_EQ(compare_pareto(a, b), Dominance::kDominates);
+}
+
+TEST(Pareto, Nondominated) {
+    const std::vector<double> a{1.0, 3.0};
+    const std::vector<double> b{2.0, 2.0};
+    EXPECT_EQ(compare_pareto(a, b), Dominance::kNondominated);
+    EXPECT_FALSE(dominates(a, b));
+}
+
+TEST(Pareto, Equal) {
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    EXPECT_EQ(compare_pareto(a, a), Dominance::kEqual);
+    EXPECT_FALSE(dominates(a, a));
+}
+
+TEST(Pareto, SingleObjective) {
+    const std::vector<double> a{1.0};
+    const std::vector<double> b{2.0};
+    EXPECT_EQ(compare_pareto(a, b), Dominance::kDominates);
+}
+
+TEST(EpsilonBox, IndexIsFloorDivision) {
+    const std::vector<double> f{0.25, 0.99, -0.1};
+    const std::vector<double> eps{0.1, 0.1, 0.1};
+    const auto box = epsilon_box(f, eps);
+    EXPECT_EQ(box[0], 2);
+    EXPECT_EQ(box[1], 9);
+    EXPECT_EQ(box[2], -1); // floor handles negatives correctly
+}
+
+TEST(EpsilonBox, PerObjectiveEpsilons) {
+    const std::vector<double> f{0.25, 0.25};
+    const std::vector<double> eps{0.1, 0.25};
+    const auto box = epsilon_box(f, eps);
+    EXPECT_EQ(box[0], 2);
+    EXPECT_EQ(box[1], 1);
+}
+
+TEST(EpsilonBox, NearbyPointsShareBox) {
+    const std::vector<double> eps{0.1, 0.1};
+    const auto b1 = epsilon_box(std::vector<double>{0.51, 0.32}, eps);
+    const auto b2 = epsilon_box(std::vector<double>{0.59, 0.39}, eps);
+    EXPECT_EQ(b1, b2);
+}
+
+TEST(BoxComparison, MirrorsPareto) {
+    const std::vector<std::int64_t> a{1, 2};
+    const std::vector<std::int64_t> b{2, 3};
+    const std::vector<std::int64_t> c{0, 5};
+    EXPECT_EQ(compare_boxes(a, b), Dominance::kDominates);
+    EXPECT_EQ(compare_boxes(b, a), Dominance::kDominatedBy);
+    EXPECT_EQ(compare_boxes(a, c), Dominance::kNondominated);
+    EXPECT_EQ(compare_boxes(a, a), Dominance::kEqual);
+}
+
+TEST(BoxCorner, DistanceToLowerCorner) {
+    const std::vector<double> eps{0.1, 0.1};
+    const std::vector<double> f{0.25, 0.31};
+    const auto box = epsilon_box(f, eps);
+    // Corner is (0.2, 0.3): squared distance 0.05^2 + 0.01^2.
+    EXPECT_NEAR(distance_to_box_corner(f, box, eps), 0.0026, 1e-12);
+}
+
+TEST(BoxCorner, CornerItselfIsZero) {
+    const std::vector<double> eps{0.5};
+    const std::vector<double> f{1.0};
+    const auto box = epsilon_box(f, eps);
+    EXPECT_DOUBLE_EQ(distance_to_box_corner(f, box, eps), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+#include "moea/epsilon_archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace borg::moea;
+
+Solution evaluated(std::vector<double> objectives, int op = kNoOperator) {
+    Solution s;
+    s.variables = {0.0};
+    s.set_objectives(objectives);
+    s.operator_index = op;
+    return s;
+}
+
+TEST(Archive, FirstSolutionAlwaysEnters) {
+    EpsilonBoxArchive archive({0.1, 0.1});
+    EXPECT_EQ(archive.add(evaluated({0.5, 0.5})), ArchiveAdd::kAddedNewBox);
+    EXPECT_EQ(archive.size(), 1u);
+    EXPECT_EQ(archive.epsilon_progress(), 1u);
+}
+
+TEST(Archive, DominatedBoxRejected) {
+    EpsilonBoxArchive archive({0.1, 0.1});
+    archive.add(evaluated({0.11, 0.11}));
+    EXPECT_EQ(archive.add(evaluated({0.55, 0.55})), ArchiveAdd::kRejected);
+    EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(Archive, DominatingSolutionEvicts) {
+    EpsilonBoxArchive archive({0.1, 0.1});
+    archive.add(evaluated({0.55, 0.55}));
+    archive.add(evaluated({0.75, 0.35}));
+    EXPECT_EQ(archive.add(evaluated({0.11, 0.11})), ArchiveAdd::kAddedNewBox);
+    EXPECT_EQ(archive.size(), 1u);
+    EXPECT_DOUBLE_EQ(archive[0].objectives[0], 0.11);
+}
+
+TEST(Archive, NondominatedBoxesCoexist) {
+    EpsilonBoxArchive archive({0.1, 0.1});
+    archive.add(evaluated({0.15, 0.85}));
+    archive.add(evaluated({0.85, 0.15}));
+    archive.add(evaluated({0.45, 0.45}));
+    EXPECT_EQ(archive.size(), 3u);
+    EXPECT_EQ(archive.epsilon_progress(), 3u);
+}
+
+TEST(Archive, SameBoxKeepsCloserToCorner) {
+    EpsilonBoxArchive archive({1.0, 1.0});
+    archive.add(evaluated({0.9, 0.9}));
+    // Same box [0,1)x[0,1); closer to (0,0) wins.
+    EXPECT_EQ(archive.add(evaluated({0.2, 0.2})),
+              ArchiveAdd::kReplacedSameBox);
+    EXPECT_EQ(archive.size(), 1u);
+    EXPECT_DOUBLE_EQ(archive[0].objectives[0], 0.2);
+    // A worse same-box candidate is rejected.
+    EXPECT_EQ(archive.add(evaluated({0.5, 0.5})), ArchiveAdd::kRejected);
+}
+
+TEST(Archive, SameBoxReplacementIsNotEpsilonProgress) {
+    EpsilonBoxArchive archive({1.0, 1.0});
+    archive.add(evaluated({0.9, 0.9}));
+    const auto progress_before = archive.epsilon_progress();
+    archive.add(evaluated({0.2, 0.2}));
+    EXPECT_EQ(archive.epsilon_progress(), progress_before);
+    EXPECT_EQ(archive.improvements(), 2u);
+}
+
+TEST(Archive, RejectionLeavesArchiveUntouched) {
+    EpsilonBoxArchive archive({0.1, 0.1});
+    archive.add(evaluated({0.15, 0.85}));
+    archive.add(evaluated({0.85, 0.15}));
+    const auto size_before = archive.size();
+    // Dominated by both members' boxes in one objective pattern.
+    archive.add(evaluated({0.86, 0.86}));
+    EXPECT_EQ(archive.size(), size_before);
+}
+
+TEST(Archive, MultiEviction) {
+    EpsilonBoxArchive archive({0.1, 0.1});
+    archive.add(evaluated({0.55, 0.75}));
+    archive.add(evaluated({0.65, 0.65}));
+    archive.add(evaluated({0.75, 0.55}));
+    EXPECT_EQ(archive.add(evaluated({0.15, 0.15})), ArchiveAdd::kAddedNewBox);
+    EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(Archive, MembersAlwaysMutuallyBoxNondominated) {
+    EpsilonBoxArchive archive({0.05, 0.05, 0.05});
+    borg::util::Rng rng(42);
+    for (int i = 0; i < 2000; ++i) {
+        std::vector<double> f(3);
+        for (double& v : f) v = rng.uniform();
+        archive.add(evaluated(f));
+    }
+    const auto& eps = archive.epsilons();
+    for (std::size_t i = 0; i < archive.size(); ++i) {
+        const auto bi = epsilon_box(archive[i].objectives, eps);
+        for (std::size_t j = i + 1; j < archive.size(); ++j) {
+            const auto bj = epsilon_box(archive[j].objectives, eps);
+            EXPECT_EQ(compare_boxes(bi, bj), Dominance::kNondominated);
+        }
+    }
+}
+
+TEST(Archive, OperatorCountsAttributeCorrectly) {
+    EpsilonBoxArchive archive({0.1, 0.1});
+    archive.add(evaluated({0.15, 0.85}, 0));
+    archive.add(evaluated({0.85, 0.15}, 2));
+    archive.add(evaluated({0.45, 0.45}, 2));
+    archive.add(evaluated({0.25, 0.65}, kNoOperator));
+    const auto counts = archive.operator_counts(3);
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[1], 0u);
+    EXPECT_EQ(counts[2], 2u);
+}
+
+TEST(Archive, ClearEmptiesButKeepsCounters) {
+    EpsilonBoxArchive archive({0.1, 0.1});
+    archive.add(evaluated({0.5, 0.5}));
+    archive.clear();
+    EXPECT_TRUE(archive.empty());
+    EXPECT_EQ(archive.epsilon_progress(), 1u);
+}
+
+TEST(Archive, SolutionsAndObjectiveVectorsAgree) {
+    EpsilonBoxArchive archive({0.1, 0.1});
+    archive.add(evaluated({0.15, 0.85}));
+    archive.add(evaluated({0.85, 0.15}));
+    const auto sols = archive.solutions();
+    const auto objs = archive.objective_vectors();
+    ASSERT_EQ(sols.size(), objs.size());
+    for (std::size_t i = 0; i < sols.size(); ++i)
+        EXPECT_EQ(sols[i].objectives, objs[i]);
+}
+
+TEST(Archive, RejectsInvalidConstruction) {
+    EXPECT_THROW(EpsilonBoxArchive({}), std::invalid_argument);
+    EXPECT_THROW(EpsilonBoxArchive({0.1, 0.0}), std::invalid_argument);
+    EXPECT_THROW(EpsilonBoxArchive({0.1, -0.1}), std::invalid_argument);
+}
+
+TEST(Archive, RejectsUnevaluatedOrWrongArity) {
+    EpsilonBoxArchive archive({0.1, 0.1});
+    Solution raw({0.5});
+    EXPECT_THROW(archive.add(raw), std::invalid_argument);
+    EXPECT_THROW(archive.add(evaluated({0.1, 0.2, 0.3})),
+                 std::invalid_argument);
+}
+
+TEST(Archive, BoundedSizeUnderFrontPressure) {
+    // Points jittered around the anti-diagonal front f1 + f2 = 1: with
+    // epsilon 0.1 the staircase of mutually nondominated boxes holds at
+    // most ~2/0.1 entries, however many points are offered.
+    EpsilonBoxArchive archive({0.1, 0.1});
+    borg::util::Rng rng(7);
+    for (int i = 0; i < 20000; ++i) {
+        const double x = rng.uniform();
+        const double y = 1.0 - x + rng.uniform(0.0, 0.05);
+        archive.add(evaluated({x, y}));
+    }
+    EXPECT_LE(archive.size(), 21u);
+    EXPECT_GE(archive.size(), 5u);
+}
+
+TEST(Archive, CollapsesWhenIdealCornerBoxReached) {
+    // A point inside the origin epsilon-box dominates every other box:
+    // the archive rightly collapses to that single solution.
+    EpsilonBoxArchive archive({0.1, 0.1});
+    borg::util::Rng rng(8);
+    for (int i = 0; i < 50; ++i)
+        archive.add(evaluated({rng.uniform(0.2, 1.0), rng.uniform(0.2, 1.0)}));
+    archive.add(evaluated({0.05, 0.05}));
+    EXPECT_EQ(archive.size(), 1u);
+}
+
+} // namespace

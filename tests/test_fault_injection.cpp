@@ -1,0 +1,173 @@
+/// Heterogeneity and failure-injection tests for the virtual cluster:
+/// stragglers hurt the synchronous barrier far more than the asynchronous
+/// protocol (extending Section VI-B's variable-T_F argument to variable
+/// *workers*), and the asynchronous master-slave run survives node loss.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "moea/nsga2.hpp"
+#include "parallel/async_executor.hpp"
+#include "parallel/sync_executor.hpp"
+#include "problems/problem.hpp"
+
+namespace {
+
+using namespace borg;
+using namespace borg::parallel;
+using borg::stats::Distribution;
+using borg::stats::make_delay;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Fixture {
+    std::unique_ptr<problems::Problem> problem =
+        problems::make_problem("zdt1");
+    std::unique_ptr<Distribution> tf = make_delay(0.01, 0.0);
+    std::unique_ptr<Distribution> tc = make_delay(0.000006, 0.0);
+    std::unique_ptr<Distribution> ta = make_delay(0.000029, 0.0);
+
+    moea::BorgParams params() const {
+        return moea::BorgParams::for_problem(*problem, 0.01);
+    }
+    VirtualClusterConfig cluster(std::uint64_t p,
+                                 std::uint64_t seed = 1) const {
+        return VirtualClusterConfig{p, tf.get(), tc.get(), ta.get(), seed};
+    }
+};
+
+// ---------------------------------------------------------- heterogeneity
+
+TEST(Heterogeneity, AsyncCapacityWeightedThroughput) {
+    // 8 workers, half of them 3x slower. Aggregate speed = 4 + 4/3 = 5.33
+    // worker-equivalents, so elapsed ~ homogeneous * 8 / 5.33.
+    Fixture f;
+    VirtualClusterConfig cfg = f.cluster(9, 2);
+    cfg.worker_speed = {1, 1, 1, 1, 3, 3, 3, 3};
+
+    moea::BorgMoea hetero_algo(*f.problem, f.params(), 3);
+    const auto hetero =
+        AsyncMasterSlaveExecutor(hetero_algo, *f.problem, cfg).run(8000);
+
+    moea::BorgMoea homo_algo(*f.problem, f.params(), 3);
+    const auto homo =
+        AsyncMasterSlaveExecutor(homo_algo, *f.problem, f.cluster(9, 2))
+            .run(8000);
+
+    const double expected_ratio = 8.0 / (4.0 + 4.0 / 3.0);
+    EXPECT_NEAR(hetero.elapsed / homo.elapsed, expected_ratio,
+                0.15 * expected_ratio);
+}
+
+TEST(Heterogeneity, StragglersHurtSyncMoreThanAsync) {
+    // One 5x straggler among 16 workers. The synchronous barrier waits for
+    // it every generation; the asynchronous pool simply routes most work
+    // around it.
+    Fixture f;
+    std::vector<double> speeds(16, 1.0);
+    speeds[0] = 5.0;
+    const std::uint64_t n = 6400;
+
+    VirtualClusterConfig async_cfg = f.cluster(17, 5);
+    async_cfg.worker_speed = speeds;
+    moea::BorgMoea async_algo(*f.problem, f.params(), 6);
+    const auto async_straggler =
+        AsyncMasterSlaveExecutor(async_algo, *f.problem, async_cfg).run(n);
+    moea::BorgMoea async_base_algo(*f.problem, f.params(), 6);
+    const auto async_base =
+        AsyncMasterSlaveExecutor(async_base_algo, *f.problem,
+                                 f.cluster(17, 5))
+            .run(n);
+
+    VirtualClusterConfig sync_cfg = f.cluster(17, 5);
+    sync_cfg.worker_speed = speeds;
+    moea::Nsga2 sync_algo(*f.problem, 17, 7);
+    const auto sync_straggler =
+        SyncMasterSlaveExecutor(sync_algo, *f.problem, sync_cfg).run(n);
+    moea::Nsga2 sync_base_algo(*f.problem, 17, 7);
+    const auto sync_base =
+        SyncMasterSlaveExecutor(sync_base_algo, *f.problem, f.cluster(17, 5))
+            .run(n);
+
+    const double async_penalty = async_straggler.elapsed / async_base.elapsed;
+    const double sync_penalty = sync_straggler.elapsed / sync_base.elapsed;
+    EXPECT_LT(async_penalty, 1.35); // absorbs the straggler
+    EXPECT_GT(sync_penalty, 3.0);   // every generation waits 5x
+    EXPECT_GT(sync_penalty, 2.0 * async_penalty);
+}
+
+TEST(Heterogeneity, ValidatesSpeedVector) {
+    Fixture f;
+    VirtualClusterConfig cfg = f.cluster(4);
+    cfg.worker_speed = {1.0, 1.0}; // wrong size for 3 workers
+    EXPECT_THROW(validate(cfg), std::invalid_argument);
+    cfg.worker_speed = {1.0, 0.0, 1.0};
+    EXPECT_THROW(validate(cfg), std::invalid_argument);
+}
+
+// -------------------------------------------------------- fault injection
+
+TEST(FaultInjection, RunCompletesDespiteFailures) {
+    Fixture f;
+    VirtualClusterConfig cfg = f.cluster(9, 8);
+    // Half the workers die partway through the run.
+    cfg.worker_failure_at = {0.5, 0.5, 0.5, 0.5, kInf, kInf, kInf, kInf};
+    moea::BorgMoea algo(*f.problem, f.params(), 9);
+    const auto result =
+        AsyncMasterSlaveExecutor(algo, *f.problem, cfg).run(8000);
+    EXPECT_EQ(result.evaluations, 8000u);
+    EXPECT_EQ(result.failed_workers, 4u);
+    EXPECT_EQ(algo.evaluations(), 8000u);
+}
+
+TEST(FaultInjection, FailuresSlowTheRunProportionally) {
+    Fixture f;
+    const std::uint64_t n = 8000;
+    moea::BorgMoea base_algo(*f.problem, f.params(), 10);
+    const auto base =
+        AsyncMasterSlaveExecutor(base_algo, *f.problem, f.cluster(9, 11))
+            .run(n);
+
+    VirtualClusterConfig cfg = f.cluster(9, 11);
+    cfg.worker_failure_at = {0.0, 0.0, 0.0, 0.0, kInf, kInf, kInf, kInf};
+    moea::BorgMoea half_algo(*f.problem, f.params(), 10);
+    const auto half =
+        AsyncMasterSlaveExecutor(half_algo, *f.problem, cfg).run(n);
+
+    // Immediate loss of half the workers roughly doubles the runtime.
+    EXPECT_NEAR(half.elapsed / base.elapsed, 2.0, 0.2);
+}
+
+TEST(FaultInjection, TotalFailureReturnsPartialRun) {
+    Fixture f;
+    VirtualClusterConfig cfg = f.cluster(5, 12);
+    cfg.worker_failure_at = {0.05, 0.05, 0.05, 0.05};
+    moea::BorgMoea algo(*f.problem, f.params(), 13);
+    const auto result =
+        AsyncMasterSlaveExecutor(algo, *f.problem, cfg).run(100000);
+    EXPECT_LT(result.evaluations, 100000u);
+    EXPECT_EQ(result.failed_workers, 4u);
+    EXPECT_GT(result.evaluations, 0u); // work done before the failures
+}
+
+TEST(FaultInjection, SearchQualityUnaffectedByWhoEvaluates) {
+    // Failures change only the schedule; surviving capacity still drives
+    // the archive forward.
+    Fixture f;
+    VirtualClusterConfig cfg = f.cluster(9, 14);
+    cfg.worker_failure_at = {1.0, 2.0, kInf, kInf, kInf, kInf, kInf, kInf};
+    moea::BorgMoea algo(*f.problem, f.params(), 15);
+    AsyncMasterSlaveExecutor(algo, *f.problem, cfg).run(20000);
+    EXPECT_GT(algo.archive().size(), 20u);
+}
+
+TEST(FaultInjection, ValidatesFailureVector) {
+    Fixture f;
+    VirtualClusterConfig cfg = f.cluster(4);
+    cfg.worker_failure_at = {1.0}; // wrong size
+    EXPECT_THROW(validate(cfg), std::invalid_argument);
+}
+
+} // namespace

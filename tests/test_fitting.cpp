@@ -1,0 +1,260 @@
+#include "stats/fitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace borg::stats;
+using borg::util::Rng;
+
+std::vector<double> draw(const Distribution& d, int n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> xs(n);
+    for (double& x : xs) x = d.sample(rng);
+    return xs;
+}
+
+TEST(Digamma, KnownValues) {
+    // psi(1) = -gamma (Euler-Mascheroni).
+    EXPECT_NEAR(digamma(1.0), -0.5772156649, 1e-9);
+    // psi(2) = 1 - gamma.
+    EXPECT_NEAR(digamma(2.0), 1.0 - 0.5772156649, 1e-9);
+    // psi(0.5) = -gamma - 2 ln 2.
+    EXPECT_NEAR(digamma(0.5), -0.5772156649 - 2.0 * std::log(2.0), 1e-9);
+    // Recurrence psi(x+1) = psi(x) + 1/x at a non-special point.
+    EXPECT_NEAR(digamma(4.7), digamma(3.7) + 1.0 / 3.7, 1e-10);
+}
+
+TEST(FitNormal, RecoversParameters) {
+    const NormalDistribution truth(3.0, 0.7);
+    const auto xs = draw(truth, 50000, 1);
+    const Fit fit = fit_normal(xs);
+    EXPECT_NEAR(fit.distribution->mean(), 3.0, 0.02);
+    EXPECT_NEAR(fit.distribution->stddev(), 0.7, 0.02);
+    EXPECT_EQ(fit.family, "normal");
+}
+
+TEST(FitLogNormal, RecoversParameters) {
+    const LogNormalDistribution truth(-1.0, 0.4);
+    const auto xs = draw(truth, 50000, 2);
+    const Fit fit = fit_lognormal(xs);
+    EXPECT_NEAR(fit.distribution->mean(), truth.mean(), 0.01);
+}
+
+TEST(FitLogNormal, RejectsNonPositive) {
+    const std::vector<double> xs{1.0, -1.0, 2.0};
+    EXPECT_THROW(fit_lognormal(xs), std::invalid_argument);
+}
+
+TEST(FitExponential, RecoversRate) {
+    const ExponentialDistribution truth(5.0);
+    const auto xs = draw(truth, 50000, 3);
+    const Fit fit = fit_exponential(xs);
+    EXPECT_NEAR(fit.distribution->mean(), 0.2, 0.01);
+}
+
+TEST(FitUniform, RecoversSupport) {
+    const UniformDistribution truth(2.0, 6.0);
+    const auto xs = draw(truth, 20000, 4);
+    const Fit fit = fit_uniform(xs);
+    EXPECT_NEAR(fit.distribution->mean(), 4.0, 0.05);
+    EXPECT_NEAR(fit.distribution->variance(), 16.0 / 12.0, 0.05);
+}
+
+class GammaFitRecovery
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(GammaFitRecovery, ShapeAndScale) {
+    const auto [shape, scale] = GetParam();
+    const GammaDistribution truth(shape, scale);
+    const auto xs = draw(truth, 50000, 5);
+    const Fit fit = fit_gamma(xs);
+    const auto& g = dynamic_cast<const GammaDistribution&>(*fit.distribution);
+    EXPECT_NEAR(g.shape(), shape, 0.06 * shape);
+    EXPECT_NEAR(g.scale(), scale, 0.06 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GammaFitRecovery,
+    ::testing::Values(std::pair{0.7, 1.0}, std::pair{2.0, 0.001},
+                      std::pair{9.0, 3.0}));
+
+class WeibullFitRecovery
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(WeibullFitRecovery, ShapeAndScale) {
+    const auto [shape, scale] = GetParam();
+    const WeibullDistribution truth(shape, scale);
+    const auto xs = draw(truth, 50000, 6);
+    const Fit fit = fit_weibull(xs);
+    const auto& w =
+        dynamic_cast<const WeibullDistribution&>(*fit.distribution);
+    EXPECT_NEAR(w.shape(), shape, 0.05 * shape);
+    EXPECT_NEAR(w.scale(), scale, 0.05 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WeibullFitRecovery,
+    ::testing::Values(std::pair{0.9, 0.01}, std::pair{1.5, 2.0},
+                      std::pair{4.0, 1.0}));
+
+TEST(FitAll, SelectsGeneratingFamilyGamma) {
+    const GammaDistribution truth(3.0, 0.5);
+    const auto xs = draw(truth, 20000, 7);
+    const auto fits = fit_all(xs);
+    ASSERT_FALSE(fits.empty());
+    // Gamma must rank at or near the top, and must beat exponential and
+    // uniform decisively.
+    double gamma_ll = 0.0, expo_ll = 0.0;
+    bool saw_gamma = false, saw_expo = false;
+    for (const Fit& f : fits) {
+        if (f.family == "gamma") {
+            gamma_ll = f.log_likelihood;
+            saw_gamma = true;
+        }
+        if (f.family == "exponential") {
+            expo_ll = f.log_likelihood;
+            saw_expo = true;
+        }
+    }
+    ASSERT_TRUE(saw_gamma && saw_expo);
+    EXPECT_GT(gamma_ll, expo_ll);
+    EXPECT_TRUE(fits.front().family == "gamma" ||
+                fits.front().family == "lognormal" ||
+                fits.front().family == "weibull" ||
+                fits.front().family == "normal");
+}
+
+TEST(FitAll, SelectsNormalForGaussianData) {
+    const NormalDistribution truth(100.0, 1.0);
+    const auto xs = draw(truth, 20000, 8);
+    const auto fits = fit_all(xs);
+    ASSERT_FALSE(fits.empty());
+    // With mean >> sigma, normal / lognormal / gamma are all close; the
+    // sorted order must be by log-likelihood.
+    for (std::size_t i = 1; i < fits.size(); ++i)
+        EXPECT_GE(fits[i - 1].log_likelihood, fits[i].log_likelihood);
+}
+
+TEST(FitAll, AicPenalizesParameterCount) {
+    const ExponentialDistribution truth(2.0);
+    const auto xs = draw(truth, 5000, 9);
+    for (const Fit& f : fit_all(xs)) {
+        const int params = f.family == "exponential" ? 1 : 2;
+        EXPECT_NEAR(f.aic, 2.0 * params - 2.0 * f.log_likelihood, 1e-9);
+    }
+}
+
+TEST(FitAll, ThrowsOnTinySample) {
+    const std::vector<double> xs{1.0};
+    EXPECT_THROW(fit_all(xs), std::invalid_argument);
+}
+
+TEST(BestFit, ConstantForDegenerateSample) {
+    const std::vector<double> xs{0.5, 0.5, 0.5, 0.5};
+    const auto d = best_fit(xs);
+    EXPECT_DOUBLE_EQ(d->mean(), 0.5);
+    EXPECT_DOUBLE_EQ(d->variance(), 0.0);
+}
+
+TEST(BestFit, ConstantForEmptySample) {
+    const auto d = best_fit(std::vector<double>{});
+    EXPECT_DOUBLE_EQ(d->mean(), 0.0);
+}
+
+TEST(IncompleteGamma, KnownValues) {
+    // P(1, x) = 1 - e^{-x} (exponential CDF).
+    EXPECT_NEAR(regularized_gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+    // P(0.5, x) = erf(sqrt(x)).
+    EXPECT_NEAR(regularized_gamma_p(0.5, 2.0), std::erf(std::sqrt(2.0)),
+                1e-10);
+    // Median of gamma(3, 1) is ~2.674: P jumps through 0.5 there.
+    EXPECT_LT(regularized_gamma_p(3.0, 2.5), 0.5);
+    EXPECT_GT(regularized_gamma_p(3.0, 2.9), 0.5);
+    EXPECT_DOUBLE_EQ(regularized_gamma_p(3.0, 0.0), 0.0);
+}
+
+TEST(CdfHelpers, AgreeWithSampling) {
+    // Empirical CDFs of large samples must match the closed forms; this
+    // also cross-checks sampler and CDF against each other.
+    struct Case {
+        std::unique_ptr<Distribution> dist;
+        std::function<double(double)> cdf;
+    };
+    std::vector<Case> cases;
+    cases.push_back({std::make_unique<NormalDistribution>(2.0, 0.5),
+                     [](double x) { return normal_cdf_value(x, 2.0, 0.5); }});
+    cases.push_back(
+        {std::make_unique<GammaDistribution>(3.0, 0.2),
+         [](double x) { return gamma_cdf_value(x, 3.0, 0.2); }});
+    cases.push_back(
+        {std::make_unique<WeibullDistribution>(1.7, 2.0),
+         [](double x) { return weibull_cdf_value(x, 1.7, 2.0); }});
+    cases.push_back(
+        {std::make_unique<LogNormalDistribution>(-1.0, 0.3),
+         [](double x) { return lognormal_cdf_value(x, -1.0, 0.3); }});
+    for (const Case& c : cases) {
+        const auto xs = draw(*c.dist, 20000, 77);
+        const KsResult ks = ks_test(xs, c.cdf);
+        EXPECT_LT(ks.statistic, 0.015) << c.dist->describe();
+        EXPECT_GT(ks.p_value, 0.01) << c.dist->describe();
+    }
+}
+
+TEST(KsTest, RejectsWrongHypothesis) {
+    // Exponential data tested against a uniform hypothesis: decisive
+    // rejection.
+    const ExponentialDistribution truth(1.0);
+    const auto xs = draw(truth, 5000, 78);
+    const KsResult ks =
+        ks_test(xs, [](double x) { return uniform_cdf_value(x, 0.0, 5.0); });
+    EXPECT_GT(ks.statistic, 0.2);
+    EXPECT_LT(ks.p_value, 1e-6);
+}
+
+TEST(KsTest, PerfectFitHasHighPValue) {
+    // The fitted best family should pass its own KS test on the data.
+    const auto truth = make_delay(0.001, 0.1);
+    const auto xs = draw(*truth, 10000, 79);
+    const Fit fit = fit_normal(xs);
+    const double mu = fit.distribution->mean();
+    const double sigma = fit.distribution->stddev();
+    const KsResult ks = ks_test(
+        xs, [&](double x) { return normal_cdf_value(x, mu, sigma); });
+    EXPECT_GT(ks.p_value, 0.001);
+}
+
+TEST(KsTestFit, DispatchesOnFamily) {
+    const GammaDistribution truth(4.0, 0.5);
+    const auto xs = draw(truth, 10000, 80);
+    const Fit fit = fit_gamma(xs);
+    const KsResult ks = ks_test_fit(fit, xs);
+    EXPECT_LT(ks.statistic, 0.02);
+    EXPECT_GT(ks.p_value, 0.01);
+
+    const Fit wrong = fit_uniform(xs);
+    EXPECT_GT(ks_test_fit(wrong, xs).statistic, 0.1);
+}
+
+TEST(KsTest, EmptySampleThrows) {
+    EXPECT_THROW(ks_test(std::vector<double>{},
+                         [](double) { return 0.5; }),
+                 std::invalid_argument);
+}
+
+TEST(BestFit, RecoversTimingDistributionEndToEnd) {
+    // The paper's workflow: sample timing data, fit, use the winner in the
+    // simulation model. Check the winner reproduces mean and cv.
+    const auto truth = make_delay(0.001, 0.1);
+    const auto xs = draw(*truth, 30000, 10);
+    const auto d = best_fit(xs);
+    EXPECT_NEAR(d->mean(), 0.001, 2e-5);
+    EXPECT_NEAR(d->cv(), 0.1, 0.01);
+}
+
+} // namespace

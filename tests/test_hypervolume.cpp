@@ -1,0 +1,164 @@
+#include "metrics/hypervolume.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "problems/reference_set.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace borg::metrics;
+
+TEST(Hypervolume, SinglePoint2D) {
+    const Front front{{0.5, 0.5}};
+    EXPECT_NEAR(hypervolume(front, {1.0, 1.0}), 0.25, 1e-12);
+}
+
+TEST(Hypervolume, EmptyFrontIsZero) {
+    EXPECT_DOUBLE_EQ(hypervolume({}, {1.0, 1.0}), 0.0);
+}
+
+TEST(Hypervolume, PointOutsideReferenceIgnored) {
+    const Front front{{1.5, 0.2}, {0.5, 0.5}};
+    EXPECT_NEAR(hypervolume(front, {1.0, 1.0}), 0.25, 1e-12);
+}
+
+TEST(Hypervolume, PointOnReferenceBoundaryContributesNothing) {
+    const Front front{{1.0, 0.0}};
+    EXPECT_DOUBLE_EQ(hypervolume(front, {1.0, 1.0}), 0.0);
+}
+
+TEST(Hypervolume, TwoPointStaircase2D) {
+    const Front front{{0.2, 0.8}, {0.8, 0.2}};
+    // 0.8*0.2 box union: (1-0.2)(1-0.8) + (1-0.8)(1-0.2) - overlap
+    // = 0.16 + 0.16 - 0.2*0.2 ... compute directly: sweep gives
+    // (1-0.2)*(1-0.8) + (1-0.8)*(0.8-0.2) = 0.16 + 0.12 = 0.28.
+    EXPECT_NEAR(hypervolume(front, {1.0, 1.0}), 0.28, 1e-12);
+}
+
+TEST(Hypervolume, DominatedPointAddsNothing) {
+    const Front base{{0.2, 0.2}};
+    const Front with_dominated{{0.2, 0.2}, {0.5, 0.5}};
+    EXPECT_DOUBLE_EQ(hypervolume(base, {1.0, 1.0}),
+                     hypervolume(with_dominated, {1.0, 1.0}));
+}
+
+TEST(Hypervolume, DuplicatePointsCollapse) {
+    const Front front{{0.3, 0.3}, {0.3, 0.3}, {0.3, 0.3}};
+    EXPECT_NEAR(hypervolume(front, {1.0, 1.0}), 0.49, 1e-12);
+}
+
+TEST(Hypervolume, SinglePointHigherDimensions) {
+    const Front front{{0.5, 0.5, 0.5, 0.5, 0.5}};
+    EXPECT_NEAR(hypervolume(front, {1.0, 1.0, 1.0, 1.0, 1.0}),
+                std::pow(0.5, 5), 1e-12);
+}
+
+TEST(Hypervolume, ThreeDAnalytic) {
+    // Two boxes with a known union volume.
+    const Front front{{0.0, 0.5, 0.5}, {0.5, 0.0, 0.5}};
+    // vol(A) = 1*0.5*0.5 = 0.25 each; intersection (0.5,0.5,0.5)-(1,1,1)
+    // from maxima: (0.5,0.5,0.5) -> 0.5*0.5*0.5 = 0.125.
+    EXPECT_NEAR(hypervolume(front, {1.0, 1.0, 1.0}), 0.375, 1e-12);
+}
+
+TEST(Hypervolume, MismatchedDimensionThrows) {
+    EXPECT_THROW(hypervolume({{0.1, 0.2, 0.3}}, {1.0, 1.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(hypervolume({{0.1}}, {}), std::invalid_argument);
+}
+
+TEST(Hypervolume, MonotoneUnderAddingPoints) {
+    borg::util::Rng rng(1);
+    Front front;
+    const std::vector<double> ref{1.0, 1.0, 1.0};
+    double previous = 0.0;
+    for (int i = 0; i < 30; ++i) {
+        front.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+        const double hv = hypervolume(front, ref);
+        EXPECT_GE(hv, previous - 1e-12);
+        previous = hv;
+    }
+}
+
+TEST(Hypervolume, ExactMatchesMonteCarlo3D) {
+    borg::util::Rng rng(2);
+    Front front;
+    for (int i = 0; i < 40; ++i)
+        front.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+    const std::vector<double> ref{1.0, 1.0, 1.0};
+    const double exact = hypervolume(front, ref);
+    const double mc = hypervolume_monte_carlo(front, ref, 400000, 3);
+    EXPECT_NEAR(mc, exact, 0.02 * std::max(exact, 0.05));
+}
+
+TEST(Hypervolume, ExactMatchesMonteCarlo5D) {
+    // The paper's 5-objective setting: validate WFG recursion against MC.
+    const auto sphere = borg::problems::dtlz2_reference_set(5, 4);
+    const std::vector<double> ref(5, 1.1);
+    const double exact = hypervolume(sphere, ref);
+    const double mc = hypervolume_monte_carlo(sphere, ref, 500000, 4);
+    EXPECT_NEAR(mc, exact, 0.03 * exact);
+}
+
+TEST(ReferencePoint, MarginAboveNadir) {
+    const Front refset{{0.0, 1.0}, {1.0, 0.0}, {0.5, 0.5}};
+    const auto ref = reference_point_for(refset, 0.1);
+    EXPECT_NEAR(ref[0], 1.1, 1e-12);
+    EXPECT_NEAR(ref[1], 1.1, 1e-12);
+}
+
+TEST(ReferencePoint, DegenerateRangeUsesAbsoluteMargin) {
+    const Front refset{{1.0, 0.0}, {1.0, 1.0}};
+    const auto ref = reference_point_for(refset, 0.1);
+    EXPECT_NEAR(ref[0], 1.1, 1e-12); // zero range in objective 0
+}
+
+TEST(NormalizedHypervolume, ReferenceSetScoresOne) {
+    const auto refset = borg::problems::dtlz2_reference_set(3, 12);
+    EXPECT_NEAR(normalized_hypervolume(refset, refset), 1.0, 1e-12);
+}
+
+TEST(NormalizedHypervolume, SubsetScoresBelowOne) {
+    const auto refset = borg::problems::dtlz2_reference_set(3, 12);
+    Front half(refset.begin(), refset.begin() + refset.size() / 4);
+    const double hv = normalized_hypervolume(half, refset);
+    EXPECT_LT(hv, 1.0);
+    EXPECT_GT(hv, 0.0);
+}
+
+TEST(NormalizedHypervolume, FarFrontScoresNearZero) {
+    const auto refset = borg::problems::dtlz2_reference_set(3, 12);
+    const Front bad{{1.05, 1.05, 1.05}};
+    EXPECT_LT(normalized_hypervolume(bad, refset), 0.01);
+}
+
+TEST(Normalizer, CachesReferenceComputation) {
+    const auto refset = borg::problems::dtlz2_reference_set(3, 12);
+    const HypervolumeNormalizer normalizer(refset);
+    EXPECT_GT(normalizer.reference_hypervolume(), 0.0);
+    EXPECT_EQ(normalizer.reference_point().size(), 3u);
+    EXPECT_NEAR(normalizer.normalized(refset), 1.0, 1e-12);
+}
+
+TEST(NondominatedSubset, FiltersDominatedAndDuplicates) {
+    const Front front{{0.5, 0.5}, {0.2, 0.8}, {0.6, 0.6}, {0.5, 0.5}};
+    const auto nd = nondominated_subset(front);
+    EXPECT_EQ(nd.size(), 2u);
+}
+
+TEST(NondominatedSubset, KeepsEverythingWhenNondominated) {
+    const Front front{{0.1, 0.9}, {0.5, 0.5}, {0.9, 0.1}};
+    EXPECT_EQ(nondominated_subset(front).size(), 3u);
+}
+
+TEST(MonteCarlo, DeterministicForSeed) {
+    const Front front{{0.3, 0.7}, {0.7, 0.3}};
+    const std::vector<double> ref{1.0, 1.0};
+    EXPECT_DOUBLE_EQ(hypervolume_monte_carlo(front, ref, 10000, 5),
+                     hypervolume_monte_carlo(front, ref, 10000, 5));
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+#include "metrics/indicators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace borg::metrics;
+
+const Front kRef{{0.0, 1.0}, {0.5, 0.5}, {1.0, 0.0}};
+
+TEST(Gd, ZeroWhenOnFront) {
+    EXPECT_DOUBLE_EQ(generational_distance(kRef, kRef), 0.0);
+}
+
+TEST(Gd, KnownOffset) {
+    const Front approx{{0.5 + 0.3, 0.5}};
+    EXPECT_NEAR(generational_distance(approx, kRef), 0.3, 1e-12);
+}
+
+TEST(Gd, AveragesOverPoints) {
+    const Front approx{{0.5, 0.5}, {0.5, 0.9}}; // distances 0 and 0.4
+    EXPECT_NEAR(generational_distance(approx, kRef), 0.2, 1e-12);
+}
+
+TEST(Igd, PenalizesPoorCoverage) {
+    // One perfect point covers one reference point but leaves the others.
+    const Front approx{{0.5, 0.5}};
+    const double igd = inverted_generational_distance(approx, kRef);
+    EXPECT_NEAR(igd, (std::sqrt(0.5) + 0.0 + std::sqrt(0.5)) / 3.0, 1e-12);
+}
+
+TEST(Igd, ZeroForFullCoverage) {
+    EXPECT_DOUBLE_EQ(inverted_generational_distance(kRef, kRef), 0.0);
+}
+
+TEST(Epsilon, ZeroWhenCovering) {
+    EXPECT_DOUBLE_EQ(additive_epsilon_indicator(kRef, kRef), 0.0);
+}
+
+TEST(Epsilon, UniformShift) {
+    Front shifted;
+    for (const auto& p : kRef) shifted.push_back({p[0] + 0.1, p[1] + 0.1});
+    EXPECT_NEAR(additive_epsilon_indicator(shifted, kRef), 0.1, 1e-12);
+}
+
+TEST(Epsilon, NegativeWhenStrictlyBetter) {
+    Front better;
+    for (const auto& p : kRef) better.push_back({p[0] - 0.05, p[1] - 0.05});
+    EXPECT_NEAR(additive_epsilon_indicator(better, kRef), -0.05, 1e-12);
+}
+
+TEST(Epsilon, WorstReferencePointGoverns) {
+    // Covers two reference points exactly but misses the third by 0.4.
+    const Front approx{{0.0, 1.0}, {0.5, 0.5}, {1.0, 0.4}};
+    EXPECT_NEAR(additive_epsilon_indicator(approx, kRef), 0.4, 1e-12);
+}
+
+TEST(Spacing, UniformSpacingIsZero) {
+    const Front evenly{{0.0, 1.0}, {0.25, 0.75}, {0.5, 0.5}, {0.75, 0.25}};
+    EXPECT_NEAR(spacing(evenly), 0.0, 1e-12);
+}
+
+TEST(Spacing, UnevenSpacingPositive) {
+    const Front uneven{{0.0, 1.0}, {0.05, 0.95}, {1.0, 0.0}};
+    EXPECT_GT(spacing(uneven), 0.1);
+}
+
+TEST(Indicators, EmptyInputsThrow) {
+    EXPECT_THROW(generational_distance({}, kRef), std::invalid_argument);
+    EXPECT_THROW(inverted_generational_distance(kRef, {}),
+                 std::invalid_argument);
+    EXPECT_THROW(additive_epsilon_indicator({}, kRef), std::invalid_argument);
+    EXPECT_THROW(spacing({{1.0, 1.0}}), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,239 @@
+/// Integration tests spanning the full stack: the paper's experiment
+/// pipeline in miniature. These are the acceptance checks of DESIGN.md §5 —
+/// each test reproduces one qualitative claim of the paper end to end.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "metrics/hypervolume.hpp"
+#include "models/analytical.hpp"
+#include "models/simulation_model.hpp"
+#include "models/sync_model.hpp"
+#include "moea/borg.hpp"
+#include "parallel/async_executor.hpp"
+#include "parallel/trajectory.hpp"
+#include "problems/problem.hpp"
+#include "problems/reference_set.hpp"
+#include "stats/fitting.hpp"
+
+namespace {
+
+using namespace borg;
+using borg::stats::Distribution;
+using borg::stats::make_delay;
+
+struct Experiment {
+    std::unique_ptr<problems::Problem> problem;
+    std::unique_ptr<Distribution> tf, tc, ta;
+
+    static Experiment dtlz2(double tf_mean) {
+        Experiment e;
+        e.problem = problems::make_problem("dtlz2_5");
+        e.tf = make_delay(tf_mean, 0.1);
+        e.tc = make_delay(0.000006, 0.0);
+        e.ta = make_delay(0.000029, 0.3);
+        return e;
+    }
+
+    moea::BorgParams params() const {
+        return moea::BorgParams::for_problem(*problem, 0.15);
+    }
+    parallel::VirtualClusterConfig cluster(std::uint64_t p,
+                                           std::uint64_t seed) const {
+        return parallel::VirtualClusterConfig{p, tf.get(), tc.get(), ta.get(),
+                                              seed};
+    }
+};
+
+/// Paper claim (Table II): the analytical model is accurate at large T_F
+/// and small P, and severely wrong at small T_F and large P — while the
+/// simulation model stays accurate everywhere.
+TEST(PaperClaims, AnalyticalModelFailsWhereSimulationHolds) {
+    const std::uint64_t n = 20000;
+    const models::TimingCosts costs{0.001, 0.000006, 0.000029};
+    const auto e = Experiment::dtlz2(0.001);
+
+    // Large-P "experimental" run on the virtual cluster.
+    moea::BorgMoea algo(*e.problem, e.params(), 1);
+    parallel::AsyncMasterSlaveExecutor exec(algo, *e.problem,
+                                            e.cluster(512, 2));
+    const auto experimental = exec.run(n);
+
+    const double analytical = models::async_parallel_time(n, 512, costs);
+    models::SimulationConfig sim_cfg{n, 512, e.tf.get(), e.tc.get(),
+                                     e.ta.get(), 3};
+    const double simulated = models::simulate_async(sim_cfg).elapsed;
+
+    const double analytical_error =
+        models::relative_error(experimental.elapsed, analytical);
+    const double simulation_error =
+        models::relative_error(experimental.elapsed, simulated);
+    EXPECT_GT(analytical_error, 0.85); // paper: 97-98% at P = 512
+    EXPECT_LT(simulation_error, 0.05); // paper: 0-3%
+}
+
+/// Paper claim (Section VI): peak efficiency occurs well below the
+/// analytical master-saturation bound P_UB.
+TEST(PaperClaims, EfficiencyPeaksBelowUpperBound) {
+    const models::TimingCosts costs{0.01, 0.000006, 0.000029};
+    const double p_ub = models::processor_upper_bound(costs);
+    EXPECT_NEAR(p_ub, 244.0, 1.0);
+
+    const auto e = Experiment::dtlz2(0.01);
+    double best_eff = 0.0;
+    std::uint64_t best_p = 0;
+    for (const std::uint64_t p : {16, 32, 64, 128, 256}) {
+        models::SimulationConfig cfg{20000, p, e.tf.get(), e.tc.get(),
+                                     e.ta.get(), 4};
+        const double eff =
+            models::simulated_efficiency(cfg, models::simulate_async(cfg));
+        if (eff > best_eff) {
+            best_eff = eff;
+            best_p = p;
+        }
+    }
+    EXPECT_LT(static_cast<double>(best_p), p_ub);
+    EXPECT_GT(best_eff, 0.85);
+}
+
+/// Paper claim (Table II): elapsed time stops improving past saturation
+/// and the efficient frontier moves to higher P as T_F grows.
+TEST(PaperClaims, SaturationFloorsElapsedTime) {
+    const auto e = Experiment::dtlz2(0.001);
+    std::vector<double> elapsed;
+    for (const std::uint64_t p : {16, 64, 256}) {
+        models::SimulationConfig cfg{20000, p, e.tf.get(), e.tc.get(),
+                                     e.ta.get(), 5};
+        elapsed.push_back(models::simulate_async(cfg).elapsed);
+    }
+    EXPECT_GT(elapsed[0], elapsed[1]);             // 16 -> 64 still helps
+    EXPECT_NEAR(elapsed[1], elapsed[2], 0.1 * elapsed[1]); // floor reached
+}
+
+/// Paper claim (Figures 3/4 mechanics): hypervolume-threshold speedup is
+/// roughly flat for an efficient configuration.
+TEST(PaperClaims, HypervolumeSpeedupFlatWhenEfficient) {
+    const std::uint64_t n = 30000;
+    const auto e = Experiment::dtlz2(0.01);
+    const auto refset = problems::reference_set_for("dtlz2_5");
+    metrics::HypervolumeNormalizer normalizer(refset);
+
+    moea::BorgMoea serial_algo(*e.problem, e.params(), 7);
+    parallel::TrajectoryRecorder serial_rec(normalizer, 2000);
+    run_serial_virtual(serial_algo, *e.problem, e.cluster(2, 8), n,
+                       &serial_rec);
+
+    moea::BorgMoea par_algo(*e.problem, e.params(), 7);
+    parallel::TrajectoryRecorder par_rec(normalizer, 2000);
+    parallel::AsyncMasterSlaveExecutor exec(par_algo, *e.problem,
+                                            e.cluster(32, 8));
+    exec.run(n, &par_rec);
+
+    // Evaluate S^h over thresholds both runs attained.
+    const double h_max = std::min(serial_rec.final_hypervolume(),
+                                  par_rec.final_hypervolume()) *
+                         0.95;
+    ASSERT_GT(h_max, 0.4);
+    std::vector<double> speedups;
+    for (double h = 0.3; h <= h_max; h += 0.1) {
+        const double ts = serial_rec.time_to_threshold(h);
+        const double tp = par_rec.time_to_threshold(h);
+        ASSERT_TRUE(std::isfinite(ts));
+        ASSERT_TRUE(std::isfinite(tp));
+        speedups.push_back(ts / tp);
+    }
+    ASSERT_GE(speedups.size(), 3u);
+    // Efficient configuration: speedup within a reasonable band of P - 1
+    // across thresholds (paper: "the speedup lines are flat").
+    for (const double s : speedups) {
+        EXPECT_GT(s, 8.0);
+        EXPECT_LT(s, 80.0);
+    }
+}
+
+/// Paper claim (Figure 5): the asynchronous model scales to larger P than
+/// the synchronous model at equal T_F.
+TEST(PaperClaims, AsyncOutscalesSyncAtLargeTf) {
+    const models::TimingCosts costs{1.0, 0.000006, 0.000060};
+    auto tf = make_delay(costs.tf, 0.1);
+    auto tc = make_delay(costs.tc, 0.0);
+    auto ta = make_delay(costs.ta, 0.0);
+    const std::uint64_t p = 4096;
+    // 8 evaluation "waves" amortize the pipeline fill/drain transient.
+    models::SimulationConfig cfg{8 * p, p, tf.get(), tc.get(), ta.get(), 9};
+    const double async_eff =
+        models::simulated_efficiency(cfg, models::simulate_async(cfg));
+    const double sync_eff = models::sync_efficiency(p, costs);
+    EXPECT_GT(async_eff, 0.9);
+    EXPECT_LT(sync_eff, 0.85);
+}
+
+/// Paper workflow (Section IV-B / V): measure timings from a real run, fit
+/// distributions by log-likelihood, and drive the simulation model with
+/// the fitted distributions — predictions must track the measured run.
+TEST(PaperWorkflow, MeasureFitSimulateRoundTrip) {
+    const std::uint64_t n = 20000;
+    const auto e = Experiment::dtlz2(0.01);
+
+    // "Experimental" run with measured T_A (real master-step timings).
+    moea::BorgMoea algo(*e.problem, e.params(), 10);
+    parallel::VirtualClusterConfig cfg{64, e.tf.get(), e.tc.get(), nullptr,
+                                       11};
+    parallel::AsyncMasterSlaveExecutor exec(algo, *e.problem, cfg);
+    const auto experimental = exec.run(n);
+
+    // Fit a distribution to the measured T_A mean/stddev (the executor
+    // summarizes the applied samples).
+    const auto fitted_ta =
+        make_delay(experimental.ta_applied.mean,
+                   experimental.ta_applied.stddev /
+                       std::max(experimental.ta_applied.mean, 1e-12));
+    models::SimulationConfig sim_cfg{n, 64, e.tf.get(), e.tc.get(),
+                                     fitted_ta.get(), 12};
+    const double predicted = models::simulate_async(sim_cfg).elapsed;
+    EXPECT_NEAR(predicted, experimental.elapsed,
+                0.05 * experimental.elapsed);
+}
+
+/// Cross-stack determinism: the full experimental pipeline is replayable.
+TEST(Reproducibility, FullPipelineIsDeterministic) {
+    const auto run_once = [] {
+        const auto e = Experiment::dtlz2(0.001);
+        moea::BorgMoea algo(*e.problem, e.params(), 21);
+        parallel::AsyncMasterSlaveExecutor exec(algo, *e.problem,
+                                                e.cluster(32, 22));
+        const auto r = exec.run(5000);
+        const auto refset = problems::reference_set_for("dtlz2_5");
+        return std::pair{r.elapsed,
+                         metrics::normalized_hypervolume(
+                             algo.archive().objective_vectors(), refset)};
+    };
+    const auto a = run_once();
+    const auto b = run_once();
+    EXPECT_DOUBLE_EQ(a.first, b.first);
+    EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+/// UF11 is genuinely harder than DTLZ2 for the same budget — the premise
+/// of the paper's two-problem design.
+TEST(PaperClaims, Uf11HarderThanDtlz2) {
+    const std::uint64_t n = 30000;
+    const auto dtlz2 = problems::make_problem("dtlz2_5");
+    const auto uf11 = problems::make_problem("uf11");
+
+    moea::BorgMoea a(*dtlz2, moea::BorgParams::for_problem(*dtlz2, 0.15), 30);
+    moea::run_serial(a, *dtlz2, n);
+    moea::BorgMoea b(*uf11, moea::BorgParams::for_problem(*uf11, 0.15), 30);
+    moea::run_serial(b, *uf11, n);
+
+    const double hv_dtlz2 = metrics::normalized_hypervolume(
+        a.archive().objective_vectors(),
+        problems::reference_set_for("dtlz2_5"));
+    const double hv_uf11 = metrics::normalized_hypervolume(
+        b.archive().objective_vectors(), problems::reference_set_for("uf11"));
+    EXPECT_GT(hv_dtlz2, hv_uf11 + 0.03);
+}
+
+} // namespace

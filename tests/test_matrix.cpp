@@ -1,0 +1,115 @@
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using borg::util::gram_schmidt;
+using borg::util::Matrix;
+using borg::util::Rng;
+
+TEST(Matrix, IdentityMultiply) {
+    const Matrix eye = Matrix::identity(4);
+    const std::vector<double> x{1.0, -2.0, 3.5, 0.25};
+    std::vector<double> y(4);
+    eye.multiply(x, y);
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+    Matrix a(2, 3);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(0, 2) = 3;
+    a(1, 0) = 4;
+    a(1, 1) = 5;
+    a(1, 2) = 6;
+    const std::vector<double> x{1.0, 0.0, -1.0};
+    std::vector<double> y(2);
+    a.multiply(x, y);
+    EXPECT_DOUBLE_EQ(y[0], -2.0);
+    EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Matrix, TransposeMultiplyAgreesWithTransposed) {
+    Rng rng(5);
+    Matrix a(5, 5);
+    for (std::size_t r = 0; r < 5; ++r)
+        for (std::size_t c = 0; c < 5; ++c) a(r, c) = rng.gaussian();
+    const Matrix at = a.transposed();
+    std::vector<double> x(5), y1(5), y2(5);
+    for (double& v : x) v = rng.gaussian();
+    a.multiply_transpose(x, y1);
+    at.multiply(x, y2);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+class RandomRotationTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomRotationTest, IsOrthogonal) {
+    Rng rng(77);
+    const std::size_t n = GetParam();
+    const Matrix r = Matrix::random_rotation(n, rng);
+    const Matrix product = r.multiply(r.transposed());
+    EXPECT_LT(product.max_abs_diff(Matrix::identity(n)), 1e-10);
+}
+
+TEST_P(RandomRotationTest, PreservesNorm) {
+    Rng rng(78);
+    const std::size_t n = GetParam();
+    const Matrix r = Matrix::random_rotation(n, rng);
+    std::vector<double> x(n), y(n);
+    for (double& v : x) v = rng.gaussian();
+    r.multiply(x, y);
+    double nx = 0.0, ny = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        nx += x[i] * x[i];
+        ny += y[i] * y[i];
+    }
+    EXPECT_NEAR(std::sqrt(nx), std::sqrt(ny), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomRotationTest,
+                         ::testing::Values(2, 3, 5, 14, 30));
+
+TEST(RandomRotation, DeterministicGivenSeed) {
+    Rng a(123), b(123);
+    const Matrix r1 = Matrix::random_rotation(6, a);
+    const Matrix r2 = Matrix::random_rotation(6, b);
+    EXPECT_EQ(r1.max_abs_diff(r2), 0.0);
+}
+
+TEST(GramSchmidt, OrthonormalizesIndependentRows) {
+    std::vector<std::vector<double>> v{{1, 1, 0}, {1, 0, 1}, {0, 1, 1}};
+    const std::size_t rank = gram_schmidt(v);
+    EXPECT_EQ(rank, 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        double norm = 0.0;
+        for (const double x : v[i]) norm += x * x;
+        EXPECT_NEAR(norm, 1.0, 1e-12);
+        for (std::size_t j = i + 1; j < 3; ++j) {
+            double dot = 0.0;
+            for (std::size_t k = 0; k < 3; ++k) dot += v[i][k] * v[j][k];
+            EXPECT_NEAR(dot, 0.0, 1e-12);
+        }
+    }
+}
+
+TEST(GramSchmidt, ZeroesDependentRows) {
+    std::vector<std::vector<double>> v{{1, 0}, {2, 0}, {0, 3}};
+    const std::size_t rank = gram_schmidt(v);
+    EXPECT_EQ(rank, 2u);
+    EXPECT_DOUBLE_EQ(v[1][0], 0.0);
+    EXPECT_DOUBLE_EQ(v[1][1], 0.0);
+}
+
+TEST(GramSchmidt, HandlesZeroVector) {
+    std::vector<std::vector<double>> v{{0, 0, 0}, {1, 2, 3}};
+    const std::size_t rank = gram_schmidt(v);
+    EXPECT_EQ(rank, 1u);
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+#include "parallel/multi_master.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "metrics/hypervolume.hpp"
+#include "models/analytical.hpp"
+#include "parallel/async_executor.hpp"
+#include "problems/problem.hpp"
+#include "problems/reference_set.hpp"
+
+namespace {
+
+using namespace borg;
+using namespace borg::parallel;
+using borg::stats::Distribution;
+using borg::stats::make_delay;
+
+struct Fixture {
+    std::unique_ptr<problems::Problem> problem =
+        problems::make_problem("zdt1");
+    std::unique_ptr<Distribution> tf = make_delay(0.001, 0.1);
+    std::unique_ptr<Distribution> tc = make_delay(0.000006, 0.0);
+    std::unique_ptr<Distribution> ta = make_delay(0.000029, 0.2);
+
+    moea::BorgParams params() const {
+        return moea::BorgParams::for_problem(*problem, 0.01);
+    }
+    MultiMasterConfig config(std::uint64_t p, std::uint64_t islands,
+                             std::uint64_t migration = 1000,
+                             std::uint64_t seed = 1) const {
+        MultiMasterConfig cfg;
+        cfg.cluster = VirtualClusterConfig{p, tf.get(), tc.get(), ta.get(),
+                                           seed};
+        cfg.islands = islands;
+        cfg.migration_interval = migration;
+        return cfg;
+    }
+};
+
+TEST(MultiMaster, CompletesGlobalBudget) {
+    Fixture f;
+    MultiMasterExecutor exec(*f.problem, f.params(), f.config(32, 4));
+    const auto result = exec.run(8000);
+    EXPECT_EQ(result.evaluations, 8000u);
+    std::uint64_t total = 0;
+    for (const auto e : result.island_evaluations) total += e;
+    EXPECT_EQ(total, 8000u);
+    EXPECT_EQ(result.island_evaluations.size(), 4u);
+}
+
+TEST(MultiMaster, WorkIsSharedAcrossIslands) {
+    Fixture f;
+    MultiMasterExecutor exec(*f.problem, f.params(), f.config(32, 4));
+    const auto result = exec.run(8000);
+    for (const auto e : result.island_evaluations) {
+        EXPECT_GT(e, 1000u); // roughly a quarter each
+        EXPECT_LT(e, 3000u);
+    }
+}
+
+TEST(MultiMaster, MigrationsHappenAtInterval) {
+    Fixture f;
+    MultiMasterExecutor exec(*f.problem, f.params(),
+                             f.config(16, 2, /*migration=*/500));
+    const auto result = exec.run(6000);
+    // ~6000 / 500 migrations expected, island-local counting.
+    EXPECT_GE(result.migrations, 8u);
+    EXPECT_LE(result.migrations, 16u);
+}
+
+TEST(MultiMaster, ZeroIntervalDisablesMigration) {
+    Fixture f;
+    MultiMasterExecutor exec(*f.problem, f.params(), f.config(16, 2, 0));
+    const auto result = exec.run(4000);
+    EXPECT_EQ(result.migrations, 0u);
+}
+
+TEST(MultiMaster, CombinedArchiveIsEpsilonNondominated) {
+    Fixture f;
+    MultiMasterExecutor exec(*f.problem, f.params(), f.config(24, 3));
+    const auto result = exec.run(9000);
+    ASSERT_FALSE(result.combined_archive.empty());
+    const std::vector<double> eps{0.01, 0.01};
+    for (const auto& a : result.combined_archive) {
+        for (const auto& b : result.combined_archive) {
+            if (&a == &b) continue;
+            EXPECT_NE(moea::compare_boxes(
+                          moea::epsilon_box(a.objectives, eps),
+                          moea::epsilon_box(b.objectives, eps)),
+                      moea::Dominance::kDominates);
+        }
+    }
+}
+
+TEST(MultiMaster, SearchQualityComparableToSingleMaster) {
+    Fixture f;
+    MultiMasterExecutor multi(*f.problem, f.params(), f.config(32, 4));
+    const auto multi_result = multi.run(20000);
+
+    std::vector<std::vector<double>> multi_front;
+    for (const auto& s : multi_result.combined_archive)
+        multi_front.push_back(s.objectives);
+    const auto refset = problems::reference_set_for("zdt1");
+    EXPECT_GT(metrics::normalized_hypervolume(multi_front, refset), 0.85);
+}
+
+TEST(MultiMaster, BeatsSaturatedSingleMasterOnElapsedTime) {
+    // The paper's Section VI scenario: T_F = 0.001 and P = 512 saturates a
+    // single master; 8 islands of 64 spread the same offered load over 8
+    // masters and finish far sooner.
+    Fixture f;
+    const std::uint64_t n = 30000;
+
+    moea::BorgMoea single_algo(*f.problem, f.params(), 3);
+    VirtualClusterConfig single_cfg{512, f.tf.get(), f.tc.get(), f.ta.get(),
+                                    4};
+    AsyncMasterSlaveExecutor single(single_algo, *f.problem, single_cfg);
+    const auto single_result = single.run(n);
+
+    MultiMasterExecutor multi(*f.problem, f.params(),
+                              f.config(512, 8, 1000, 4));
+    const auto multi_result = multi.run(n);
+
+    EXPECT_LT(multi_result.elapsed, 0.5 * single_result.elapsed);
+}
+
+TEST(MultiMaster, SingleIslandMatchesPlainExecutorTime) {
+    // One island is exactly the asynchronous master-slave protocol; same
+    // seeds must produce the same virtual elapsed time.
+    Fixture f;
+    const std::uint64_t n = 5000;
+
+    MultiMasterExecutor multi(*f.problem, f.params(), f.config(16, 1, 0, 9));
+    const auto multi_result = multi.run(n);
+
+    moea::BorgMoea algo(*f.problem, f.params(),
+                        util::derive_seed(9, 0, 100));
+    VirtualClusterConfig cfg{16, f.tf.get(), f.tc.get(), f.ta.get(),
+                             util::derive_seed(9, 0, 200)};
+    AsyncMasterSlaveExecutor single(algo, *f.problem, cfg);
+    const auto single_result = single.run(n);
+
+    EXPECT_DOUBLE_EQ(multi_result.elapsed, single_result.elapsed);
+}
+
+TEST(MultiMaster, DeterministicGivenSeed) {
+    Fixture f;
+    MultiMasterExecutor a(*f.problem, f.params(), f.config(24, 3, 500, 77));
+    MultiMasterExecutor b(*f.problem, f.params(), f.config(24, 3, 500, 77));
+    const auto ra = a.run(6000);
+    const auto rb = b.run(6000);
+    EXPECT_DOUBLE_EQ(ra.elapsed, rb.elapsed);
+    EXPECT_EQ(ra.migrations, rb.migrations);
+    EXPECT_EQ(ra.island_evaluations, rb.island_evaluations);
+}
+
+TEST(MultiMaster, RejectsBadConfiguration) {
+    Fixture f;
+    EXPECT_THROW(
+        MultiMasterExecutor(*f.problem, f.params(), f.config(8, 0)),
+        std::invalid_argument);
+    // 8 processors cannot host 5 islands (needs >= 2 each).
+    EXPECT_THROW(
+        MultiMasterExecutor(*f.problem, f.params(), f.config(8, 5)),
+        std::invalid_argument);
+    MultiMasterExecutor exec(*f.problem, f.params(), f.config(8, 2));
+    EXPECT_THROW(exec.run(0), std::invalid_argument);
+    exec.run(100);
+    EXPECT_THROW(exec.run(100), std::logic_error);
+}
+
+} // namespace

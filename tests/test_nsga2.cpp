@@ -1,0 +1,148 @@
+#include "moea/nsga2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "metrics/hypervolume.hpp"
+#include "moea/dominance.hpp"
+#include "problems/problem.hpp"
+#include "problems/reference_set.hpp"
+
+namespace {
+
+using namespace borg;
+using namespace borg::moea;
+
+TEST(NondominatedRank, ClassicStaircase) {
+    const std::vector<std::vector<double>> objs{
+        {1.0, 4.0}, {2.0, 3.0}, {3.0, 2.0}, // front 0
+        {2.0, 5.0}, {4.0, 3.0},             // front 1
+        {5.0, 5.0},                         // front 2
+    };
+    const auto ranks = nondominated_rank(objs);
+    EXPECT_EQ(ranks[0], 0u);
+    EXPECT_EQ(ranks[1], 0u);
+    EXPECT_EQ(ranks[2], 0u);
+    EXPECT_EQ(ranks[3], 1u);
+    EXPECT_EQ(ranks[4], 1u);
+    EXPECT_EQ(ranks[5], 2u);
+}
+
+TEST(NondominatedRank, AllEqualIsOneFront) {
+    const std::vector<std::vector<double>> objs(4, {1.0, 1.0});
+    for (const auto r : nondominated_rank(objs)) EXPECT_EQ(r, 0u);
+}
+
+TEST(NondominatedRank, ChainIsManyFronts) {
+    std::vector<std::vector<double>> objs;
+    for (int i = 0; i < 5; ++i) objs.push_back({double(i), double(i)});
+    const auto ranks = nondominated_rank(objs);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(ranks[i], i);
+}
+
+TEST(CrowdingDistance, ExtremesInfinite) {
+    const std::vector<std::vector<double>> objs{
+        {0.0, 1.0}, {0.5, 0.5}, {1.0, 0.0}};
+    const auto d = crowding_distance(objs);
+    EXPECT_TRUE(std::isinf(d[0]));
+    EXPECT_TRUE(std::isinf(d[2]));
+    EXPECT_TRUE(std::isfinite(d[1]));
+    EXPECT_GT(d[1], 0.0);
+}
+
+TEST(CrowdingDistance, TwoPointsBothInfinite) {
+    const std::vector<std::vector<double>> objs{{0.0, 1.0}, {1.0, 0.0}};
+    for (const double d : crowding_distance(objs))
+        EXPECT_TRUE(std::isinf(d));
+}
+
+TEST(CrowdingDistance, DenserRegionScoresLower) {
+    // Middle points: one in a crowded neighborhood, one isolated.
+    const std::vector<std::vector<double>> objs{
+        {0.0, 1.0}, {0.05, 0.95}, {0.1, 0.9}, {0.6, 0.4}, {1.0, 0.0}};
+    const auto d = crowding_distance(objs);
+    EXPECT_LT(d[1], d[3]);
+}
+
+TEST(Nsga2, FirstGenerationIsRandomPopulation) {
+    const auto problem = problems::make_problem("zdt1");
+    Nsga2 algo(*problem, 20, 1);
+    const auto generation = algo.next_generation();
+    EXPECT_EQ(generation.size(), 20u);
+    for (const Solution& s : generation) {
+        EXPECT_FALSE(s.evaluated);
+        EXPECT_TRUE(problem->within_bounds(s.variables));
+    }
+}
+
+TEST(Nsga2, ReceiveTracksEvaluations) {
+    const auto problem = problems::make_problem("zdt1");
+    Nsga2 algo(*problem, 16, 2);
+    auto generation = algo.next_generation();
+    for (Solution& s : generation) evaluate(*problem, s);
+    algo.receive_generation(std::move(generation));
+    EXPECT_EQ(algo.evaluations(), 16u);
+    EXPECT_EQ(algo.population().size(), 16u);
+}
+
+TEST(Nsga2, RejectsUnevaluatedGeneration) {
+    const auto problem = problems::make_problem("zdt1");
+    Nsga2 algo(*problem, 8, 3);
+    auto generation = algo.next_generation();
+    EXPECT_THROW(algo.receive_generation(std::move(generation)),
+                 std::invalid_argument);
+}
+
+TEST(Nsga2, ElitismNeverLosesTheBest) {
+    const auto problem = problems::make_problem("zdt1");
+    Nsga2 algo(*problem, 20, 4);
+    double best_f1_sum = std::numeric_limits<double>::infinity();
+    run_serial_generational(algo, *problem, 2000,
+                            [&](std::uint64_t) {
+                                double current = 0.0;
+                                for (const auto& f : algo.front())
+                                    current += f[0] + f[1];
+                                // not strictly monotone per point, but the
+                                // front must never be empty
+                                EXPECT_FALSE(algo.front().empty());
+                                best_f1_sum = std::min(best_f1_sum, current);
+                            });
+    EXPECT_EQ(algo.evaluations(), 2000u);
+}
+
+TEST(Nsga2, ConvergesOnZdt1) {
+    const auto problem = problems::make_problem("zdt1");
+    Nsga2 algo(*problem, 100, 5);
+    run_serial_generational(algo, *problem, 20000);
+    const auto refset = problems::reference_set_for("zdt1");
+    const double hv = metrics::normalized_hypervolume(algo.front(), refset);
+    EXPECT_GT(hv, 0.9);
+}
+
+TEST(Nsga2, FrontIsMutuallyNondominated) {
+    const auto problem = problems::make_problem("zdt3");
+    Nsga2 algo(*problem, 40, 6);
+    run_serial_generational(algo, *problem, 4000);
+    const auto front = algo.front();
+    for (const auto& a : front)
+        for (const auto& b : front) {
+            if (&a == &b) continue;
+            EXPECT_NE(compare_pareto(a, b), Dominance::kDominates);
+        }
+}
+
+TEST(Nsga2, PopulationSizeStaysFixed) {
+    const auto problem = problems::make_problem("zdt2");
+    Nsga2 algo(*problem, 30, 7);
+    run_serial_generational(algo, *problem, 1500);
+    EXPECT_EQ(algo.population().size(), 30u);
+}
+
+TEST(Nsga2, RejectsTinyPopulation) {
+    const auto problem = problems::make_problem("zdt1");
+    EXPECT_THROW(Nsga2(*problem, 1, 1), std::invalid_argument);
+}
+
+} // namespace

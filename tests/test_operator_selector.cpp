@@ -1,0 +1,108 @@
+#include "moea/operator_selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using namespace borg::moea;
+using borg::util::Rng;
+
+Solution evaluated(std::vector<double> objectives, int op) {
+    Solution s;
+    s.variables = {0.0};
+    s.set_objectives(objectives);
+    s.operator_index = op;
+    return s;
+}
+
+TEST(Selector, StartsUniform) {
+    OperatorSelector selector(6);
+    for (const double p : selector.probabilities())
+        EXPECT_DOUBLE_EQ(p, 1.0 / 6.0);
+}
+
+TEST(Selector, ProbabilitiesFollowArchiveCredit) {
+    EpsilonBoxArchive archive({0.1, 0.1});
+    // Operator 1 contributed 3 members, operator 0 contributed 1.
+    archive.add(evaluated({0.15, 0.85}, 1));
+    archive.add(evaluated({0.35, 0.65}, 1));
+    archive.add(evaluated({0.65, 0.35}, 1));
+    archive.add(evaluated({0.85, 0.15}, 0));
+
+    OperatorSelector selector(2, 1.0, 1);
+    Rng rng(1);
+    (void)selector.select(archive, rng); // triggers refresh
+    const auto& p = selector.probabilities();
+    EXPECT_NEAR(p[0], (1.0 + 1.0) / (4.0 + 2.0), 1e-12);
+    EXPECT_NEAR(p[1], (3.0 + 1.0) / (4.0 + 2.0), 1e-12);
+}
+
+TEST(Selector, ZetaKeepsUnproductiveOperatorsAlive) {
+    EpsilonBoxArchive archive({0.1, 0.1});
+    for (int i = 0; i < 9; ++i)
+        archive.add(evaluated({0.05 + 0.1 * i, 0.95 - 0.1 * i}, 0));
+
+    OperatorSelector selector(2, 1.0, 1);
+    Rng rng(2);
+    int picked_unproductive = 0;
+    for (int trial = 0; trial < 2000; ++trial)
+        if (selector.select(archive, rng) == 1) ++picked_unproductive;
+    // p(op 1) = 1 / (9 + 2) ~ 0.091; must be clearly nonzero.
+    EXPECT_GT(picked_unproductive, 100);
+    EXPECT_LT(picked_unproductive, 350);
+}
+
+TEST(Selector, SelectionFrequencyTracksProbabilities) {
+    EpsilonBoxArchive archive({0.1, 0.1});
+    archive.add(evaluated({0.15, 0.85}, 0));
+    archive.add(evaluated({0.45, 0.45}, 0));
+    archive.add(evaluated({0.85, 0.15}, 1));
+
+    OperatorSelector selector(2, 1.0, 1);
+    Rng rng(3);
+    int zero = 0;
+    const int trials = 20000;
+    for (int trial = 0; trial < trials; ++trial)
+        if (selector.select(archive, rng) == 0) ++zero;
+    EXPECT_NEAR(zero / static_cast<double>(trials), 3.0 / 5.0, 0.02);
+}
+
+TEST(Selector, UpdateFrequencyDefersRefresh) {
+    EpsilonBoxArchive archive({0.1, 0.1});
+    OperatorSelector selector(2, 1.0, 100);
+    Rng rng(4);
+    (void)selector.select(archive, rng); // refresh on first call (uniform)
+    // Credit arrives after the refresh.
+    archive.add(evaluated({0.15, 0.85}, 0));
+    archive.add(evaluated({0.45, 0.45}, 0));
+    (void)selector.select(archive, rng);
+    // Still uniform: the refresh window has not elapsed.
+    EXPECT_DOUBLE_EQ(selector.probabilities()[0], 0.5);
+    selector.invalidate();
+    (void)selector.select(archive, rng);
+    EXPECT_GT(selector.probabilities()[0], 0.5);
+}
+
+TEST(Selector, RejectsBadConstruction) {
+    EXPECT_THROW(OperatorSelector(0), std::invalid_argument);
+    EXPECT_THROW(OperatorSelector(3, 0.0), std::invalid_argument);
+    EXPECT_THROW(OperatorSelector(3, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Selector, ProbabilitiesAlwaysSumToOne) {
+    EpsilonBoxArchive archive({0.1, 0.1});
+    Rng rng(5);
+    OperatorSelector selector(6, 1.0, 1);
+    for (int round = 0; round < 50; ++round) {
+        std::vector<double> f{rng.uniform(), rng.uniform()};
+        archive.add(evaluated(f, static_cast<int>(rng.below(6))));
+        (void)selector.select(archive, rng);
+        double total = 0.0;
+        for (const double p : selector.probabilities()) total += p;
+        EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+}
+
+} // namespace

@@ -1,0 +1,309 @@
+#include "problems/problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "problems/delayed.hpp"
+#include "problems/dtlz.hpp"
+#include "problems/uf.hpp"
+#include "problems/zdt.hpp"
+#include "stats/distribution.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace borg;
+using namespace borg::problems;
+
+std::vector<double> eval(const Problem& p, const std::vector<double>& x) {
+    std::vector<double> f(p.num_objectives());
+    p.evaluate(x, f);
+    return f;
+}
+
+// ----------------------------------------------------------------- DTLZ2
+
+TEST(Dtlz2, DimensionsFollowConvention) {
+    const Dtlz2 p(5);
+    EXPECT_EQ(p.num_variables(), 14u); // M - 1 + k = 4 + 10
+    EXPECT_EQ(p.num_objectives(), 5u);
+    EXPECT_EQ(p.name(), "DTLZ2_5");
+}
+
+TEST(Dtlz2, OptimalPointLiesOnUnitSphere) {
+    const Dtlz2 p(3);
+    std::vector<double> x(p.num_variables(), 0.5); // g = 0
+    const auto f = eval(p, x);
+    double norm = 0.0;
+    for (const double v : f) norm += v * v;
+    EXPECT_NEAR(norm, 1.0, 1e-12);
+}
+
+TEST(Dtlz2, CornerPoints) {
+    const Dtlz2 p(2);
+    std::vector<double> x(p.num_variables(), 0.5);
+    x[0] = 0.0; // position variable at 0: f = (1, 0)
+    auto f = eval(p, x);
+    EXPECT_NEAR(f[0], 1.0, 1e-12);
+    EXPECT_NEAR(f[1], 0.0, 1e-12);
+    x[0] = 1.0;
+    f = eval(p, x);
+    EXPECT_NEAR(f[0], 0.0, 1e-12);
+    EXPECT_NEAR(f[1], 1.0, 1e-12);
+}
+
+TEST(Dtlz2, GShiftsSphereOutward) {
+    const Dtlz2 p(3);
+    std::vector<double> x(p.num_variables(), 0.5);
+    x.back() = 1.0; // distance variable off-optimum: g = 0.25
+    const auto f = eval(p, x);
+    double norm = 0.0;
+    for (const double v : f) norm += v * v;
+    EXPECT_NEAR(std::sqrt(norm), 1.25, 1e-12);
+}
+
+class DtlzObjectiveCount : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DtlzObjectiveCount, AllFamilyMembersEvaluate) {
+    const std::size_t m = GetParam();
+    for (const auto& p :
+         {std::unique_ptr<Problem>(std::make_unique<Dtlz1>(m)),
+          std::unique_ptr<Problem>(std::make_unique<Dtlz2>(m)),
+          std::unique_ptr<Problem>(std::make_unique<Dtlz3>(m)),
+          std::unique_ptr<Problem>(std::make_unique<Dtlz4>(m))}) {
+        util::Rng rng(1);
+        std::vector<double> x(p->num_variables());
+        for (double& v : x) v = rng.uniform();
+        const auto f = eval(*p, x);
+        EXPECT_EQ(f.size(), m);
+        for (const double v : f) {
+            EXPECT_TRUE(std::isfinite(v));
+            EXPECT_GE(v, 0.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Objectives, DtlzObjectiveCount,
+                         ::testing::Values(2, 3, 5, 8));
+
+TEST(Dtlz1, OptimalFrontIsLinear) {
+    const Dtlz1 p(4);
+    util::Rng rng(2);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<double> x(p.num_variables(), 0.5);
+        for (std::size_t i = 0; i + 1 < 4u; ++i) x[i] = rng.uniform();
+        const auto f = eval(p, x);
+        const double sum = std::accumulate(f.begin(), f.end(), 0.0);
+        EXPECT_NEAR(sum, 0.5, 1e-9);
+    }
+}
+
+TEST(Dtlz3, MuchHarderGThanDtlz2) {
+    const Dtlz3 p(2);
+    std::vector<double> x(p.num_variables(), 0.2);
+    const auto f = eval(p, x);
+    // Multimodal g is enormous away from 0.5.
+    EXPECT_GT(f[0] + f[1], 10.0);
+}
+
+TEST(Dtlz4, BiasParameterPreservesFront) {
+    const Dtlz4 p(3);
+    std::vector<double> x(p.num_variables(), 0.5);
+    const auto f = eval(p, x);
+    double norm = 0.0;
+    for (const double v : f) norm += v * v;
+    EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+// ------------------------------------------------------------------- UF11
+
+TEST(Uf11, PaperConfiguration) {
+    const auto p = make_uf11();
+    EXPECT_EQ(p->num_variables(), 30u);
+    EXPECT_EQ(p->num_objectives(), 5u);
+    EXPECT_DOUBLE_EQ(p->lower_bound(0), -0.5);
+    EXPECT_DOUBLE_EQ(p->upper_bound(0), 1.5);
+}
+
+TEST(Uf11, DeterministicRotation) {
+    const auto a = make_uf11();
+    const auto b = make_uf11();
+    util::Rng rng(3);
+    std::vector<double> x(30);
+    for (double& v : x) v = rng.uniform(-0.5, 1.5);
+    EXPECT_EQ(eval(*a, x), eval(*b, x));
+}
+
+TEST(Uf11, CenterMapsToSphere) {
+    // x = center: rotation fixes it, g = 0, position variables at 0.5.
+    const RotatedDtlz2 p(5, 30, kUf11RotationSeed);
+    std::vector<double> x(30, 0.5);
+    const auto f = eval(p, x);
+    double norm = 0.0;
+    for (const double v : f) norm += v * v;
+    EXPECT_NEAR(norm, 1.0, 1e-10);
+}
+
+TEST(Uf11, ParetoSetRepresentableWithinBounds) {
+    // Map DTLZ2-optimal y vectors back to decision space and check bounds.
+    const RotatedDtlz2 p(5, 30, kUf11RotationSeed);
+    util::Rng rng(4);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<double> y(30, 0.5);
+        for (int i = 0; i < 4; ++i) y[i] = rng.uniform();
+        const auto x = p.to_decision_space(y);
+        EXPECT_TRUE(p.within_bounds(x, 1e-9));
+        const auto f = eval(p, x);
+        double norm = 0.0;
+        for (const double v : f) norm += v * v;
+        EXPECT_NEAR(norm, 1.0, 1e-9) << "trial " << trial;
+    }
+}
+
+TEST(Uf11, NonSeparable) {
+    // Perturbing a single decision variable must move the distance metric g
+    // through many rotated coordinates: compare against separable DTLZ2
+    // where perturbing a position variable keeps the point on the sphere.
+    const RotatedDtlz2 p(5, 30, kUf11RotationSeed);
+    std::vector<double> x(30, 0.5);
+    const auto base = eval(p, x);
+    x[0] += 0.3;
+    const auto moved = eval(p, x);
+    double base_norm = 0.0, moved_norm = 0.0;
+    for (const double v : base) base_norm += v * v;
+    for (const double v : moved) moved_norm += v * v;
+    // The perturbation leaks into g, pushing the point off the unit sphere.
+    EXPECT_GT(std::sqrt(moved_norm), std::sqrt(base_norm) + 1e-3);
+}
+
+TEST(Uf11, ObjectiveScalesApplied) {
+    const std::vector<double> scales{1.0, 2.0, 3.0, 4.0, 5.0};
+    const RotatedDtlz2 scaled(5, 30, kUf11RotationSeed, scales);
+    const RotatedDtlz2 plain(5, 30, kUf11RotationSeed);
+    std::vector<double> x(30, 0.5);
+    const auto fs = eval(scaled, x);
+    const auto fp = eval(plain, x);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_NEAR(fs[i], scales[i] * fp[i], 1e-12);
+}
+
+TEST(Uf11, OutOfBoxRotationPenalized) {
+    const RotatedDtlz2 p(5, 30, kUf11RotationSeed);
+    // A far corner rotates well outside the unit box, so the penalty term
+    // must push objectives above the unpenalized bound (1 + g) <= 1 + n/4.
+    std::vector<double> x(30, 1.5);
+    const auto f = eval(p, x);
+    for (const double v : f) EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GT(*std::max_element(f.begin(), f.end()), 1.0);
+}
+
+// -------------------------------------------------------------------- ZDT
+
+TEST(Zdt1, FrontShape) {
+    const Zdt1 p;
+    std::vector<double> x(p.num_variables(), 0.0);
+    x[0] = 0.25;
+    const auto f = eval(p, x);
+    EXPECT_DOUBLE_EQ(f[0], 0.25);
+    EXPECT_NEAR(f[1], 1.0 - std::sqrt(0.25), 1e-12);
+}
+
+TEST(Zdt2, FrontShape) {
+    const Zdt2 p;
+    std::vector<double> x(p.num_variables(), 0.0);
+    x[0] = 0.5;
+    const auto f = eval(p, x);
+    EXPECT_NEAR(f[1], 0.75, 1e-12);
+}
+
+TEST(Zdt3, DisconnectedFrontDipsNegative) {
+    const Zdt3 p;
+    std::vector<double> x(p.num_variables(), 0.0);
+    x[0] = 0.85;
+    const auto f = eval(p, x);
+    EXPECT_LT(f[1], 0.0); // the sine term drives f2 below zero
+}
+
+TEST(Zdt, GPenalizesDistanceVariables) {
+    const Zdt1 p;
+    std::vector<double> on(p.num_variables(), 0.0);
+    std::vector<double> off(p.num_variables(), 0.5);
+    on[0] = off[0] = 0.3;
+    EXPECT_LT(eval(p, on)[1], eval(p, off)[1]);
+}
+
+// ---------------------------------------------------------------- factory
+
+TEST(Factory, KnownNames) {
+    EXPECT_EQ(make_problem("dtlz2_5")->name(), "DTLZ2_5");
+    EXPECT_EQ(make_problem("dtlz1_3")->name(), "DTLZ1_3");
+    EXPECT_EQ(make_problem("dtlz2")->num_objectives(), 2u);
+    EXPECT_EQ(make_problem("uf11")->num_variables(), 30u);
+    EXPECT_EQ(make_problem("zdt3")->name(), "ZDT3");
+}
+
+TEST(Factory, UnknownNameThrows) {
+    EXPECT_THROW(make_problem("nope"), std::invalid_argument);
+}
+
+TEST(WithinBounds, DetectsViolations) {
+    const auto p = make_problem("dtlz2");
+    std::vector<double> x(p->num_variables(), 0.5);
+    EXPECT_TRUE(p->within_bounds(x));
+    x[0] = 1.5;
+    EXPECT_FALSE(p->within_bounds(x));
+    x[0] = 0.5;
+    x.pop_back();
+    EXPECT_FALSE(p->within_bounds(x)); // wrong arity
+}
+
+// ---------------------------------------------------------------- delayed
+
+TEST(Delayed, ForwardsEvaluation) {
+    auto inner = std::shared_ptr<const Problem>(make_problem("zdt1"));
+    const DelayedProblem delayed(inner, stats::make_delay(0.0, 0.0), 1, false);
+    std::vector<double> x(inner->num_variables(), 0.0);
+    x[0] = 0.5;
+    EXPECT_EQ(eval(delayed, x), eval(*inner, x));
+    EXPECT_EQ(delayed.num_variables(), inner->num_variables());
+    EXPECT_EQ(delayed.name(), "ZDT1+delay");
+}
+
+TEST(Delayed, SampleDelayMatchesDistribution) {
+    auto inner = std::shared_ptr<const Problem>(make_problem("zdt1"));
+    const DelayedProblem delayed(inner, stats::make_delay(0.01, 0.1), 7, false);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += delayed.sample_delay();
+    EXPECT_NEAR(sum / n, 0.01, 1e-4);
+}
+
+TEST(Delayed, PhysicalSleepRoughlyHonored) {
+    auto inner = std::shared_ptr<const Problem>(make_problem("zdt1"));
+    const DelayedProblem delayed(inner, stats::make_delay(0.01, 0.0), 7, true);
+    std::vector<double> x(inner->num_variables(), 0.5);
+    std::vector<double> f(2);
+    const auto t0 = std::chrono::steady_clock::now();
+    delayed.evaluate(x, f);
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_GE(dt, 0.009);
+    EXPECT_LT(dt, 0.05);
+}
+
+TEST(PreciseSleep, ShortDelaysAccurate) {
+    const auto t0 = std::chrono::steady_clock::now();
+    problems::precise_sleep(0.002);
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_GE(dt, 0.0019);
+    EXPECT_LT(dt, 0.01);
+}
+
+} // namespace

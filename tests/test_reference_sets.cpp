@@ -1,0 +1,95 @@
+#include "problems/reference_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace {
+
+using namespace borg::problems;
+
+TEST(SimplexLattice, CountMatchesBinomial) {
+    // C(divisions + M - 1, M - 1) points.
+    EXPECT_EQ(simplex_lattice(2, 4).size(), 5u);
+    EXPECT_EQ(simplex_lattice(3, 4).size(), 15u);
+    EXPECT_EQ(simplex_lattice(5, 8).size(), 495u);
+}
+
+TEST(SimplexLattice, PointsSumToOne) {
+    for (const auto& p : simplex_lattice(4, 6)) {
+        const double sum = std::accumulate(p.begin(), p.end(), 0.0);
+        EXPECT_NEAR(sum, 1.0, 1e-12);
+        for (const double v : p) EXPECT_GE(v, 0.0);
+    }
+}
+
+TEST(SimplexLattice, ContainsCorners) {
+    const auto points = simplex_lattice(3, 5);
+    int corners = 0;
+    for (const auto& p : points)
+        for (const double v : p)
+            if (v == 1.0) ++corners;
+    EXPECT_EQ(corners, 3);
+}
+
+TEST(Dtlz2Reference, PointsOnUnitSphere) {
+    for (const auto& p : dtlz2_reference_set(5, 6)) {
+        double norm = 0.0;
+        for (const double v : p) norm += v * v;
+        EXPECT_NEAR(norm, 1.0, 1e-12);
+    }
+}
+
+TEST(Dtlz1Reference, PointsOnHalfPlane) {
+    for (const auto& p : dtlz1_reference_set(3, 10)) {
+        const double sum = std::accumulate(p.begin(), p.end(), 0.0);
+        EXPECT_NEAR(sum, 0.5, 1e-12);
+    }
+}
+
+TEST(Uf11Reference, ScalesApplied) {
+    const std::vector<double> scales{1.0, 2.0, 1.0, 1.0, 1.0};
+    for (const auto& p : uf11_reference_set(4, scales)) {
+        double norm = 0.0;
+        for (std::size_t i = 0; i < p.size(); ++i) {
+            const double unscaled = p[i] / scales[i];
+            norm += unscaled * unscaled;
+        }
+        EXPECT_NEAR(norm, 1.0, 1e-12);
+    }
+}
+
+TEST(ZdtReferences, MatchClosedForms) {
+    for (const auto& p : zdt1_reference_set(100))
+        EXPECT_NEAR(p[1], 1.0 - std::sqrt(p[0]), 1e-12);
+    for (const auto& p : zdt2_reference_set(100))
+        EXPECT_NEAR(p[1], 1.0 - p[0] * p[0], 1e-12);
+}
+
+TEST(Zdt3Reference, OnlyNondominatedKept) {
+    const auto front = zdt3_reference_set(2000);
+    EXPECT_FALSE(front.empty());
+    for (const auto& a : front)
+        for (const auto& b : front) {
+            if (&a == &b) continue;
+            const bool dominated = b[0] <= a[0] && b[1] <= a[1] &&
+                                   (b[0] < a[0] || b[1] < a[1]);
+            EXPECT_FALSE(dominated);
+        }
+}
+
+TEST(ReferenceSetFor, ResolvesNames) {
+    EXPECT_FALSE(reference_set_for("dtlz2_5").empty());
+    EXPECT_FALSE(reference_set_for("uf11").empty());
+    EXPECT_FALSE(reference_set_for("zdt1").empty());
+    EXPECT_EQ(reference_set_for("dtlz2_5")[0].size(), 5u);
+    EXPECT_THROW(reference_set_for("mystery"), std::invalid_argument);
+}
+
+TEST(ReferenceSetFor, DensityOverride) {
+    EXPECT_GT(reference_set_for("dtlz2_3", 30).size(),
+              reference_set_for("dtlz2_3", 10).size());
+}
+
+} // namespace

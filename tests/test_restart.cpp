@@ -1,0 +1,149 @@
+#include "moea/restart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace borg::moea;
+using borg::util::Rng;
+
+Solution evaluated(std::vector<double> objectives) {
+    Solution s;
+    s.variables = {0.5};
+    s.set_objectives(objectives);
+    return s;
+}
+
+RestartParams small_params() {
+    RestartParams p;
+    p.window = 10;
+    p.gamma = 4.0;
+    p.min_population = 4;
+    p.max_population = 100;
+    return p;
+}
+
+TEST(Restart, NoTriggerBeforeWindow) {
+    RestartController ctl(small_params());
+    EpsilonBoxArchive archive({0.1, 0.1});
+    Population pop(4);
+    for (int i = 0; i < 9; ++i)
+        EXPECT_FALSE(ctl.should_restart(archive, pop));
+}
+
+TEST(Restart, StagnationTriggersAtWindow) {
+    RestartController ctl(small_params());
+    EpsilonBoxArchive archive({0.1, 0.1});
+    Population pop(4);
+    // No epsilon progress at all during the window.
+    bool fired = false;
+    for (int i = 0; i < 10; ++i) fired = ctl.should_restart(archive, pop);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Restart, ProgressSuppressesStagnationTrigger) {
+    RestartParams params = small_params();
+    params.ratio_tolerance = 100.0; // disable the ratio trigger
+    RestartController ctl(params);
+    EpsilonBoxArchive archive({0.1, 0.1});
+    Population pop(4);
+    bool fired = false;
+    for (int window = 0; window < 5; ++window) {
+        // Fresh epsilon progress inside every window (coordinates sit at
+        // box centers so floating-point floor cannot merge boxes).
+        archive.add(evaluated({0.85 - 0.1 * window, 0.05 + 0.1 * window}));
+        for (int i = 0; i < 10; ++i)
+            fired = fired || ctl.should_restart(archive, pop);
+    }
+    EXPECT_FALSE(fired);
+}
+
+TEST(Restart, RatioDriftTriggers) {
+    RestartParams params = small_params();
+    RestartController ctl(params);
+    EpsilonBoxArchive archive({0.1, 0.1});
+    // 12 nondominated boxes: desired population = 4 * 12 = 48.
+    for (int i = 0; i < 12; ++i)
+        archive.add(evaluated({0.05 + 0.08 * i, 0.95 - 0.08 * i}));
+    ASSERT_GE(archive.size(), 10u);
+    Population pop(4); // far below gamma * archive
+    bool fired = false;
+    for (int i = 0; i < 10; ++i) fired = ctl.should_restart(archive, pop);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Restart, PerformRebuildsPopulationFromArchive) {
+    RestartController ctl(small_params());
+    EpsilonBoxArchive archive({0.1, 0.1});
+    for (int i = 0; i < 5; ++i)
+        archive.add(evaluated({0.05 + 0.18 * i, 0.95 - 0.18 * i}));
+    Population pop(4);
+    Rng rng(1);
+    for (int i = 0; i < 4; ++i) pop.inject(evaluated({2.0, 2.0}), rng);
+
+    const std::size_t mutants = ctl.perform_restart(archive, pop);
+    EXPECT_EQ(ctl.restarts(), 1u);
+    EXPECT_EQ(pop.target_size(), 4 * archive.size());
+    EXPECT_EQ(pop.size(), archive.size());
+    EXPECT_EQ(mutants, pop.target_size() - archive.size());
+}
+
+TEST(Restart, PopulationClampedToLimits) {
+    RestartParams params = small_params();
+    params.max_population = 10;
+    RestartController ctl(params);
+    EpsilonBoxArchive archive({0.01, 0.01});
+    for (int i = 0; i < 40; ++i)
+        archive.add(evaluated({0.01 + 0.024 * i, 0.97 - 0.024 * i}));
+    Population pop(4);
+    ctl.perform_restart(archive, pop);
+    EXPECT_EQ(pop.target_size(), 10u);
+
+    // Lower clamp with an empty-ish archive.
+    EpsilonBoxArchive tiny({0.5, 0.5});
+    tiny.add(evaluated({0.1, 0.1}));
+    Population pop2(50);
+    ctl.perform_restart(tiny, pop2);
+    EXPECT_EQ(pop2.target_size(), params.min_population);
+}
+
+TEST(Restart, WindowResetsAfterRestart) {
+    RestartController ctl(small_params());
+    EpsilonBoxArchive archive({0.1, 0.1});
+    archive.add(evaluated({0.5, 0.5}));
+    Population pop(4);
+    // The first window's check sees the pre-loop epsilon progress; the
+    // second window observes stagnation and fires.
+    bool fired = false;
+    for (int i = 0; i < 20 && !fired; ++i)
+        fired = ctl.should_restart(archive, pop);
+    ASSERT_TRUE(fired);
+    ctl.perform_restart(archive, pop);
+    // Immediately after a restart the stagnation window starts afresh.
+    for (int i = 0; i < 9; ++i)
+        EXPECT_FALSE(ctl.should_restart(archive, pop));
+}
+
+TEST(Restart, TournamentSizeTracksPopulation) {
+    RestartParams params = small_params();
+    params.selection_ratio = 0.02;
+    RestartController ctl(params);
+    Population small(50);
+    EXPECT_EQ(ctl.tournament_size(small), 2u); // ceil(1.0) but min 2
+    Population big(1000);
+    EXPECT_EQ(ctl.tournament_size(big), 20u);
+}
+
+TEST(Restart, RejectsBadParams) {
+    RestartParams p = small_params();
+    p.window = 0;
+    EXPECT_THROW(RestartController{p}, std::invalid_argument);
+    p = small_params();
+    p.gamma = 0.5;
+    EXPECT_THROW(RestartController{p}, std::invalid_argument);
+    p = small_params();
+    p.max_population = p.min_population - 1;
+    EXPECT_THROW(RestartController{p}, std::invalid_argument);
+}
+
+} // namespace

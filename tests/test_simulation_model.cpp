@@ -1,0 +1,198 @@
+#include "models/simulation_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "models/sync_model.hpp"
+
+namespace {
+
+using namespace borg::models;
+using borg::stats::ConstantDistribution;
+using borg::stats::Distribution;
+using borg::stats::make_delay;
+
+struct Dists {
+    std::unique_ptr<Distribution> tf, tc, ta;
+    SimulationConfig config(std::uint64_t n, std::uint64_t p,
+                            std::uint64_t seed = 1) const {
+        return SimulationConfig{n, p, tf.get(), tc.get(), ta.get(), seed};
+    }
+};
+
+Dists constant_dists(double tf, double tc, double ta) {
+    return {std::make_unique<ConstantDistribution>(tf),
+            std::make_unique<ConstantDistribution>(tc),
+            std::make_unique<ConstantDistribution>(ta)};
+}
+
+TEST(SimAsync, MatchesAnalyticalBelowSaturation) {
+    // With constant times and no contention, the DES must agree with Eq. 2
+    // to within the startup transient.
+    const auto d = constant_dists(0.01, 0.000006, 0.000029);
+    const TimingCosts costs{0.01, 0.000006, 0.000029};
+    for (const std::uint64_t p : {4, 16, 64}) {
+        const auto result = simulate_async(d.config(20000, p));
+        const double predicted = async_parallel_time(20000, p, costs);
+        EXPECT_NEAR(result.elapsed, predicted, 0.02 * predicted)
+            << "P = " << p;
+        // With constant times the lockstep pattern produces same-instant
+        // arrivals (counted as "contended" by the FIFO), but actual queue
+        // waits must be negligible relative to the evaluation time.
+        EXPECT_LT(result.mean_queue_wait, 0.02 * 0.01);
+    }
+}
+
+TEST(SimAsync, SaturatedMasterThroughputBound) {
+    // At saturation the master's service time governs: T_P ~ N (2T_C+T_A).
+    const auto d = constant_dists(0.001, 0.000006, 0.000029);
+    const auto result = simulate_async(d.config(50000, 512));
+    const double bound = 50000 * (2 * 0.000006 + 0.000029);
+    EXPECT_GE(result.elapsed, 0.99 * bound);
+    EXPECT_LE(result.elapsed, 1.10 * bound);
+    EXPECT_GT(result.master_busy_fraction, 0.95);
+    EXPECT_GT(result.contention_rate, 0.9);
+}
+
+TEST(SimAsync, AnalyticalErrorGrowsWithProcessorCount) {
+    // The Table II pattern: with T_F = 0.001 the analytical model under-
+    // predicts more and more as P grows.
+    const auto d = constant_dists(0.001, 0.000006, 0.000029);
+    const TimingCosts costs{0.001, 0.000006, 0.000029};
+    double previous_error = 0.0;
+    for (const std::uint64_t p : {64, 128, 256, 512}) {
+        const auto result = simulate_async(d.config(20000, p, 3));
+        const double err = relative_error(
+            result.elapsed, async_parallel_time(20000, p, costs));
+        EXPECT_GT(err, previous_error);
+        previous_error = err;
+    }
+    EXPECT_GT(previous_error, 0.8);
+}
+
+TEST(SimAsync, SaturatingModelTracksSimulationEverywhere) {
+    // The saturation-aware closed form (max of Eq. 2 and the service
+    // bound) stays within a few percent of the DES across the whole sweep,
+    // where plain Eq. 2 fails by 90%+ past P_UB.
+    const auto d = constant_dists(0.001, 0.000006, 0.000029);
+    const TimingCosts costs{0.001, 0.000006, 0.000029};
+    for (const std::uint64_t p : {8, 16, 64, 256, 1024}) {
+        const auto sim = simulate_async(d.config(20000, p, 17));
+        const double refined =
+            async_parallel_time_saturating(20000, p, costs);
+        EXPECT_NEAR(refined, sim.elapsed, 0.10 * sim.elapsed) << "P = " << p;
+    }
+}
+
+TEST(SimAsync, EfficiencyPeaksAtModerateP) {
+    const auto d = constant_dists(0.01, 0.000006, 0.000029);
+    double best_eff = 0.0;
+    std::uint64_t best_p = 0;
+    for (const std::uint64_t p : {2, 16, 64, 1024}) {
+        const auto cfg = d.config(20000, p, 4);
+        const double eff = simulated_efficiency(cfg, simulate_async(cfg));
+        if (eff > best_eff) {
+            best_eff = eff;
+            best_p = p;
+        }
+    }
+    EXPECT_TRUE(best_p == 16 || best_p == 64);
+    EXPECT_GT(best_eff, 0.9);
+}
+
+TEST(SimAsync, DeterministicGivenSeed) {
+    auto d = Dists{make_delay(0.001, 0.1), make_delay(0.000006, 0.1),
+                   make_delay(0.000029, 0.3)};
+    const auto a = simulate_async(d.config(5000, 32, 99));
+    const auto b = simulate_async(d.config(5000, 32, 99));
+    EXPECT_DOUBLE_EQ(a.elapsed, b.elapsed);
+    const auto c = simulate_async(d.config(5000, 32, 100));
+    EXPECT_NE(a.elapsed, c.elapsed);
+}
+
+TEST(SimAsync, CompletesExactEvaluationCount) {
+    const auto d = constant_dists(0.001, 0.000006, 0.000029);
+    for (const std::uint64_t n : {1, 7, 100, 3001}) {
+        const auto result = simulate_async(d.config(n, 8));
+        EXPECT_EQ(result.evaluations, n);
+    }
+}
+
+TEST(SimAsync, MoreWorkersThanWorkIsSafe) {
+    const auto d = constant_dists(0.01, 0.000006, 0.000029);
+    const auto result = simulate_async(d.config(10, 128));
+    EXPECT_EQ(result.evaluations, 10u);
+    EXPECT_GT(result.elapsed, 0.01);
+}
+
+TEST(SimAsync, ValidatesConfig) {
+    const auto d = constant_dists(0.01, 0.000006, 0.000029);
+    EXPECT_THROW(simulate_async(d.config(0, 8)), std::invalid_argument);
+    EXPECT_THROW(simulate_async(d.config(10, 1)), std::invalid_argument);
+    SimulationConfig missing{10, 8, nullptr, d.tc.get(), d.ta.get(), 1};
+    EXPECT_THROW(simulate_async(missing), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- sync
+
+TEST(SimSync, TracksCantuPazModelWithConstantTimes) {
+    const auto d = constant_dists(0.01, 0.000006, 0.000029);
+    const TimingCosts costs{0.01, 0.000006, 0.000029};
+    for (const std::uint64_t p : {8, 32, 128}) {
+        const auto result = simulate_sync(d.config(20000, p, 5));
+        const double predicted = sync_parallel_time(20000, p, costs);
+        // The DES serializes receives the model folds into P T_C; allow a
+        // modest band.
+        EXPECT_NEAR(result.elapsed, predicted, 0.15 * predicted)
+            << "P = " << p;
+    }
+}
+
+TEST(SimSync, VariableTfHurtsSyncButNotAsync) {
+    // Section VI-B's closing observation: per-generation barriers make the
+    // synchronous runtime track the *max* of P draws of T_F, while the
+    // asynchronous model only tracks the mean.
+    const std::uint64_t n = 20000, p = 64;
+    auto low = Dists{make_delay(0.01, 0.05), make_delay(0.000006, 0.0),
+                     make_delay(0.000029, 0.0)};
+    auto high = Dists{make_delay(0.01, 1.0), make_delay(0.000006, 0.0),
+                      make_delay(0.000029, 0.0)};
+
+    const double sync_low = simulate_sync(low.config(n, p, 6)).elapsed;
+    const double sync_high = simulate_sync(high.config(n, p, 6)).elapsed;
+    const double async_low = simulate_async(low.config(n, p, 6)).elapsed;
+    const double async_high = simulate_async(high.config(n, p, 6)).elapsed;
+
+    // Normalize by the distributions' true means (zero-truncation raises
+    // the high-cv mean): the async runtime tracks the *mean* T_F while the
+    // sync runtime tracks the *max* over each generation's P draws.
+    const double mean_ratio = high.tf->mean() / low.tf->mean();
+    const double async_ratio = async_high / async_low;
+    const double sync_ratio = sync_high / sync_low;
+    EXPECT_NEAR(async_ratio, mean_ratio, 0.07 * mean_ratio);
+    EXPECT_GT(sync_ratio, 1.5 * mean_ratio);
+}
+
+TEST(SimSync, CompletesExactEvaluationCount) {
+    const auto d = constant_dists(0.001, 0.000006, 0.000029);
+    const auto result = simulate_sync(d.config(1000, 16));
+    EXPECT_EQ(result.evaluations, 1000u);
+}
+
+TEST(SimSync, PartialFinalGeneration) {
+    const auto d = constant_dists(0.001, 0.000006, 0.000029);
+    // 10 evaluations on 16 processors: a single undersized generation.
+    const auto result = simulate_sync(d.config(10, 16));
+    EXPECT_EQ(result.evaluations, 10u);
+    EXPECT_GT(result.elapsed, 0.001);
+}
+
+TEST(SimulatedEfficiency, SaturationProducesLowEfficiency) {
+    const auto d = constant_dists(0.001, 0.000006, 0.000029);
+    const auto cfg = d.config(20000, 1024, 8);
+    const double eff = simulated_efficiency(cfg, simulate_async(cfg));
+    EXPECT_LT(eff, 0.1);
+}
+
+} // namespace

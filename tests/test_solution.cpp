@@ -1,0 +1,71 @@
+#include "moea/solution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "problems/problem.hpp"
+
+namespace {
+
+using namespace borg;
+using namespace borg::moea;
+
+TEST(Solution, DefaultIsUnevaluated) {
+    const Solution s;
+    EXPECT_FALSE(s.evaluated);
+    EXPECT_EQ(s.operator_index, kNoOperator);
+}
+
+TEST(Solution, SetObjectivesMarksEvaluated) {
+    Solution s({0.1, 0.2});
+    const std::vector<double> objs{1.0, 2.0};
+    s.set_objectives(objs);
+    EXPECT_TRUE(s.evaluated);
+    EXPECT_EQ(s.objectives, objs);
+}
+
+TEST(RandomSolution, RespectsBounds) {
+    const auto problem = problems::make_problem("uf11"); // bounds [-0.5, 1.5]
+    util::Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        const Solution s = random_solution(*problem, rng);
+        EXPECT_EQ(s.variables.size(), problem->num_variables());
+        EXPECT_TRUE(problem->within_bounds(s.variables));
+        EXPECT_FALSE(s.evaluated);
+    }
+}
+
+TEST(RandomSolution, CoversTheBox) {
+    const auto problem = problems::make_problem("zdt1");
+    util::Rng rng(2);
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 500; ++i) {
+        const Solution s = random_solution(*problem, rng);
+        lo = std::min(lo, s.variables[0]);
+        hi = std::max(hi, s.variables[0]);
+    }
+    EXPECT_LT(lo, 0.05);
+    EXPECT_GT(hi, 0.95);
+}
+
+TEST(Evaluate, FillsObjectives) {
+    const auto problem = problems::make_problem("zdt1");
+    Solution s(std::vector<double>(problem->num_variables(), 0.0));
+    s.variables[0] = 0.25;
+    evaluate(*problem, s);
+    EXPECT_TRUE(s.evaluated);
+    ASSERT_EQ(s.objectives.size(), 2u);
+    EXPECT_DOUBLE_EQ(s.objectives[0], 0.25);
+}
+
+TEST(ClipToBounds, ClampsOutliers) {
+    const auto problem = problems::make_problem("zdt1");
+    std::vector<double> vars(problem->num_variables(), 0.5);
+    vars[0] = -0.3;
+    vars[1] = 1.8;
+    clip_to_bounds(*problem, vars);
+    EXPECT_DOUBLE_EQ(vars[0], 0.0);
+    EXPECT_DOUBLE_EQ(vars[1], 1.0);
+    EXPECT_DOUBLE_EQ(vars[2], 0.5);
+}
+
+} // namespace

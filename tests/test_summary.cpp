@@ -1,0 +1,79 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using borg::stats::Accumulator;
+using borg::stats::quantile;
+using borg::stats::summarize;
+
+TEST(Accumulator, EmptyIsZero) {
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+    Accumulator acc;
+    acc.add(3.5);
+    EXPECT_EQ(acc.count(), 1u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 3.5);
+    EXPECT_DOUBLE_EQ(acc.max(), 3.5);
+}
+
+TEST(Accumulator, KnownMeanAndVariance) {
+    Accumulator acc;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    // Sample variance of this classic dataset is 32/7.
+    EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, StableForTinyValues) {
+    // Microsecond-scale timings with a large shared offset.
+    Accumulator acc;
+    for (int i = 0; i < 1000; ++i) acc.add(1e-6 + (i % 2) * 1e-9);
+    EXPECT_NEAR(acc.mean(), 1e-6 + 0.5e-9, 1e-15);
+    EXPECT_GT(acc.variance(), 0.0);
+}
+
+TEST(Summarize, FullSummary) {
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+    const auto s = summarize(xs);
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summarize, EmptyInput) {
+    const auto s = summarize(std::vector<double>{});
+    EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Quantile, MedianEvenCount) {
+    EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+    const std::vector<double> xs{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(Quantile, InterpolatesType7) {
+    // R: quantile(c(1,2,3,4), 0.25) == 1.75 with the default type 7.
+    EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 0.25), 1.75);
+}
+
+} // namespace

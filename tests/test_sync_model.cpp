@@ -1,0 +1,93 @@
+#include "models/sync_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace borg::models;
+
+// Figure 5's fixed overheads: T_C = 6 us, T_A = 60 us (see DESIGN.md note
+// on the swapped constants in the paper's prose).
+const TimingCosts kFig5{0.01, 0.000006, 0.000060};
+
+TEST(SyncModel, Eq6Formula) {
+    // N/P (T_F + P T_C + P T_A)
+    const double expected = 1000.0 / 10.0 * (0.01 + 10 * 0.000006 + 10 * 0.00006);
+    EXPECT_NEAR(sync_parallel_time(1000, 10, kFig5), expected, 1e-12);
+}
+
+TEST(SyncModel, RuntimeMonotoneDecreasing) {
+    double previous = sync_parallel_time(10000, 1, kFig5);
+    for (const std::uint64_t p : {2, 4, 16, 256, 4096}) {
+        const double t = sync_parallel_time(10000, p, kFig5);
+        EXPECT_LT(t, previous);
+        previous = t;
+    }
+}
+
+TEST(SyncModel, RuntimeFloorIsCommunication) {
+    // T_P^sync -> N (T_C + T_A) as P -> inf.
+    const double floor = 10000 * (0.000006 + 0.00006);
+    EXPECT_GT(sync_parallel_time(10000, 1 << 20, kFig5), floor);
+    EXPECT_NEAR(sync_parallel_time(10000, 1 << 20, kFig5), floor,
+                0.01 * floor);
+}
+
+TEST(SyncModel, SpeedupSaturates) {
+    const double limit = sync_speedup_limit(kFig5);
+    EXPECT_NEAR(limit, (0.01 + 0.00006) / (0.000006 + 0.00006), 1e-9);
+    EXPECT_LT(sync_speedup(1 << 20, kFig5), limit);
+    EXPECT_NEAR(sync_speedup(1 << 20, kFig5), limit, 0.01 * limit);
+}
+
+TEST(SyncModel, EfficiencyDecaysWithP) {
+    double previous = sync_efficiency(1, kFig5);
+    for (const std::uint64_t p : {2, 8, 64, 1024}) {
+        const double e = sync_efficiency(p, kFig5);
+        EXPECT_LT(e, previous);
+        previous = e;
+    }
+}
+
+TEST(SyncModel, HalfEfficiencyPoint) {
+    const double p_half = sync_half_efficiency_processors(kFig5);
+    const auto p = static_cast<std::uint64_t>(p_half);
+    // Efficiency at the half point must straddle 0.5.
+    EXPECT_NEAR(sync_efficiency(p, kFig5), 0.5, 0.02);
+}
+
+TEST(SyncModel, SmallTfFavorsSyncOverAsyncSaturated) {
+    // Paper Section VI-B: the synchronous model achieves higher efficiency
+    // with small T_F — the async master saturates almost immediately
+    // (P_UB = T_F / (2 T_C + T_A) < 2) and then pays 2 T_C + T_A per
+    // evaluation, where the synchronous pipeline pays only T_C + T_A.
+    const TimingCosts costs{0.0001, 0.000006, 0.000060};
+    EXPECT_LT(processor_upper_bound(costs), 2.0);
+    const std::uint64_t p = 64;
+    const double sync_e = sync_efficiency(p, costs);
+    const double async_saturated_tp = 1.0 * (2 * costs.tc + costs.ta);
+    const double async_e =
+        serial_time(1, costs) / (static_cast<double>(p) * async_saturated_tp);
+    EXPECT_GT(sync_e, async_e);
+}
+
+TEST(SyncModel, LargeTfAsyncScalesFurther) {
+    // With T_F = 1 s the async model stays efficient to much larger P than
+    // the sync model (the Figure 5 contrast).
+    const TimingCosts costs{1.0, 0.000006, 0.000060};
+    const std::uint64_t p = 8192;
+    EXPECT_GT(async_efficiency(p, costs), 0.95);
+    EXPECT_LT(sync_efficiency(p, costs), 0.70);
+}
+
+TEST(SyncModel, RejectsZeroProcessors) {
+    EXPECT_THROW(sync_parallel_time(100, 0, kFig5), std::invalid_argument);
+}
+
+TEST(SyncModel, DegenerateCostsRejected) {
+    const TimingCosts zero{1.0, 0.0, 0.0};
+    EXPECT_THROW(sync_speedup_limit(zero), std::invalid_argument);
+    EXPECT_THROW(sync_half_efficiency_processors(zero), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using borg::util::format_fixed;
+using borg::util::format_percent;
+using borg::util::format_seconds;
+using borg::util::Table;
+
+TEST(Table, PrintsHeaderAndRows) {
+    Table t({"P", "Time", "Eff"});
+    t.add_row({"16", "9.2", "0.69"});
+    t.add_row({"1024", "9.4", "0.01"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("P"), std::string::npos);
+    EXPECT_NE(out.find("1024"), std::string::npos);
+    EXPECT_NE(out.find("0.69"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+    Table t({"a", "b", "c"});
+    t.add_row({"only"});
+    std::ostringstream os;
+    EXPECT_NO_THROW(t.print(os));
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+    Table t({"name", "value"});
+    t.add_row({"with,comma", "with\"quote"});
+    std::ostringstream os;
+    t.print_csv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+    Table t({"x"});
+    t.add_row({"plain"});
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(), "x\nplain\n");
+}
+
+TEST(Format, Fixed) {
+    EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Format, Percent) {
+    EXPECT_EQ(format_percent(0.23), "23%");
+    EXPECT_EQ(format_percent(0.986), "99%");
+    EXPECT_EQ(format_percent(1.0), "100%");
+}
+
+TEST(Format, SecondsScalesPrecision) {
+    EXPECT_EQ(format_seconds(667.83), "667.8");
+    EXPECT_EQ(format_seconds(0.0123), "0.0123");
+    EXPECT_EQ(format_seconds(0.0000061), "0.000006");
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+#include "parallel/thread_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "metrics/hypervolume.hpp"
+#include "parallel/message.hpp"
+#include "problems/delayed.hpp"
+#include "problems/problem.hpp"
+#include "problems/reference_set.hpp"
+#include "stats/fitting.hpp"
+#include "stats/summary.hpp"
+
+#include <thread>
+
+namespace {
+
+using namespace borg;
+using namespace borg::parallel;
+
+TEST(Channel, SendReceiveOrder) {
+    Channel<int> ch;
+    ch.send(1);
+    ch.send(2);
+    ch.send(3);
+    EXPECT_EQ(ch.receive(), 1);
+    EXPECT_EQ(ch.receive(), 2);
+    EXPECT_EQ(ch.receive(), 3);
+}
+
+TEST(Channel, CloseDrainsThenNullopt) {
+    Channel<int> ch;
+    ch.send(7);
+    ch.close();
+    EXPECT_EQ(ch.receive(), 7);
+    EXPECT_EQ(ch.receive(), std::nullopt);
+}
+
+TEST(Channel, SendAfterCloseDropped) {
+    Channel<int> ch;
+    ch.close();
+    ch.send(1);
+    EXPECT_EQ(ch.receive(), std::nullopt);
+}
+
+TEST(Channel, CrossThreadDelivery) {
+    Channel<int> ch;
+    std::thread producer([&] {
+        for (int i = 0; i < 100; ++i) ch.send(i);
+        ch.close();
+    });
+    int expected = 0;
+    while (auto v = ch.receive()) EXPECT_EQ(*v, expected++);
+    EXPECT_EQ(expected, 100);
+    producer.join();
+}
+
+moea::BorgParams quick_params(const problems::Problem& problem) {
+    return moea::BorgParams::for_problem(problem, 0.01);
+}
+
+TEST(ThreadExecutor, CompletesExactEvaluationCount) {
+    const auto problem = problems::make_problem("zdt1");
+    moea::BorgMoea algo(*problem, quick_params(*problem), 1);
+    ThreadMasterSlaveExecutor exec(4);
+    const auto result = exec.run(algo, *problem, 5000);
+    EXPECT_EQ(result.evaluations, 5000u);
+    EXPECT_EQ(algo.evaluations(), 5000u);
+    EXPECT_EQ(result.ta_samples.size(), 5000u);
+    EXPECT_EQ(result.tc_samples.size(), 5000u);
+}
+
+TEST(ThreadExecutor, SearchConvergesUnderRealConcurrency) {
+    const auto problem = problems::make_problem("zdt1");
+    moea::BorgMoea algo(*problem, quick_params(*problem), 2);
+    ThreadMasterSlaveExecutor exec(8);
+    exec.run(algo, *problem, 20000);
+    const auto refset = problems::reference_set_for("zdt1");
+    const double hv = metrics::normalized_hypervolume(
+        algo.archive().objective_vectors(), refset);
+    EXPECT_GT(hv, 0.9);
+}
+
+TEST(ThreadExecutor, PhysicalDelayGivesRealSpeedup) {
+    // 1 ms controlled delay, 8 workers: wall time must be well below the
+    // serial N * T_F and the measured T_F share must dominate.
+    auto inner =
+        std::shared_ptr<const problems::Problem>(problems::make_problem("zdt1"));
+    const problems::DelayedProblem delayed(
+        inner, stats::make_delay(0.001, 0.1), 3, true);
+    moea::BorgMoea algo(delayed, quick_params(delayed), 3);
+    ThreadMasterSlaveExecutor exec(8);
+    const auto result = exec.run(algo, delayed, 2000);
+    const double serial_estimate = 2000 * 0.001;
+    EXPECT_LT(result.elapsed, 0.6 * serial_estimate);
+    EXPECT_GT(result.elapsed, serial_estimate / 8.5);
+}
+
+TEST(ThreadExecutor, MeasuredSamplesFeedTheFittingPipeline) {
+    // End-to-end calibration workflow: run, fit T_A samples, check the
+    // fitted distribution reproduces the sample mean.
+    const auto problem = problems::make_problem("zdt1");
+    moea::BorgMoea algo(*problem, quick_params(*problem), 4);
+    ThreadMasterSlaveExecutor exec(4);
+    const auto result = exec.run(algo, *problem, 4000);
+    for (const double ta : result.ta_samples) EXPECT_GE(ta, 0.0);
+    const auto fitted = stats::best_fit(result.ta_samples);
+    const auto summary = stats::summarize(result.ta_samples);
+    // Real OS timing samples are heavy-tailed (scheduler jitter spikes),
+    // so the maximum-likelihood family's mean can sit well off the sample
+    // mean; require order-of-magnitude agreement, which is what the
+    // queueing model needs from the calibration.
+    EXPECT_GT(fitted->mean(), 0.2 * summary.mean);
+    EXPECT_LT(fitted->mean(), 5.0 * summary.mean);
+}
+
+TEST(ThreadExecutor, SingleWorkerDegeneratesToSerialOrder) {
+    const auto problem = problems::make_problem("zdt1");
+    moea::BorgMoea threaded(*problem, quick_params(*problem), 5);
+    ThreadMasterSlaveExecutor exec(1);
+    exec.run(threaded, *problem, 3000);
+
+    // With one worker the evaluation order is serial, so the archive must
+    // match a serial run with the same seed exactly.
+    moea::BorgMoea serial(*problem, quick_params(*problem), 5);
+    moea::run_serial(serial, *problem, 3000);
+    ASSERT_EQ(threaded.archive().size(), serial.archive().size());
+    for (std::size_t i = 0; i < serial.archive().size(); ++i)
+        EXPECT_EQ(threaded.archive()[i].objectives,
+                  serial.archive()[i].objectives);
+}
+
+TEST(ThreadExecutor, RejectsBadInput) {
+    EXPECT_THROW(ThreadMasterSlaveExecutor(0), std::invalid_argument);
+    const auto problem = problems::make_problem("zdt1");
+    moea::BorgMoea algo(*problem, quick_params(*problem), 6);
+    ThreadMasterSlaveExecutor exec(2);
+    EXPECT_THROW(exec.run(algo, *problem, 0), std::invalid_argument);
+    exec.run(algo, *problem, 10);
+    EXPECT_THROW(exec.run(algo, *problem, 10), std::logic_error);
+}
+
+} // namespace

@@ -1,0 +1,26 @@
+/// Compile-level test: the umbrella header exposes the full public API
+/// without conflicts, and a miniature end-to-end run works through it.
+
+#include "borg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndThroughSingleInclude) {
+    const auto problem = borg::problems::make_problem("zdt1");
+    auto params = borg::moea::BorgParams::for_problem(*problem, 0.02);
+    borg::moea::BorgMoea algorithm(*problem, params, 1);
+    borg::moea::run_serial(algorithm, *problem, 2000);
+    EXPECT_GT(algorithm.archive().size(), 0u);
+
+    const auto refset = borg::problems::reference_set_for("zdt1");
+    const double hv = borg::metrics::normalized_hypervolume(
+        algorithm.archive().objective_vectors(), refset);
+    EXPECT_GT(hv, 0.3);
+
+    const borg::models::TimingCosts costs{0.01, 0.000006, 0.000029};
+    EXPECT_GT(borg::models::processor_upper_bound(costs), 1.0);
+}
+
+} // namespace
