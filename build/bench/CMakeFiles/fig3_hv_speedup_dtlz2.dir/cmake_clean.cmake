@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_hv_speedup_dtlz2.dir/fig3_hv_speedup_dtlz2.cpp.o"
+  "CMakeFiles/fig3_hv_speedup_dtlz2.dir/fig3_hv_speedup_dtlz2.cpp.o.d"
+  "fig3_hv_speedup_dtlz2"
+  "fig3_hv_speedup_dtlz2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hv_speedup_dtlz2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_hv_speedup_dtlz2.
+# This may be replaced when dependencies are built.

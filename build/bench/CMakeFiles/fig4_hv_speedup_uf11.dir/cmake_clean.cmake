@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hv_speedup_uf11.dir/fig4_hv_speedup_uf11.cpp.o"
+  "CMakeFiles/fig4_hv_speedup_uf11.dir/fig4_hv_speedup_uf11.cpp.o.d"
+  "fig4_hv_speedup_uf11"
+  "fig4_hv_speedup_uf11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hv_speedup_uf11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_hv_speedup_uf11.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sync_vs_async.dir/fig5_sync_vs_async.cpp.o"
+  "CMakeFiles/fig5_sync_vs_async.dir/fig5_sync_vs_async.cpp.o.d"
+  "fig5_sync_vs_async"
+  "fig5_sync_vs_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sync_vs_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

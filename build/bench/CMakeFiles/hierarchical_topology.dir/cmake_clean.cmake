@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_topology.dir/hierarchical_topology.cpp.o"
+  "CMakeFiles/hierarchical_topology.dir/hierarchical_topology.cpp.o.d"
+  "hierarchical_topology"
+  "hierarchical_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_archive.dir/micro_archive.cpp.o"
+  "CMakeFiles/micro_archive.dir/micro_archive.cpp.o.d"
+  "micro_archive"
+  "micro_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

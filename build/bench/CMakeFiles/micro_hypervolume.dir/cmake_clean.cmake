@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hypervolume.dir/micro_hypervolume.cpp.o"
+  "CMakeFiles/micro_hypervolume.dir/micro_hypervolume.cpp.o.d"
+  "micro_hypervolume"
+  "micro_hypervolume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hypervolume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

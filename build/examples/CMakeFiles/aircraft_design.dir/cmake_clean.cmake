@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aircraft_design.dir/aircraft_design.cpp.o"
+  "CMakeFiles/aircraft_design.dir/aircraft_design.cpp.o.d"
+  "aircraft_design"
+  "aircraft_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aircraft_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

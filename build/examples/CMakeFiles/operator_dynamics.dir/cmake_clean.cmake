@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_dynamics.dir/operator_dynamics.cpp.o"
+  "CMakeFiles/operator_dynamics.dir/operator_dynamics.cpp.o.d"
+  "operator_dynamics"
+  "operator_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/reservoir_operations.cpp" "examples/CMakeFiles/reservoir_operations.dir/reservoir_operations.cpp.o" "gcc" "examples/CMakeFiles/reservoir_operations.dir/reservoir_operations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/borg_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_moea.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservoir_operations.dir/reservoir_operations.cpp.o"
+  "CMakeFiles/reservoir_operations.dir/reservoir_operations.cpp.o.d"
+  "reservoir_operations"
+  "reservoir_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservoir_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

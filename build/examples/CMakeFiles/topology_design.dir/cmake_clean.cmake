@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_design.dir/topology_design.cpp.o"
+  "CMakeFiles/topology_design.dir/topology_design.cpp.o.d"
+  "topology_design"
+  "topology_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

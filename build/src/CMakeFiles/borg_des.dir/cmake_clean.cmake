@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/borg_des.dir/des/environment.cpp.o"
+  "CMakeFiles/borg_des.dir/des/environment.cpp.o.d"
+  "CMakeFiles/borg_des.dir/des/resource.cpp.o"
+  "CMakeFiles/borg_des.dir/des/resource.cpp.o.d"
+  "libborg_des.a"
+  "libborg_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/borg_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

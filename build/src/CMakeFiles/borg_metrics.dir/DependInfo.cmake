@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/hypervolume.cpp" "src/CMakeFiles/borg_metrics.dir/metrics/hypervolume.cpp.o" "gcc" "src/CMakeFiles/borg_metrics.dir/metrics/hypervolume.cpp.o.d"
+  "/root/repo/src/metrics/indicators.cpp" "src/CMakeFiles/borg_metrics.dir/metrics/indicators.cpp.o" "gcc" "src/CMakeFiles/borg_metrics.dir/metrics/indicators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/borg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_moea.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

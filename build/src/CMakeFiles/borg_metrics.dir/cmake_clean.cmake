@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/borg_metrics.dir/metrics/hypervolume.cpp.o"
+  "CMakeFiles/borg_metrics.dir/metrics/hypervolume.cpp.o.d"
+  "CMakeFiles/borg_metrics.dir/metrics/indicators.cpp.o"
+  "CMakeFiles/borg_metrics.dir/metrics/indicators.cpp.o.d"
+  "libborg_metrics.a"
+  "libborg_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/borg_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

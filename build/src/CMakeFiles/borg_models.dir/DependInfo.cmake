@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/analytical.cpp" "src/CMakeFiles/borg_models.dir/models/analytical.cpp.o" "gcc" "src/CMakeFiles/borg_models.dir/models/analytical.cpp.o.d"
+  "/root/repo/src/models/simulation_model.cpp" "src/CMakeFiles/borg_models.dir/models/simulation_model.cpp.o" "gcc" "src/CMakeFiles/borg_models.dir/models/simulation_model.cpp.o.d"
+  "/root/repo/src/models/sync_model.cpp" "src/CMakeFiles/borg_models.dir/models/sync_model.cpp.o" "gcc" "src/CMakeFiles/borg_models.dir/models/sync_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/borg_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

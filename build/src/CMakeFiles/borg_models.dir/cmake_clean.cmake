@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/borg_models.dir/models/analytical.cpp.o"
+  "CMakeFiles/borg_models.dir/models/analytical.cpp.o.d"
+  "CMakeFiles/borg_models.dir/models/simulation_model.cpp.o"
+  "CMakeFiles/borg_models.dir/models/simulation_model.cpp.o.d"
+  "CMakeFiles/borg_models.dir/models/sync_model.cpp.o"
+  "CMakeFiles/borg_models.dir/models/sync_model.cpp.o.d"
+  "libborg_models.a"
+  "libborg_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/borg_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libborg_models.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moea/borg.cpp" "src/CMakeFiles/borg_moea.dir/moea/borg.cpp.o" "gcc" "src/CMakeFiles/borg_moea.dir/moea/borg.cpp.o.d"
+  "/root/repo/src/moea/checkpoint.cpp" "src/CMakeFiles/borg_moea.dir/moea/checkpoint.cpp.o" "gcc" "src/CMakeFiles/borg_moea.dir/moea/checkpoint.cpp.o.d"
+  "/root/repo/src/moea/diagnostics.cpp" "src/CMakeFiles/borg_moea.dir/moea/diagnostics.cpp.o" "gcc" "src/CMakeFiles/borg_moea.dir/moea/diagnostics.cpp.o.d"
+  "/root/repo/src/moea/dominance.cpp" "src/CMakeFiles/borg_moea.dir/moea/dominance.cpp.o" "gcc" "src/CMakeFiles/borg_moea.dir/moea/dominance.cpp.o.d"
+  "/root/repo/src/moea/epsilon_archive.cpp" "src/CMakeFiles/borg_moea.dir/moea/epsilon_archive.cpp.o" "gcc" "src/CMakeFiles/borg_moea.dir/moea/epsilon_archive.cpp.o.d"
+  "/root/repo/src/moea/nsga2.cpp" "src/CMakeFiles/borg_moea.dir/moea/nsga2.cpp.o" "gcc" "src/CMakeFiles/borg_moea.dir/moea/nsga2.cpp.o.d"
+  "/root/repo/src/moea/operator_selector.cpp" "src/CMakeFiles/borg_moea.dir/moea/operator_selector.cpp.o" "gcc" "src/CMakeFiles/borg_moea.dir/moea/operator_selector.cpp.o.d"
+  "/root/repo/src/moea/operators.cpp" "src/CMakeFiles/borg_moea.dir/moea/operators.cpp.o" "gcc" "src/CMakeFiles/borg_moea.dir/moea/operators.cpp.o.d"
+  "/root/repo/src/moea/population.cpp" "src/CMakeFiles/borg_moea.dir/moea/population.cpp.o" "gcc" "src/CMakeFiles/borg_moea.dir/moea/population.cpp.o.d"
+  "/root/repo/src/moea/restart.cpp" "src/CMakeFiles/borg_moea.dir/moea/restart.cpp.o" "gcc" "src/CMakeFiles/borg_moea.dir/moea/restart.cpp.o.d"
+  "/root/repo/src/moea/selection.cpp" "src/CMakeFiles/borg_moea.dir/moea/selection.cpp.o" "gcc" "src/CMakeFiles/borg_moea.dir/moea/selection.cpp.o.d"
+  "/root/repo/src/moea/solution.cpp" "src/CMakeFiles/borg_moea.dir/moea/solution.cpp.o" "gcc" "src/CMakeFiles/borg_moea.dir/moea/solution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/borg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_problems.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/borg_moea.dir/moea/borg.cpp.o"
+  "CMakeFiles/borg_moea.dir/moea/borg.cpp.o.d"
+  "CMakeFiles/borg_moea.dir/moea/checkpoint.cpp.o"
+  "CMakeFiles/borg_moea.dir/moea/checkpoint.cpp.o.d"
+  "CMakeFiles/borg_moea.dir/moea/diagnostics.cpp.o"
+  "CMakeFiles/borg_moea.dir/moea/diagnostics.cpp.o.d"
+  "CMakeFiles/borg_moea.dir/moea/dominance.cpp.o"
+  "CMakeFiles/borg_moea.dir/moea/dominance.cpp.o.d"
+  "CMakeFiles/borg_moea.dir/moea/epsilon_archive.cpp.o"
+  "CMakeFiles/borg_moea.dir/moea/epsilon_archive.cpp.o.d"
+  "CMakeFiles/borg_moea.dir/moea/nsga2.cpp.o"
+  "CMakeFiles/borg_moea.dir/moea/nsga2.cpp.o.d"
+  "CMakeFiles/borg_moea.dir/moea/operator_selector.cpp.o"
+  "CMakeFiles/borg_moea.dir/moea/operator_selector.cpp.o.d"
+  "CMakeFiles/borg_moea.dir/moea/operators.cpp.o"
+  "CMakeFiles/borg_moea.dir/moea/operators.cpp.o.d"
+  "CMakeFiles/borg_moea.dir/moea/population.cpp.o"
+  "CMakeFiles/borg_moea.dir/moea/population.cpp.o.d"
+  "CMakeFiles/borg_moea.dir/moea/restart.cpp.o"
+  "CMakeFiles/borg_moea.dir/moea/restart.cpp.o.d"
+  "CMakeFiles/borg_moea.dir/moea/selection.cpp.o"
+  "CMakeFiles/borg_moea.dir/moea/selection.cpp.o.d"
+  "CMakeFiles/borg_moea.dir/moea/solution.cpp.o"
+  "CMakeFiles/borg_moea.dir/moea/solution.cpp.o.d"
+  "libborg_moea.a"
+  "libborg_moea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/borg_moea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/async_executor.cpp" "src/CMakeFiles/borg_parallel.dir/parallel/async_executor.cpp.o" "gcc" "src/CMakeFiles/borg_parallel.dir/parallel/async_executor.cpp.o.d"
+  "/root/repo/src/parallel/multi_master.cpp" "src/CMakeFiles/borg_parallel.dir/parallel/multi_master.cpp.o" "gcc" "src/CMakeFiles/borg_parallel.dir/parallel/multi_master.cpp.o.d"
+  "/root/repo/src/parallel/sync_executor.cpp" "src/CMakeFiles/borg_parallel.dir/parallel/sync_executor.cpp.o" "gcc" "src/CMakeFiles/borg_parallel.dir/parallel/sync_executor.cpp.o.d"
+  "/root/repo/src/parallel/thread_executor.cpp" "src/CMakeFiles/borg_parallel.dir/parallel/thread_executor.cpp.o" "gcc" "src/CMakeFiles/borg_parallel.dir/parallel/thread_executor.cpp.o.d"
+  "/root/repo/src/parallel/trajectory.cpp" "src/CMakeFiles/borg_parallel.dir/parallel/trajectory.cpp.o" "gcc" "src/CMakeFiles/borg_parallel.dir/parallel/trajectory.cpp.o.d"
+  "/root/repo/src/parallel/virtual_cluster.cpp" "src/CMakeFiles/borg_parallel.dir/parallel/virtual_cluster.cpp.o" "gcc" "src/CMakeFiles/borg_parallel.dir/parallel/virtual_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/borg_moea.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

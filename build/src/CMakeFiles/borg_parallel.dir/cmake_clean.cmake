@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/borg_parallel.dir/parallel/async_executor.cpp.o"
+  "CMakeFiles/borg_parallel.dir/parallel/async_executor.cpp.o.d"
+  "CMakeFiles/borg_parallel.dir/parallel/multi_master.cpp.o"
+  "CMakeFiles/borg_parallel.dir/parallel/multi_master.cpp.o.d"
+  "CMakeFiles/borg_parallel.dir/parallel/sync_executor.cpp.o"
+  "CMakeFiles/borg_parallel.dir/parallel/sync_executor.cpp.o.d"
+  "CMakeFiles/borg_parallel.dir/parallel/thread_executor.cpp.o"
+  "CMakeFiles/borg_parallel.dir/parallel/thread_executor.cpp.o.d"
+  "CMakeFiles/borg_parallel.dir/parallel/trajectory.cpp.o"
+  "CMakeFiles/borg_parallel.dir/parallel/trajectory.cpp.o.d"
+  "CMakeFiles/borg_parallel.dir/parallel/virtual_cluster.cpp.o"
+  "CMakeFiles/borg_parallel.dir/parallel/virtual_cluster.cpp.o.d"
+  "libborg_parallel.a"
+  "libborg_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/borg_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/problems/delayed.cpp" "src/CMakeFiles/borg_problems.dir/problems/delayed.cpp.o" "gcc" "src/CMakeFiles/borg_problems.dir/problems/delayed.cpp.o.d"
+  "/root/repo/src/problems/dtlz.cpp" "src/CMakeFiles/borg_problems.dir/problems/dtlz.cpp.o" "gcc" "src/CMakeFiles/borg_problems.dir/problems/dtlz.cpp.o.d"
+  "/root/repo/src/problems/engineering.cpp" "src/CMakeFiles/borg_problems.dir/problems/engineering.cpp.o" "gcc" "src/CMakeFiles/borg_problems.dir/problems/engineering.cpp.o.d"
+  "/root/repo/src/problems/problem.cpp" "src/CMakeFiles/borg_problems.dir/problems/problem.cpp.o" "gcc" "src/CMakeFiles/borg_problems.dir/problems/problem.cpp.o.d"
+  "/root/repo/src/problems/reference_set.cpp" "src/CMakeFiles/borg_problems.dir/problems/reference_set.cpp.o" "gcc" "src/CMakeFiles/borg_problems.dir/problems/reference_set.cpp.o.d"
+  "/root/repo/src/problems/uf.cpp" "src/CMakeFiles/borg_problems.dir/problems/uf.cpp.o" "gcc" "src/CMakeFiles/borg_problems.dir/problems/uf.cpp.o.d"
+  "/root/repo/src/problems/zdt.cpp" "src/CMakeFiles/borg_problems.dir/problems/zdt.cpp.o" "gcc" "src/CMakeFiles/borg_problems.dir/problems/zdt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/borg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/borg_problems.dir/problems/delayed.cpp.o"
+  "CMakeFiles/borg_problems.dir/problems/delayed.cpp.o.d"
+  "CMakeFiles/borg_problems.dir/problems/dtlz.cpp.o"
+  "CMakeFiles/borg_problems.dir/problems/dtlz.cpp.o.d"
+  "CMakeFiles/borg_problems.dir/problems/engineering.cpp.o"
+  "CMakeFiles/borg_problems.dir/problems/engineering.cpp.o.d"
+  "CMakeFiles/borg_problems.dir/problems/problem.cpp.o"
+  "CMakeFiles/borg_problems.dir/problems/problem.cpp.o.d"
+  "CMakeFiles/borg_problems.dir/problems/reference_set.cpp.o"
+  "CMakeFiles/borg_problems.dir/problems/reference_set.cpp.o.d"
+  "CMakeFiles/borg_problems.dir/problems/uf.cpp.o"
+  "CMakeFiles/borg_problems.dir/problems/uf.cpp.o.d"
+  "CMakeFiles/borg_problems.dir/problems/zdt.cpp.o"
+  "CMakeFiles/borg_problems.dir/problems/zdt.cpp.o.d"
+  "libborg_problems.a"
+  "libborg_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/borg_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

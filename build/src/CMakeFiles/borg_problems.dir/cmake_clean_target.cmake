@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libborg_problems.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/borg_stats.dir/stats/distribution.cpp.o"
+  "CMakeFiles/borg_stats.dir/stats/distribution.cpp.o.d"
+  "CMakeFiles/borg_stats.dir/stats/fitting.cpp.o"
+  "CMakeFiles/borg_stats.dir/stats/fitting.cpp.o.d"
+  "CMakeFiles/borg_stats.dir/stats/summary.cpp.o"
+  "CMakeFiles/borg_stats.dir/stats/summary.cpp.o.d"
+  "libborg_stats.a"
+  "libborg_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/borg_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

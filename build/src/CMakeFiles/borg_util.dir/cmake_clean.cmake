@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/borg_util.dir/util/cli.cpp.o"
+  "CMakeFiles/borg_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/borg_util.dir/util/matrix.cpp.o"
+  "CMakeFiles/borg_util.dir/util/matrix.cpp.o.d"
+  "CMakeFiles/borg_util.dir/util/rng.cpp.o"
+  "CMakeFiles/borg_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/borg_util.dir/util/table.cpp.o"
+  "CMakeFiles/borg_util.dir/util/table.cpp.o.d"
+  "libborg_util.a"
+  "libborg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/borg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analytical_model.cpp" "tests/CMakeFiles/borg_tests.dir/test_analytical_model.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_analytical_model.cpp.o.d"
+  "/root/repo/tests/test_async_executor.cpp" "tests/CMakeFiles/borg_tests.dir/test_async_executor.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_async_executor.cpp.o.d"
+  "/root/repo/tests/test_borg.cpp" "tests/CMakeFiles/borg_tests.dir/test_borg.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_borg.cpp.o.d"
+  "/root/repo/tests/test_checkpoint.cpp" "tests/CMakeFiles/borg_tests.dir/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/borg_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_constrained.cpp" "tests/CMakeFiles/borg_tests.dir/test_constrained.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_constrained.cpp.o.d"
+  "/root/repo/tests/test_des.cpp" "tests/CMakeFiles/borg_tests.dir/test_des.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_des.cpp.o.d"
+  "/root/repo/tests/test_diagnostics.cpp" "tests/CMakeFiles/borg_tests.dir/test_diagnostics.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_diagnostics.cpp.o.d"
+  "/root/repo/tests/test_distributions.cpp" "tests/CMakeFiles/borg_tests.dir/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_distributions.cpp.o.d"
+  "/root/repo/tests/test_dominance.cpp" "tests/CMakeFiles/borg_tests.dir/test_dominance.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_dominance.cpp.o.d"
+  "/root/repo/tests/test_epsilon_archive.cpp" "tests/CMakeFiles/borg_tests.dir/test_epsilon_archive.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_epsilon_archive.cpp.o.d"
+  "/root/repo/tests/test_fault_injection.cpp" "tests/CMakeFiles/borg_tests.dir/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/test_fitting.cpp" "tests/CMakeFiles/borg_tests.dir/test_fitting.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_fitting.cpp.o.d"
+  "/root/repo/tests/test_hypervolume.cpp" "tests/CMakeFiles/borg_tests.dir/test_hypervolume.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_hypervolume.cpp.o.d"
+  "/root/repo/tests/test_indicators.cpp" "tests/CMakeFiles/borg_tests.dir/test_indicators.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_indicators.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/borg_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/borg_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_multi_master.cpp" "tests/CMakeFiles/borg_tests.dir/test_multi_master.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_multi_master.cpp.o.d"
+  "/root/repo/tests/test_nsga2.cpp" "tests/CMakeFiles/borg_tests.dir/test_nsga2.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_nsga2.cpp.o.d"
+  "/root/repo/tests/test_operator_selector.cpp" "tests/CMakeFiles/borg_tests.dir/test_operator_selector.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_operator_selector.cpp.o.d"
+  "/root/repo/tests/test_operators.cpp" "tests/CMakeFiles/borg_tests.dir/test_operators.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_operators.cpp.o.d"
+  "/root/repo/tests/test_population.cpp" "tests/CMakeFiles/borg_tests.dir/test_population.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_population.cpp.o.d"
+  "/root/repo/tests/test_problems.cpp" "tests/CMakeFiles/borg_tests.dir/test_problems.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_problems.cpp.o.d"
+  "/root/repo/tests/test_reference_sets.cpp" "tests/CMakeFiles/borg_tests.dir/test_reference_sets.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_reference_sets.cpp.o.d"
+  "/root/repo/tests/test_restart.cpp" "tests/CMakeFiles/borg_tests.dir/test_restart.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_restart.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/borg_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_selection.cpp" "tests/CMakeFiles/borg_tests.dir/test_selection.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_selection.cpp.o.d"
+  "/root/repo/tests/test_simulation_model.cpp" "tests/CMakeFiles/borg_tests.dir/test_simulation_model.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_simulation_model.cpp.o.d"
+  "/root/repo/tests/test_solution.cpp" "tests/CMakeFiles/borg_tests.dir/test_solution.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_solution.cpp.o.d"
+  "/root/repo/tests/test_summary.cpp" "tests/CMakeFiles/borg_tests.dir/test_summary.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_summary.cpp.o.d"
+  "/root/repo/tests/test_sync_executor.cpp" "tests/CMakeFiles/borg_tests.dir/test_sync_executor.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_sync_executor.cpp.o.d"
+  "/root/repo/tests/test_sync_model.cpp" "tests/CMakeFiles/borg_tests.dir/test_sync_model.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_sync_model.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/borg_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_thread_executor.cpp" "tests/CMakeFiles/borg_tests.dir/test_thread_executor.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_thread_executor.cpp.o.d"
+  "/root/repo/tests/test_trajectory.cpp" "tests/CMakeFiles/borg_tests.dir/test_trajectory.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_trajectory.cpp.o.d"
+  "/root/repo/tests/test_uf_suite.cpp" "tests/CMakeFiles/borg_tests.dir/test_uf_suite.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_uf_suite.cpp.o.d"
+  "/root/repo/tests/test_umbrella.cpp" "tests/CMakeFiles/borg_tests.dir/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/borg_tests.dir/test_umbrella.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/borg_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_moea.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/borg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
