@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 CI: plain Release build + tests, the trace_check observability
+# gate, then the same tests under AddressSanitizer + UBSan.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "=== Release build + tests ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "=== trace_check (observability cross-validation gate) ==="
+./build/bench/trace_check
+
+echo "=== Sanitizer build (address,undefined) + tests ==="
+cmake -B build-san -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBORG_SANITIZE=address,undefined >/dev/null
+cmake --build build-san -j "$jobs"
+ctest --test-dir build-san --output-on-failure -j "$jobs"
+
+echo "ci.sh: all gates passed"

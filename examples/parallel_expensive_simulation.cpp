@@ -13,6 +13,7 @@
 
 #include "models/analytical.hpp"
 #include "moea/borg.hpp"
+#include "obs/metrics_registry.hpp"
 #include "parallel/thread_executor.hpp"
 #include "problems/delayed.hpp"
 #include "problems/problem.hpp"
@@ -38,12 +39,17 @@ int main() {
     std::printf("%8s %10s %9s %11s %12s %12s\n", "workers", "wall (s)",
                 "speedup", "efficiency", "Eq.2 pred", "mean T_A (us)");
 
+    // One registry across all runs: counters accumulate, histograms pool
+    // the timing samples (the run-observability layer's summary view).
+    obs::MetricsRegistry metrics;
+
     double serial_wall = 0.0;
     for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
                                       std::size_t{4}, std::size_t{8}}) {
         moea::BorgMoea algorithm(expensive, params, 42);
         parallel::ThreadMasterSlaveExecutor executor(workers);
-        const auto run = executor.run(algorithm, expensive, kEvaluations);
+        const auto run = executor.run(algorithm, expensive, kEvaluations,
+                                      nullptr, &metrics);
 
         const auto ta_summary = stats::summarize(run.ta_samples);
         if (workers == 1) serial_wall = run.elapsed;
@@ -62,5 +68,16 @@ int main() {
                 "(one evaluation in flight at a time);\nspeedup is "
                 "relative to it. Efficiency includes the master core, "
                 "matching the paper's E_P = T_S / (P T_P).\n");
+
+    if (const auto* results = metrics.find_counter("thread.results")) {
+        const auto* ta = metrics.find_histogram("thread.ta_seconds");
+        const auto* tc = metrics.find_histogram("thread.tc_seconds");
+        std::printf("\nmetrics across all runs: %llu results; "
+                    "T_A mean %.1f us (max %.1f us), "
+                    "T_C mean %.1f us over %zu messages\n",
+                    static_cast<unsigned long long>(results->value()),
+                    ta->mean() * 1e6, ta->max() * 1e6, tc->mean() * 1e6,
+                    tc->count());
+    }
     return 0;
 }

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics_registry.hpp"
+
 namespace borg::des {
 
 Process Process::promise_type::get_return_object() noexcept {
@@ -57,6 +59,7 @@ void Environment::run() {
         queue_.pop();
         dispatch(item);
     }
+    publish_engine_metrics();
 }
 
 void Environment::run_until(double t) {
@@ -66,6 +69,14 @@ void Environment::run_until(double t) {
         dispatch(item);
     }
     if (!stopped_ && now_ < t && queue_.empty()) now_ = t;
+    publish_engine_metrics();
+}
+
+void Environment::publish_engine_metrics() const {
+    if (!metrics_) return;
+    metrics_->gauge("des.events").set(static_cast<double>(events_fired_));
+    metrics_->gauge("des.finished_processes")
+        .set(static_cast<double>(finished_));
 }
 
 } // namespace borg::des

@@ -35,6 +35,11 @@
 #include <queue>
 #include <vector>
 
+namespace borg::obs {
+class TraceSink;
+class MetricsRegistry;
+} // namespace borg::obs
+
 namespace borg::des {
 
 class Environment;
@@ -119,6 +124,21 @@ public:
     /// Total events dispatched so far (diagnostic / test hook).
     std::uint64_t event_count() const noexcept { return events_fired_; }
 
+    /// Attaches a trace sink (nullable). The environment itself emits
+    /// nothing; primitives built on it (Resource) and executors read this
+    /// pointer and record typed events when it is non-null. Emission sites
+    /// pay one branch when no sink is attached.
+    void set_trace(obs::TraceSink* sink) noexcept { trace_ = sink; }
+    obs::TraceSink* trace() const noexcept { return trace_; }
+
+    /// Attaches a metrics registry (nullable). run() publishes the engine
+    /// gauges ("des.events", "des.finished_processes") on exit; executors
+    /// reuse the same registry for their own instruments.
+    void set_metrics(obs::MetricsRegistry* metrics) noexcept {
+        metrics_ = metrics;
+    }
+    obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
+
     /// Schedules \p handle to resume at absolute virtual time \p t >= now().
     /// Public so synchronization primitives (Resource, Event) can reschedule
     /// their waiters; not intended for direct use by simulation code.
@@ -140,8 +160,12 @@ private:
 
     void dispatch(const Scheduled& item);
 
+    void publish_engine_metrics() const;
+
     double now_ = 0.0;
     bool stopped_ = false;
+    obs::TraceSink* trace_ = nullptr;
+    obs::MetricsRegistry* metrics_ = nullptr;
     std::uint64_t next_seq_ = 0;
     std::uint64_t events_fired_ = 0;
     std::size_t finished_ = 0;

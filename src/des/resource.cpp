@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/event_trace.hpp"
+
 namespace borg::des {
 
 Resource::Resource(Environment& env, std::size_t capacity)
@@ -14,6 +16,12 @@ bool Resource::try_acquire_immediate() noexcept {
     if (in_use_ < capacity_ && waiters_.empty()) {
         ++in_use_;
         ++acquires_;
+        if (auto* t = env_.trace()) {
+            t->record({obs::EventKind::acquire_request, env_.now(),
+                       trace_id_, 0.0, 0});
+            t->record({obs::EventKind::acquire_grant, env_.now(), trace_id_,
+                       0.0, 0});
+        }
         return true;
     }
     return false;
@@ -23,15 +31,28 @@ void Resource::enqueue(std::coroutine_handle<> handle) {
     ++acquires_;
     ++contended_;
     waiters_.push_back(handle);
+    if (auto* t = env_.trace())
+        t->record({obs::EventKind::acquire_request, env_.now(), trace_id_,
+                   0.0, waiters_.size()});
+}
+
+void Resource::record_queued_grant(double enqueued_at) const {
+    if (auto* t = env_.trace())
+        t->record({obs::EventKind::acquire_grant, env_.now(), trace_id_,
+                   env_.now() - enqueued_at, 1});
 }
 
 void Resource::release() {
     if (in_use_ == 0)
         throw std::logic_error("Resource::release without matching acquire");
+    if (auto* t = env_.trace())
+        t->record({obs::EventKind::release, env_.now(), trace_id_, 0.0,
+                   waiters_.size()});
     if (!waiters_.empty()) {
         // Hand the slot directly to the longest waiter; in_use_ stays the
-        // same because ownership transfers without ever becoming free.
-        const auto next = waiters_.front();
+        // same because ownership transfers without ever becoming free. The
+        // grant event is emitted by the waiter itself when it resumes.
+        const std::coroutine_handle<> next = waiters_.front();
         waiters_.pop_front();
         env_.schedule_at(next, env_.now());
     } else {

@@ -9,6 +9,7 @@
 
 #include <coroutine>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 
 #include "des/environment.hpp"
@@ -19,6 +20,18 @@ namespace borg::des {
 /// first-served. In the paper's simulation model the master node is a
 /// Resource of capacity 1: workers "request" it, "hold" it for
 /// T_C + T_A + T_C, then "release" it.
+///
+/// Observability: when the owning Environment has a trace sink attached,
+/// every acquisition emits an `acquire_request` (queue depth at request; 0
+/// means the slot was free) followed by an `acquire_grant` (wait duration,
+/// and whether the requester had to queue), and every release emits a
+/// `release` with the waiter count before handoff. The grant is emitted
+/// when the acquiring coroutine *resumes*, not when the slot is handed
+/// over: a waiter granted a slot just as the run stops never resumes, and
+/// executors never observe its wait either, so emitting at resumption
+/// keeps the trace's wait samples exactly equal (count and order) to the
+/// executor's own accounting. With no sink attached the emission sites
+/// reduce to one pointer test.
 class Resource {
 public:
     /// \p env must outlive the resource; \p capacity >= 1.
@@ -45,14 +58,22 @@ public:
     std::size_t contended_acquires() const noexcept { return contended_; }
     std::size_t total_acquires() const noexcept { return acquires_; }
 
+    /// Identifier stamped into this resource's trace events (`actor`
+    /// field); defaults to 0. The multi-master executor numbers each
+    /// island's master so one trace can hold several resources.
+    void set_trace_id(std::int64_t id) noexcept { trace_id_ = id; }
+    std::int64_t trace_id() const noexcept { return trace_id_; }
+
 private:
     friend struct ResourceAwaiter;
 
     bool try_acquire_immediate() noexcept;
     void enqueue(std::coroutine_handle<> handle);
+    void record_queued_grant(double enqueued_at) const;
 
     Environment& env_;
     std::size_t capacity_;
+    std::int64_t trace_id_ = 0;
     std::size_t in_use_ = 0;
     std::size_t acquires_ = 0;
     std::size_t contended_ = 0;
@@ -61,14 +82,20 @@ private:
 
 struct ResourceAwaiter {
     Resource& resource;
+    double enqueued_at = 0.0;
+    bool queued = false;
 
-    bool await_ready() const noexcept {
-        return resource.try_acquire_immediate();
-    }
-    void await_suspend(std::coroutine_handle<> handle) const {
+    bool await_ready() noexcept { return resource.try_acquire_immediate(); }
+    void await_suspend(std::coroutine_handle<> handle) {
+        queued = true;
+        enqueued_at = resource.env_.now();
         resource.enqueue(handle);
     }
-    void await_resume() const noexcept {}
+    void await_resume() const {
+        // Null-sink fast path stays inline: one branch, no call.
+        if (queued && resource.env_.trace() != nullptr)
+            resource.record_queued_grant(enqueued_at);
+    }
 };
 
 inline auto Resource::acquire() noexcept { return ResourceAwaiter{*this}; }

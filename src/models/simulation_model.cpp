@@ -29,6 +29,7 @@ struct AsyncState {
     util::Rng rng{1};
     std::uint64_t dispatched = 0;
     std::uint64_t completed = 0;
+    bool finished = false; ///< explicit: a finish at t=0 is a valid finish
     double finish_time = 0.0;
     double master_hold_time = 0.0;
     stats::Accumulator queue_wait;
@@ -41,6 +42,7 @@ struct AsyncState {
 
     void complete() {
         if (++completed == config->evaluations) {
+            finished = true;
             finish_time = env->now();
             env->stop();
         }
@@ -103,7 +105,7 @@ SimulationResult simulate_async(const SimulationConfig& config) {
 
     SimulationResult result;
     result.evaluations = state.completed;
-    result.elapsed = state.finish_time > 0.0 ? state.finish_time : env.now();
+    result.elapsed = state.finished ? state.finish_time : env.now();
     result.master_busy_fraction =
         result.elapsed > 0.0 ? state.master_hold_time / result.elapsed : 0.0;
     result.mean_queue_wait = state.queue_wait.mean();

@@ -1,0 +1,64 @@
+#include "obs/event_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace borg::obs {
+
+const char* to_string(EventKind kind) noexcept {
+    switch (kind) {
+    case EventKind::run_start: return "run_start";
+    case EventKind::worker_spawn: return "worker_spawn";
+    case EventKind::worker_failure: return "worker_failure";
+    case EventKind::acquire_request: return "acquire_request";
+    case EventKind::acquire_grant: return "acquire_grant";
+    case EventKind::release: return "release";
+    case EventKind::master_hold: return "master_hold";
+    case EventKind::tf_sample: return "tf_sample";
+    case EventKind::tc_sample: return "tc_sample";
+    case EventKind::ta_sample: return "ta_sample";
+    case EventKind::result: return "result";
+    case EventKind::archive_snapshot: return "archive_snapshot";
+    case EventKind::migration: return "migration";
+    case EventKind::generation: return "generation";
+    case EventKind::run_end: return "run_end";
+    }
+    return "unknown";
+}
+
+bool operator==(const Event& a, const Event& b) noexcept {
+    return a.kind == b.kind && a.time == b.time && a.actor == b.actor &&
+           a.value == b.value && a.count == b.count;
+}
+
+std::size_t EventTrace::count(EventKind kind) const noexcept {
+    return static_cast<std::size_t>(
+        std::count_if(events_.begin(), events_.end(),
+                      [kind](const Event& e) { return e.kind == kind; }));
+}
+
+void EventTrace::write_jsonl(std::ostream& out) const {
+    // %.17g round-trips doubles exactly and is locale-independent here
+    // (snprintf with the "C" numeric conventions), so two identical event
+    // sequences serialize to identical bytes.
+    char line[192];
+    for (const Event& e : events_) {
+        std::snprintf(line, sizeof(line),
+                      "{\"k\":\"%s\",\"t\":%.17g,\"a\":%lld,\"v\":%.17g,"
+                      "\"n\":%llu}\n",
+                      to_string(e.kind), e.time,
+                      static_cast<long long>(e.actor), e.value,
+                      static_cast<unsigned long long>(e.count));
+        out << line;
+    }
+}
+
+std::string EventTrace::to_jsonl() const {
+    std::ostringstream out;
+    write_jsonl(out);
+    return out.str();
+}
+
+} // namespace borg::obs

@@ -1,0 +1,100 @@
+#ifndef BORG_OBS_EVENT_TRACE_HPP
+#define BORG_OBS_EVENT_TRACE_HPP
+
+/// \file event_trace.hpp
+/// Structured run observability: a typed event stream recorded by the DES
+/// engine and the master-slave executors.
+///
+/// The paper's model terms (T_F, T_C, T_A, queue wait, master utilization —
+/// Eqs. 1-4) are per-event quantities, but executors historically reported
+/// only end-of-run aggregates, which is how fault-path and elapsed-time
+/// accounting bugs went unnoticed. A TraceSink attached to a run receives
+/// every typed event as it happens; the aggregates can then be *recomputed*
+/// from the trace (trace_check.hpp) and cross-validated against what the
+/// executor reported, turning the accounting into an enforced invariant.
+///
+/// Performance contract: emission sites hold a nullable TraceSink pointer
+/// and skip all work when no sink is attached (a single branch), so
+/// tracing costs nothing unless requested.
+///
+/// The JSONL export schema is documented in DESIGN.md §8; identical runs
+/// (same seed, same config) produce byte-identical exports.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace borg::obs {
+
+/// Event vocabulary. One enumerator per observable occurrence; the payload
+/// fields of Event are interpreted per kind (see DESIGN.md §8).
+enum class EventKind : std::uint8_t {
+    run_start,       ///< value = processors, count = target evaluations
+    worker_spawn,    ///< actor = worker index
+    worker_failure,  ///< actor = worker index, count = offspring returned
+    acquire_request, ///< actor = resource id, count = queue depth (0 = free)
+    acquire_grant,   ///< actor = resource id, value = wait, count = 1 if queued
+    release,         ///< actor = resource id, count = waiters before handoff
+    master_hold,     ///< actor = resource id, value = busy seconds added
+    tf_sample,       ///< actor = worker index, value = applied T_F
+    tc_sample,       ///< actor = worker index, value = applied T_C
+    ta_sample,       ///< actor = worker index, value = applied T_A
+    result,          ///< actor = worker index, count = results so far
+    archive_snapshot,///< count = archive size after the latest result
+    migration,       ///< actor = destination island
+    generation,      ///< count = results after this generation (sync)
+    run_end,         ///< value = elapsed, count = results ingested
+};
+
+/// Stable lower-case name used in the JSONL export.
+const char* to_string(EventKind kind) noexcept;
+
+/// One trace record. `time` is virtual seconds for the DES executors and
+/// seconds since run start for the physical thread executor. `actor` is a
+/// worker index, island index, or resource id depending on the kind
+/// (-1 when not applicable).
+struct Event {
+    EventKind kind = EventKind::run_start;
+    double time = 0.0;
+    std::int64_t actor = -1;
+    double value = 0.0;
+    std::uint64_t count = 0;
+};
+
+bool operator==(const Event& a, const Event& b) noexcept;
+
+/// Destination for trace events. Implementations are invoked synchronously
+/// from the emitting run loop; single-threaded unless noted otherwise (the
+/// thread executor emits only from the master thread).
+class TraceSink {
+public:
+    virtual ~TraceSink() = default;
+    virtual void record(const Event& event) = 0;
+};
+
+/// The standard sink: an in-memory event vector with JSONL export.
+class EventTrace final : public TraceSink {
+public:
+    void record(const Event& event) override { events_.push_back(event); }
+
+    const std::vector<Event>& events() const noexcept { return events_; }
+    std::size_t size() const noexcept { return events_.size(); }
+    bool empty() const noexcept { return events_.empty(); }
+    void clear() noexcept { events_.clear(); }
+
+    /// Number of events of one kind (test/analysis convenience).
+    std::size_t count(EventKind kind) const noexcept;
+
+    /// One JSON object per line, schema per DESIGN.md §8. Deterministic
+    /// formatting: identical event sequences produce identical bytes.
+    void write_jsonl(std::ostream& out) const;
+    std::string to_jsonl() const;
+
+private:
+    std::vector<Event> events_;
+};
+
+} // namespace borg::obs
+
+#endif

@@ -1,0 +1,77 @@
+#include "obs/metrics_registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace borg::obs {
+
+void Histogram::observe(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        if (x < min_) min_ = x;
+        if (x > max_) max_ = x;
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double Histogram::variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Histogram::stddev() const noexcept { return std::sqrt(variance()); }
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram*
+MetricsRegistry::find_histogram(const std::string& name) const {
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+    char buf[256];
+    out << "{";
+    bool first = true;
+    const auto sep = [&] {
+        if (!first) out << ",";
+        first = false;
+    };
+    for (const auto& [name, c] : counters_) {
+        sep();
+        std::snprintf(buf, sizeof(buf), "\"%s\":%llu", name.c_str(),
+                      static_cast<unsigned long long>(c.value()));
+        out << buf;
+    }
+    for (const auto& [name, g] : gauges_) {
+        sep();
+        std::snprintf(buf, sizeof(buf), "\"%s\":%.17g", name.c_str(),
+                      g.value());
+        out << buf;
+    }
+    for (const auto& [name, h] : histograms_) {
+        sep();
+        std::snprintf(buf, sizeof(buf),
+                      "\"%s\":{\"count\":%llu,\"mean\":%.17g,"
+                      "\"stddev\":%.17g,\"min\":%.17g,\"max\":%.17g}",
+                      name.c_str(),
+                      static_cast<unsigned long long>(h.count()), h.mean(),
+                      h.stddev(), h.min(), h.max());
+        out << buf;
+    }
+    out << "}\n";
+}
+
+} // namespace borg::obs

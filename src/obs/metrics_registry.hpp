@@ -1,0 +1,95 @@
+#ifndef BORG_OBS_METRICS_REGISTRY_HPP
+#define BORG_OBS_METRICS_REGISTRY_HPP
+
+/// \file metrics_registry.hpp
+/// Named counters, gauges, and histograms for run instrumentation.
+///
+/// Executors that accept a MetricsRegistry* resolve the instruments they
+/// need once per run (references are stable for the registry's lifetime)
+/// and update them on the hot path with plain arithmetic — no lookups, no
+/// locks. A null registry costs one pointer check at run start.
+///
+/// Instrument names use dotted paths ("async.queue_wait_seconds"); the
+/// metric-to-paper-term mapping is documented in DESIGN.md §8.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace borg::obs {
+
+/// Monotonically increasing integer metric.
+class Counter {
+public:
+    void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+    std::uint64_t value() const noexcept { return value_; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/// Last-value metric.
+class Gauge {
+public:
+    void set(double value) noexcept { value_ = value; }
+    double value() const noexcept { return value_; }
+
+private:
+    double value_ = 0.0;
+};
+
+/// Streaming sample statistics (Welford); the summary form the paper's
+/// timing tables need (count/mean/stddev/min/max) without storing samples.
+class Histogram {
+public:
+    void observe(double x) noexcept;
+
+    std::size_t count() const noexcept { return n_; }
+    double mean() const noexcept { return n_ ? mean_ : 0.0; }
+    double variance() const noexcept;
+    double stddev() const noexcept;
+    double min() const noexcept { return min_; }
+    double max() const noexcept { return max_; }
+    double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Registry of named instruments. Instruments are created on first access
+/// and live as long as the registry; returned references remain valid
+/// across later insertions (node-based storage).
+class MetricsRegistry {
+public:
+    Counter& counter(const std::string& name) { return counters_[name]; }
+    Gauge& gauge(const std::string& name) { return gauges_[name]; }
+    Histogram& histogram(const std::string& name) {
+        return histograms_[name];
+    }
+
+    /// Read-only lookups; nullptr when the instrument was never touched.
+    const Counter* find_counter(const std::string& name) const;
+    const Gauge* find_gauge(const std::string& name) const;
+    const Histogram* find_histogram(const std::string& name) const;
+
+    std::size_t size() const noexcept {
+        return counters_.size() + gauges_.size() + histograms_.size();
+    }
+
+    /// One JSON object with instruments sorted by name (deterministic).
+    void write_json(std::ostream& out) const;
+
+private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace borg::obs
+
+#endif

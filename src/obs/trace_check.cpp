@@ -1,0 +1,73 @@
+#include "obs/trace_check.hpp"
+
+#include "stats/summary.hpp"
+
+namespace borg::obs {
+
+TraceAggregates recompute(std::span<const Event> events) {
+    TraceAggregates agg;
+    stats::Accumulator wait, tf, tc, ta;
+
+    for (const Event& e : events) {
+        switch (e.kind) {
+        case EventKind::run_start:
+            agg.target = e.count;
+            break;
+        case EventKind::worker_spawn:
+            ++agg.worker_spawns;
+            break;
+        case EventKind::worker_failure:
+            ++agg.worker_failures;
+            break;
+        case EventKind::acquire_request:
+            ++agg.total_acquires;
+            if (e.count > 0) ++agg.contended_acquires;
+            break;
+        case EventKind::acquire_grant:
+            ++agg.grants;
+            wait.add(e.value);
+            break;
+        case EventKind::release:
+            break;
+        case EventKind::master_hold:
+            agg.master_busy += e.value;
+            break;
+        case EventKind::tf_sample:
+            tf.add(e.value);
+            break;
+        case EventKind::tc_sample:
+            tc.add(e.value);
+            break;
+        case EventKind::ta_sample:
+            ta.add(e.value);
+            break;
+        case EventKind::result:
+            ++agg.results;
+            break;
+        case EventKind::archive_snapshot:
+            agg.final_archive_size = e.count;
+            break;
+        case EventKind::migration:
+        case EventKind::generation:
+            break;
+        case EventKind::run_end:
+            agg.saw_run_end = true;
+            agg.elapsed = e.value;
+            agg.completed = e.count;
+            break;
+        }
+    }
+
+    agg.mean_queue_wait = wait.mean();
+    agg.master_busy_fraction =
+        agg.elapsed > 0.0 ? agg.master_busy / agg.elapsed : 0.0;
+    agg.tf_count = tf.count();
+    agg.tf_mean = tf.mean();
+    agg.tc_count = tc.count();
+    agg.tc_mean = tc.mean();
+    agg.ta_count = ta.count();
+    agg.ta_mean = ta.mean();
+    return agg;
+}
+
+} // namespace borg::obs

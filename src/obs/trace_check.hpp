@@ -1,0 +1,69 @@
+#ifndef BORG_OBS_TRACE_CHECK_HPP
+#define BORG_OBS_TRACE_CHECK_HPP
+
+/// \file trace_check.hpp
+/// Recomputes run aggregates from a raw event trace.
+///
+/// This is the heart of the observability invariant: every summary
+/// statistic an executor reports (master busy fraction, mean queue wait,
+/// contention rate, applied T_F/T_A summaries, elapsed time) must be
+/// derivable from the event stream alone. recompute() performs that
+/// derivation using the *same* accumulation arithmetic as the executors
+/// (streaming Welford means, sequential sums), so a consistent executor
+/// matches to the last bit and any accounting drift is a hard failure.
+/// parallel/trace_check.hpp wraps this into a VirtualRunResult
+/// cross-validator; the `trace_check` bench driver runs it end to end.
+
+#include <cstdint>
+#include <span>
+
+#include "obs/event_trace.hpp"
+
+namespace borg::obs {
+
+/// Aggregates recomputed from an event stream.
+struct TraceAggregates {
+    bool saw_run_end = false;
+    double elapsed = 0.0;        ///< run_end value
+    std::uint64_t target = 0;    ///< run_start count
+    std::uint64_t completed = 0; ///< run_end count
+    std::uint64_t results = 0;   ///< result events
+    std::uint64_t worker_spawns = 0;
+    std::uint64_t worker_failures = 0;
+
+    std::uint64_t total_acquires = 0;     ///< acquire_request events
+    std::uint64_t contended_acquires = 0; ///< requests with queue depth > 0
+    std::uint64_t grants = 0;             ///< acquire_grant events
+
+    double master_busy = 0.0; ///< Σ master_hold values, in event order
+    double master_busy_fraction = 0.0; ///< master_busy / elapsed (0 if idle)
+    double mean_queue_wait = 0.0; ///< Welford mean over acquire_grant waits
+
+    std::uint64_t tf_count = 0;
+    double tf_mean = 0.0;
+    std::uint64_t tc_count = 0;
+    double tc_mean = 0.0;
+    std::uint64_t ta_count = 0;
+    double ta_mean = 0.0;
+
+    std::uint64_t final_archive_size = 0; ///< last archive_snapshot count
+
+    double contention_rate() const noexcept {
+        return total_acquires > 0
+                   ? static_cast<double>(contended_acquires) /
+                         static_cast<double>(total_acquires)
+                   : 0.0;
+    }
+};
+
+/// Single forward pass over the events. Works for any executor's trace;
+/// kinds an executor never emits simply leave their aggregates at zero.
+TraceAggregates recompute(std::span<const Event> events);
+
+inline TraceAggregates recompute(const EventTrace& trace) {
+    return recompute(std::span<const Event>(trace.events()));
+}
+
+} // namespace borg::obs
+
+#endif

@@ -7,6 +7,8 @@
 
 #include "des/environment.hpp"
 #include "des/resource.hpp"
+#include "obs/event_trace.hpp"
+#include "obs/metrics_registry.hpp"
 #include "stats/summary.hpp"
 #include "util/rng.hpp"
 
@@ -27,12 +29,19 @@ struct ExecState {
     const VirtualClusterConfig* config = nullptr;
     des::Environment* env = nullptr;
     TrajectoryRecorder* recorder = nullptr;
+    obs::TraceSink* trace = nullptr;
+    obs::Histogram* h_tf = nullptr;
+    obs::Histogram* h_ta = nullptr;
+    obs::Histogram* h_wait = nullptr;
     util::Rng rng{1};
 
     std::uint64_t target = 0;
     std::uint64_t issued = 0;
     std::uint64_t completed = 0;
     std::size_t failed_workers = 0;
+    bool finished = false; ///< target reached (explicit; finish time alone
+                           ///< cannot distinguish "done at t=0" from "never
+                           ///< done" under zero-delay distributions)
     double finish_time = 0.0;
     double master_hold = 0.0;
     stats::Accumulator queue_wait;
@@ -45,9 +54,19 @@ struct ExecState {
                                  : config->worker_speed[worker];
         const double v = config->tf->sample(rng) * speed;
         tf_applied.add(v);
+        if (h_tf) h_tf->observe(v);
+        if (trace)
+            trace->record({obs::EventKind::tf_sample, env->now(),
+                           static_cast<std::int64_t>(worker), v, 0});
         return v;
     }
-    double sample_tc() { return config->tc->sample(rng); }
+    double sample_tc(std::size_t worker) {
+        const double v = config->tc->sample(rng);
+        if (trace)
+            trace->record({obs::EventKind::tc_sample, env->now(),
+                           static_cast<std::int64_t>(worker), v, 0});
+        return v;
+    }
 
     double failure_time(std::size_t worker) const {
         return config->worker_failure_at.empty()
@@ -55,10 +74,23 @@ struct ExecState {
                    : config->worker_failure_at[worker];
     }
 
+    void add_wait(std::size_t worker, double wait) {
+        (void)worker;
+        queue_wait.add(wait);
+        if (h_wait) h_wait->observe(wait);
+    }
+
+    void add_hold(double hold) {
+        master_hold += hold;
+        if (trace)
+            trace->record(
+                {obs::EventKind::master_hold, env->now(), 0, hold, 0});
+    }
+
     /// The real master step: ingest the result and (if work remains)
     /// produce the next offspring. Returns the applied T_A — sampled from
     /// the configured distribution, or the measured CPU time of the step.
-    double master_step(moea::Solution result,
+    double master_step(std::size_t worker, moea::Solution result,
                        std::optional<moea::Solution>& next_work) {
         const auto start = SteadyClock::now();
         algorithm->receive(std::move(result));
@@ -69,10 +101,21 @@ struct ExecState {
         const double measured = seconds_since(start);
         const double ta = config->ta ? config->ta->sample(rng) : measured;
         ta_applied.add(ta);
+        if (h_ta) h_ta->observe(ta);
+        if (trace)
+            trace->record({obs::EventKind::ta_sample, env->now(),
+                           static_cast<std::int64_t>(worker), ta, 0});
         return ta;
     }
 
-    void record() {
+    void record(std::size_t worker) {
+        if (trace) {
+            trace->record({obs::EventKind::result, env->now(),
+                           static_cast<std::int64_t>(worker), 0.0,
+                           completed});
+            trace->record({obs::EventKind::archive_snapshot, env->now(), -1,
+                           0.0, algorithm->archive().size()});
+        }
         if (!recorder) return;
         recorder->on_result(env->now(), completed, [this] {
             return algorithm->archive().objective_vectors();
@@ -92,13 +135,13 @@ des::Process async_worker(ExecState& state, des::Resource& master,
     {
         const double wait_start = env.now();
         co_await master.acquire();
-        state.queue_wait.add(env.now() - wait_start);
+        state.add_wait(index, env.now() - wait_start);
         if (state.issued < state.target) {
             work = state.algorithm->next_offspring();
             ++state.issued;
         }
-        const double hold = state.sample_tc();
-        state.master_hold += hold;
+        const double hold = state.sample_tc(index);
+        state.add_hold(hold);
         co_await env.delay(hold);
         master.release();
     }
@@ -111,6 +154,11 @@ des::Process async_worker(ExecState& state, des::Resource& master,
         if (env.now() >= fail_at) {
             --state.issued;
             ++state.failed_workers;
+            if (state.trace)
+                state.trace->record({obs::EventKind::worker_failure,
+                                     env.now(),
+                                     static_cast<std::int64_t>(index), 0.0,
+                                     1});
             co_return;
         }
 
@@ -122,20 +170,22 @@ des::Process async_worker(ExecState& state, des::Resource& master,
 
         const double wait_start = env.now();
         co_await master.acquire();
-        state.queue_wait.add(env.now() - wait_start);
+        state.add_wait(index, env.now() - wait_start);
 
         std::optional<moea::Solution> next_work;
-        const double ta = state.master_step(std::move(*work), next_work);
+        const double ta = state.master_step(index, std::move(*work), next_work);
         work = std::move(next_work);
 
-        const double hold = state.sample_tc() + ta + state.sample_tc();
-        state.master_hold += hold;
+        const double hold =
+            state.sample_tc(index) + ta + state.sample_tc(index);
+        state.add_hold(hold);
         co_await env.delay(hold);
         master.release();
 
         ++state.completed;
-        state.record();
+        state.record(index);
         if (state.completed == state.target) {
+            state.finished = true;
             state.finish_time = env.now();
             env.stop();
         }
@@ -146,8 +196,10 @@ VirtualRunResult collect(const ExecState& state, const des::Resource& master,
                          double fallback_now) {
     VirtualRunResult result;
     result.evaluations = state.completed;
-    result.elapsed =
-        state.finish_time > 0.0 ? state.finish_time : fallback_now;
+    result.completed_target = state.finished;
+    // A starved run (total fleet loss) never set finish_time; report the
+    // time the simulation actually drained instead.
+    result.elapsed = state.finished ? state.finish_time : fallback_now;
     result.failed_workers = state.failed_workers;
     result.master_busy_fraction =
         result.elapsed > 0.0 ? state.master_hold / result.elapsed : 0.0;
@@ -170,6 +222,19 @@ VirtualRunResult collect(const ExecState& state, const des::Resource& master,
     return result;
 }
 
+void publish_metrics(obs::MetricsRegistry* metrics,
+                     const VirtualRunResult& result) {
+    if (!metrics) return;
+    metrics->counter("async.results").inc(result.evaluations);
+    metrics->counter("async.failed_workers")
+        .inc(static_cast<std::uint64_t>(result.failed_workers));
+    if (!result.completed_target) metrics->counter("async.starved_runs").inc();
+    metrics->gauge("async.elapsed_seconds").set(result.elapsed);
+    metrics->gauge("async.master_busy_fraction")
+        .set(result.master_busy_fraction);
+    metrics->gauge("async.contention_rate").set(result.contention_rate);
+}
+
 } // namespace
 
 AsyncMasterSlaveExecutor::AsyncMasterSlaveExecutor(
@@ -180,13 +245,17 @@ AsyncMasterSlaveExecutor::AsyncMasterSlaveExecutor(
 }
 
 VirtualRunResult AsyncMasterSlaveExecutor::run(std::uint64_t evaluations,
-                                               TrajectoryRecorder* recorder) {
+                                               TrajectoryRecorder* recorder,
+                                               obs::TraceSink* trace,
+                                               obs::MetricsRegistry* metrics) {
     if (evaluations == 0)
         throw std::invalid_argument("async executor: evaluations == 0");
     if (algorithm_.evaluations() != 0)
         throw std::logic_error("async executor: algorithm already used");
 
     des::Environment env;
+    env.set_trace(trace);
+    env.set_metrics(metrics);
     des::Resource master(env, 1);
     ExecState state;
     state.algorithm = &algorithm_;
@@ -194,15 +263,32 @@ VirtualRunResult AsyncMasterSlaveExecutor::run(std::uint64_t evaluations,
     state.config = &config_;
     state.env = &env;
     state.recorder = recorder;
+    state.trace = trace;
+    if (metrics) {
+        state.h_tf = &metrics->histogram("async.tf_seconds");
+        state.h_ta = &metrics->histogram("async.ta_seconds");
+        state.h_wait = &metrics->histogram("async.queue_wait_seconds");
+    }
     state.rng = util::Rng(config_.seed);
     state.target = evaluations;
 
     const std::uint64_t workers = config_.processors - 1;
-    for (std::uint64_t w = 0; w < workers; ++w)
+    if (trace)
+        trace->record({obs::EventKind::run_start, env.now(), -1,
+                       static_cast<double>(config_.processors), evaluations});
+    for (std::uint64_t w = 0; w < workers; ++w) {
+        if (trace)
+            trace->record({obs::EventKind::worker_spawn, env.now(),
+                           static_cast<std::int64_t>(w), 0.0, 0});
         env.spawn(async_worker(state, master, static_cast<std::size_t>(w)));
+    }
     env.run();
 
     VirtualRunResult result = collect(state, master, env.now());
+    if (trace)
+        trace->record({obs::EventKind::run_end, result.elapsed, -1,
+                       result.elapsed, state.completed});
+    publish_metrics(metrics, result);
     if (recorder)
         recorder->finalize(result.elapsed, state.completed, [&] {
             return algorithm_.archive().objective_vectors();
@@ -250,6 +336,7 @@ VirtualRunResult run_serial_virtual(moea::BorgMoea& algorithm,
 
     VirtualRunResult result;
     result.evaluations = evaluations;
+    result.completed_target = true;
     result.elapsed = now;
     result.master_busy_fraction = 1.0;
     result.ta_applied.count = ta_acc.count();

@@ -28,6 +28,11 @@
 #include "parallel/trajectory.hpp"
 #include "parallel/virtual_cluster.hpp"
 
+namespace borg::obs {
+class TraceSink;
+class MetricsRegistry;
+} // namespace borg::obs
+
 namespace borg::parallel {
 
 class AsyncMasterSlaveExecutor {
@@ -40,9 +45,16 @@ public:
                              VirtualClusterConfig config);
 
     /// Runs until \p evaluations results have been ingested. \p recorder,
-    /// if given, receives a callback after every ingested result.
+    /// if given, receives a callback after every ingested result. \p trace,
+    /// if given, receives the full typed event stream (worker spawns and
+    /// failures, master acquire/release with queue depth, per-evaluation
+    /// T_F/T_C/T_A samples, archive snapshots — DESIGN.md §8); \p metrics
+    /// receives counters/gauges/histograms under the "async." prefix.
+    /// Either may be null; a null sink costs nothing on the hot path.
     VirtualRunResult run(std::uint64_t evaluations,
-                         TrajectoryRecorder* recorder = nullptr);
+                         TrajectoryRecorder* recorder = nullptr,
+                         obs::TraceSink* trace = nullptr,
+                         obs::MetricsRegistry* metrics = nullptr);
 
 private:
     moea::BorgMoea& algorithm_;

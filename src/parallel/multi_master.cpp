@@ -6,6 +6,8 @@
 
 #include "des/environment.hpp"
 #include "des/resource.hpp"
+#include "obs/event_trace.hpp"
+#include "obs/metrics_registry.hpp"
 #include "util/rng.hpp"
 
 namespace borg::parallel {
@@ -24,6 +26,7 @@ struct Global {
     std::uint64_t dispatched = 0;
     std::uint64_t completed = 0;
     std::uint64_t migrations = 0;
+    bool finished = false; ///< explicit: a t=0 finish is a valid finish
     double finish_time = 0.0;
     std::vector<std::unique_ptr<Island>> islands;
 
@@ -35,6 +38,7 @@ struct Global {
 
     void complete() {
         if (++completed == target) {
+            finished = true;
             finish_time = env->now();
             env->stop();
         }
@@ -61,6 +65,15 @@ struct Island {
     }
 };
 
+/// Records a master-busy contribution for one island (mirrored into the
+/// trace so per-island busy fractions are recomputable).
+void add_hold(Global& global, Island& island, double hold) {
+    island.master_hold += hold;
+    if (auto* t = global.env->trace())
+        t->record({obs::EventKind::master_hold, global.env->now(),
+                   static_cast<std::int64_t>(island.index), hold, 0});
+}
+
 /// Delivers one migrant into the target island through its master.
 des::Process migrate(Global& global, Island& from, Island& to) {
     des::Environment& env = *global.env;
@@ -75,10 +88,14 @@ des::Process migrate(Global& global, Island& from, Island& to) {
     const double measured =
         std::chrono::duration<double>(SteadyClock::now() - start).count();
     const double hold = to.tc(global) + to.ta(global, measured);
-    to.master_hold += hold;
+    add_hold(global, to, hold);
     co_await env.delay(hold);
     to.master->release();
     ++global.migrations;
+    if (auto* t = env.trace())
+        t->record({obs::EventKind::migration, env.now(),
+                   static_cast<std::int64_t>(to.index), 0.0,
+                   global.migrations});
 }
 
 des::Process island_worker(Global& global, Island& island) {
@@ -90,7 +107,7 @@ des::Process island_worker(Global& global, Island& island) {
         co_await island.master->acquire();
         if (global.claim()) work = island.algorithm->next_offspring();
         const double hold = island.tc(global);
-        island.master_hold += hold;
+        add_hold(global, island, hold);
         co_await env.delay(hold);
         island.master->release();
     }
@@ -110,13 +127,17 @@ des::Process island_worker(Global& global, Island& island) {
                 .count();
         const double hold = island.tc(global) +
                             island.ta(global, measured) + island.tc(global);
-        island.master_hold += hold;
+        add_hold(global, island, hold);
         co_await env.delay(hold);
         island.master->release();
 
         ++island.evaluations;
         ++island.since_migration;
         global.complete();
+        if (auto* t = env.trace())
+            t->record({obs::EventKind::result, env.now(),
+                       static_cast<std::int64_t>(island.index), 0.0,
+                       global.completed});
 
         const std::uint64_t interval = global.config->migration_interval;
         if (interval > 0 && island.since_migration >= interval &&
@@ -143,13 +164,17 @@ MultiMasterExecutor::MultiMasterExecutor(const problems::Problem& problem,
             "multi-master: need >= 2 processors per island");
 }
 
-MultiMasterResult MultiMasterExecutor::run(std::uint64_t evaluations) {
+MultiMasterResult MultiMasterExecutor::run(std::uint64_t evaluations,
+                                           obs::TraceSink* trace,
+                                           obs::MetricsRegistry* metrics) {
     if (evaluations == 0)
         throw std::invalid_argument("multi-master: evaluations == 0");
     if (used_) throw std::logic_error("multi-master: executor already used");
     used_ = true;
 
     des::Environment env;
+    env.set_trace(trace);
+    env.set_metrics(metrics);
     Global global;
     global.config = &config_;
     global.env = &env;
@@ -159,6 +184,10 @@ MultiMasterResult MultiMasterExecutor::run(std::uint64_t evaluations) {
     // as evenly as possible.
     const std::uint64_t islands = config_.islands;
     const std::uint64_t total_workers = config_.cluster.processors - islands;
+    if (trace)
+        trace->record({obs::EventKind::run_start, env.now(), -1,
+                       static_cast<double>(config_.cluster.processors),
+                       evaluations});
     for (std::size_t i = 0; i < islands; ++i) {
         auto island = std::make_unique<Island>();
         island->index = i;
@@ -166,6 +195,7 @@ MultiMasterResult MultiMasterExecutor::run(std::uint64_t evaluations) {
             problem_, params_,
             util::derive_seed(config_.cluster.seed, i, 100));
         island->master = std::make_unique<des::Resource>(env, 1);
+        island->master->set_trace_id(static_cast<std::int64_t>(i));
         island->rng =
             util::Rng(util::derive_seed(config_.cluster.seed, i, 200));
         global.islands.push_back(std::move(island));
@@ -173,15 +203,19 @@ MultiMasterResult MultiMasterExecutor::run(std::uint64_t evaluations) {
     for (std::size_t i = 0; i < islands; ++i) {
         const std::uint64_t workers =
             total_workers / islands + (i < total_workers % islands ? 1 : 0);
-        for (std::uint64_t w = 0; w < workers; ++w)
+        for (std::uint64_t w = 0; w < workers; ++w) {
+            if (trace)
+                trace->record({obs::EventKind::worker_spawn, env.now(),
+                               static_cast<std::int64_t>(i), 0.0, w});
             env.spawn(island_worker(global, *global.islands[i]));
+        }
     }
     env.run();
 
     MultiMasterResult result;
     result.evaluations = global.completed;
-    result.elapsed =
-        global.finish_time > 0.0 ? global.finish_time : env.now();
+    result.completed_target = global.finished;
+    result.elapsed = global.finished ? global.finish_time : env.now();
     result.migrations = global.migrations;
 
     moea::EpsilonBoxArchive combined(params_.epsilons);
@@ -194,6 +228,14 @@ MultiMasterResult MultiMasterExecutor::run(std::uint64_t evaluations) {
             combined.add(s);
     }
     result.combined_archive = combined.solutions();
+    if (trace)
+        trace->record({obs::EventKind::run_end, result.elapsed, -1,
+                       result.elapsed, global.completed});
+    if (metrics) {
+        metrics->counter("mm.results").inc(global.completed);
+        metrics->counter("mm.migrations").inc(global.migrations);
+        metrics->gauge("mm.elapsed_seconds").set(result.elapsed);
+    }
     return result;
 }
 

@@ -34,6 +34,11 @@
 #include "moea/epsilon_archive.hpp"
 #include "parallel/virtual_cluster.hpp"
 
+namespace borg::obs {
+class TraceSink;
+class MetricsRegistry;
+} // namespace borg::obs
+
 namespace borg::parallel {
 
 struct MultiMasterConfig {
@@ -47,6 +52,10 @@ struct MultiMasterConfig {
 struct MultiMasterResult {
     double elapsed = 0.0;                ///< time the global N-th result landed
     std::uint64_t evaluations = 0;       ///< total across islands
+    /// True iff the requested total was reached (mirrors
+    /// VirtualRunResult::completed_target; completion is tracked with an
+    /// explicit flag, not a finish-time sentinel).
+    bool completed_target = false;
     std::uint64_t migrations = 0;        ///< migrant solutions exchanged
     std::vector<std::uint64_t> island_evaluations;
     std::vector<double> island_busy_fraction;
@@ -64,7 +73,13 @@ public:
 
     /// Runs until \p evaluations results have been ingested in total
     /// (divided dynamically across islands — faster islands do more).
-    MultiMasterResult run(std::uint64_t evaluations);
+    /// \p trace, if given, receives the typed event stream with each
+    /// island's master resource identified by its island index in the
+    /// `actor` field, plus `migration` events (DESIGN.md §8); \p metrics
+    /// receives instruments under the "mm." prefix. Either may be null.
+    MultiMasterResult run(std::uint64_t evaluations,
+                          obs::TraceSink* trace = nullptr,
+                          obs::MetricsRegistry* metrics = nullptr);
 
 private:
     const problems::Problem& problem_;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/event_trace.hpp"
+#include "obs/metrics_registry.hpp"
 #include "util/rng.hpp"
 
 namespace borg::parallel {
@@ -17,7 +19,9 @@ SyncMasterSlaveExecutor::SyncMasterSlaveExecutor(
 }
 
 VirtualRunResult SyncMasterSlaveExecutor::run(std::uint64_t evaluations,
-                                              TrajectoryRecorder* recorder) {
+                                              TrajectoryRecorder* recorder,
+                                              obs::TraceSink* trace,
+                                              obs::MetricsRegistry* metrics) {
     if (evaluations == 0)
         throw std::invalid_argument("sync executor: evaluations == 0");
     if (algorithm_.evaluations() != 0)
@@ -27,12 +31,33 @@ VirtualRunResult SyncMasterSlaveExecutor::run(std::uint64_t evaluations,
     util::Rng rng(config_.seed);
     const std::uint64_t p = config_.processors;
 
+    obs::Histogram* h_tf = nullptr;
+    obs::Histogram* h_ta = nullptr;
+    obs::Histogram* h_wait = nullptr;
+    if (metrics) {
+        h_tf = &metrics->histogram("sync.tf_seconds");
+        h_ta = &metrics->histogram("sync.ta_seconds");
+        h_wait = &metrics->histogram("sync.queue_wait_seconds");
+    }
+    if (trace)
+        trace->record({obs::EventKind::run_start, 0.0, -1,
+                       static_cast<double>(p), evaluations});
+
     double now = 0.0;
     double master_busy = 0.0;
     stats::Accumulator queue_wait, ta_acc, tf_acc;
     std::uint64_t completed = 0;
     std::uint64_t contended = 0;
     std::uint64_t acquires = 0;
+
+    // The master is busy for every serialized send/receive T_C and the
+    // generation processing T_A; each contribution is mirrored as a
+    // `master_hold` trace event so trace_check can re-sum it.
+    const auto hold = [&](double t, double amount) {
+        master_busy += amount;
+        if (trace)
+            trace->record({obs::EventKind::master_hold, t, 0, amount, 0});
+    };
 
     while (completed < evaluations) {
         std::vector<moea::Solution> generation = algorithm_.next_generation();
@@ -55,6 +80,10 @@ VirtualRunResult SyncMasterSlaveExecutor::run(std::uint64_t evaluations,
                     : config_.worker_speed[node - 1];
             const double tf = config_.tf->sample(rng) * speed;
             tf_acc.add(tf);
+            if (h_tf) h_tf->observe(tf);
+            if (trace)
+                trace->record({obs::EventKind::tf_sample, now,
+                               static_cast<std::int64_t>(node), tf, 0});
             node_eval[node] += tf;
         }
 
@@ -64,24 +93,41 @@ VirtualRunResult SyncMasterSlaveExecutor::run(std::uint64_t evaluations,
         done_times.reserve(nodes > 0 ? nodes - 1 : 0);
         for (std::uint64_t w = 1; w < nodes; ++w) {
             const double tc = config_.tc->sample(rng);
+            if (trace)
+                trace->record({obs::EventKind::tc_sample, send_clock,
+                               static_cast<std::int64_t>(w), tc, 0});
             send_clock += tc;
-            master_busy += tc;
+            hold(send_clock, tc);
             done_times.push_back(send_clock + node_eval[w]);
         }
         // The master evaluates its own share after the sends.
         const double master_done = send_clock + node_eval[0];
 
         // Serialized receives in completion order, gated by the master's
-        // own evaluation.
+        // own evaluation. Each receive is a (request, grant) pair on the
+        // master: a result that lands while the master is still busy has
+        // queued (contended), mirroring the DES resource's accounting.
         std::sort(done_times.begin(), done_times.end());
         double recv_clock = master_done;
         for (const double done : done_times) {
             ++acquires;
             const double start = std::max(recv_clock, done);
-            if (recv_clock > done) ++contended;
-            queue_wait.add(start - done);
+            const bool waited = recv_clock > done;
+            if (waited) ++contended;
+            const double wait = start - done;
+            queue_wait.add(wait);
+            if (h_wait) h_wait->observe(wait);
+            if (trace) {
+                trace->record({obs::EventKind::acquire_request, done, 0,
+                               0.0, waited ? 1u : 0u});
+                trace->record({obs::EventKind::acquire_grant, start, 0,
+                               wait, waited ? 1u : 0u});
+            }
             const double tc = config_.tc->sample(rng);
-            master_busy += tc;
+            if (trace)
+                trace->record(
+                    {obs::EventKind::tc_sample, start, -1, tc, 0});
+            hold(start + tc, tc);
             recv_clock = start + tc;
         }
 
@@ -97,11 +143,20 @@ VirtualRunResult SyncMasterSlaveExecutor::run(std::uint64_t evaluations,
         } else {
             ta_sync = measured;
         }
-        ta_acc.add(ta_sync / static_cast<double>(batch));
-        master_busy += ta_sync;
+        const double ta_per_offspring =
+            ta_sync / static_cast<double>(batch);
+        ta_acc.add(ta_per_offspring);
+        if (h_ta) h_ta->observe(ta_per_offspring);
+        hold(recv_clock + ta_sync, ta_sync);
         now = recv_clock + ta_sync;
+        if (trace)
+            trace->record({obs::EventKind::ta_sample, now, -1,
+                           ta_per_offspring, 0});
 
         completed += batch;
+        if (trace)
+            trace->record(
+                {obs::EventKind::generation, now, -1, 0.0, completed});
         if (recorder)
             recorder->on_result(now, completed,
                                 [&] { return algorithm_.front(); });
@@ -109,6 +164,7 @@ VirtualRunResult SyncMasterSlaveExecutor::run(std::uint64_t evaluations,
 
     VirtualRunResult result;
     result.evaluations = completed;
+    result.completed_target = completed >= evaluations;
     result.elapsed = now;
     result.master_busy_fraction = now > 0.0 ? master_busy / now : 0.0;
     result.mean_queue_wait = queue_wait.mean();
@@ -126,6 +182,16 @@ VirtualRunResult SyncMasterSlaveExecutor::run(std::uint64_t evaluations,
     result.tf_applied.stddev = tf_acc.stddev();
     result.tf_applied.min = tf_acc.min();
     result.tf_applied.max = tf_acc.max();
+    if (trace)
+        trace->record({obs::EventKind::run_end, result.elapsed, -1,
+                       result.elapsed, completed});
+    if (metrics) {
+        metrics->counter("sync.results").inc(completed);
+        metrics->gauge("sync.elapsed_seconds").set(result.elapsed);
+        metrics->gauge("sync.master_busy_fraction")
+            .set(result.master_busy_fraction);
+        metrics->gauge("sync.contention_rate").set(result.contention_rate);
+    }
     if (recorder)
         recorder->finalize(now, completed, [&] { return algorithm_.front(); });
     return result;

@@ -21,6 +21,11 @@
 #include "parallel/trajectory.hpp"
 #include "parallel/virtual_cluster.hpp"
 
+namespace borg::obs {
+class TraceSink;
+class MetricsRegistry;
+} // namespace borg::obs
+
 namespace borg::parallel {
 
 class SyncMasterSlaveExecutor {
@@ -32,9 +37,15 @@ public:
                             VirtualClusterConfig config);
 
     /// Runs whole generations until at least \p evaluations results have
-    /// been ingested (the final generation is not truncated).
+    /// been ingested (the final generation is not truncated). \p trace, if
+    /// given, receives the typed event stream (T_F/T_C/T_A samples, master
+    /// holds, synthetic acquire request/grant pairs for the serialized
+    /// receives, one `generation` event per barrier — DESIGN.md §8);
+    /// \p metrics receives instruments under the "sync." prefix.
     VirtualRunResult run(std::uint64_t evaluations,
-                         TrajectoryRecorder* recorder = nullptr);
+                         TrajectoryRecorder* recorder = nullptr,
+                         obs::TraceSink* trace = nullptr,
+                         obs::MetricsRegistry* metrics = nullptr);
 
 private:
     moea::GenerationalMoea& algorithm_;

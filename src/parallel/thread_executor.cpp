@@ -1,11 +1,15 @@
 #include "parallel/thread_executor.hpp"
 
 #include <chrono>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
 
+#include "obs/event_trace.hpp"
+#include "obs/metrics_registry.hpp"
 #include "parallel/message.hpp"
 
 namespace borg::parallel {
@@ -34,7 +38,8 @@ ThreadMasterSlaveExecutor::ThreadMasterSlaveExecutor(std::size_t workers)
 
 ThreadRunResult ThreadMasterSlaveExecutor::run(
     moea::BorgMoea& algorithm, const problems::Problem& problem,
-    std::uint64_t evaluations) {
+    std::uint64_t evaluations, obs::TraceSink* trace,
+    obs::MetricsRegistry* metrics) {
     if (evaluations == 0)
         throw std::invalid_argument("thread executor: evaluations == 0");
     if (algorithm.evaluations() != 0)
@@ -46,6 +51,12 @@ ThreadRunResult ThreadMasterSlaveExecutor::run(
         work_channels.push_back(std::make_unique<Channel<WorkMessage>>());
     Channel<ResultMessage> results;
 
+    // A worker whose evaluation throws parks the exception here and closes
+    // the result channel so the master wakes up instead of blocking
+    // forever; the master rethrows after joining everyone.
+    std::mutex failure_mutex;
+    std::exception_ptr worker_failure;
+
     std::vector<std::thread> threads;
     threads.reserve(workers_);
     for (std::size_t w = 0; w < workers_; ++w) {
@@ -54,18 +65,62 @@ ThreadRunResult ThreadMasterSlaveExecutor::run(
             for (;;) {
                 std::optional<WorkMessage> message = inbox.receive();
                 if (!message) return; // channel closed: shut down
-                moea::evaluate(problem, message->solution);
+                try {
+                    moea::evaluate(problem, message->solution);
+                } catch (...) {
+                    {
+                        const std::lock_guard lock(failure_mutex);
+                        if (!worker_failure)
+                            worker_failure = std::current_exception();
+                    }
+                    results.close();
+                    return;
+                }
                 results.send(ResultMessage{w, std::move(message->solution),
                                            SteadyClock::now()});
             }
         });
     }
 
+    // Shuts the fleet down exactly once on every exit path (normal
+    // completion, worker failure, or an exception in the master's own
+    // receive/generate calls) — the threads reference the channels, so
+    // they must be joined before the channels go out of scope.
+    bool joined = false;
+    const auto shutdown = [&] {
+        if (joined) return;
+        joined = true;
+        for (auto& channel : work_channels) channel->close();
+        for (std::thread& t : threads) t.join();
+    };
+    struct Guard {
+        const decltype(shutdown)& fn;
+        ~Guard() { fn(); }
+    } guard{shutdown};
+
     ThreadRunResult run_result;
     run_result.ta_samples.reserve(evaluations);
     run_result.tc_samples.reserve(evaluations);
 
+    obs::Histogram* h_ta = nullptr;
+    obs::Histogram* h_tc = nullptr;
+    if (metrics) {
+        h_ta = &metrics->histogram("thread.ta_seconds");
+        h_tc = &metrics->histogram("thread.tc_seconds");
+    }
+
     const auto run_start = SteadyClock::now();
+    const auto since_start = [&] {
+        return std::chrono::duration<double>(SteadyClock::now() - run_start)
+            .count();
+    };
+    if (trace) {
+        trace->record({obs::EventKind::run_start, 0.0, -1,
+                       static_cast<double>(workers_ + 1), evaluations});
+        for (std::size_t w = 0; w < workers_; ++w)
+            trace->record({obs::EventKind::worker_spawn, 0.0,
+                           static_cast<std::int64_t>(w), 0.0, 0});
+    }
     std::uint64_t issued = 0;
     std::uint64_t completed = 0;
 
@@ -77,12 +132,26 @@ ThreadRunResult ThreadMasterSlaveExecutor::run(
 
     while (completed < evaluations) {
         std::optional<ResultMessage> result = results.receive();
-        if (!result)
+        if (!result) {
+            // The result channel only closes when a worker failed; join
+            // the fleet and surface the captured exception.
+            shutdown();
+            {
+                const std::lock_guard lock(failure_mutex);
+                if (worker_failure) std::rethrow_exception(worker_failure);
+            }
             throw std::logic_error("thread executor: result channel closed");
-        run_result.tc_samples.push_back(
+        }
+        const double tc =
             std::chrono::duration<double>(SteadyClock::now() -
                                           result->sent_at)
-                .count());
+                .count();
+        run_result.tc_samples.push_back(tc);
+        if (h_tc) h_tc->observe(tc);
+        if (trace)
+            trace->record({obs::EventKind::tc_sample, since_start(),
+                           static_cast<std::int64_t>(result->worker), tc,
+                           0});
 
         const auto ta_start = SteadyClock::now();
         algorithm.receive(std::move(result->solution));
@@ -91,22 +160,41 @@ ThreadRunResult ThreadMasterSlaveExecutor::run(
             next = algorithm.next_offspring();
             ++issued;
         }
-        run_result.ta_samples.push_back(
+        const double ta =
             std::chrono::duration<double>(SteadyClock::now() - ta_start)
-                .count());
+                .count();
+        run_result.ta_samples.push_back(ta);
+        if (h_ta) h_ta->observe(ta);
+        if (trace)
+            trace->record({obs::EventKind::ta_sample, since_start(),
+                           static_cast<std::int64_t>(result->worker), ta,
+                           0});
 
         if (next)
             work_channels[result->worker]->send(
                 WorkMessage{std::move(*next)});
         ++completed;
+        if (trace) {
+            trace->record({obs::EventKind::result, since_start(),
+                           static_cast<std::int64_t>(result->worker), 0.0,
+                           completed});
+            trace->record({obs::EventKind::archive_snapshot, since_start(),
+                           -1, 0.0, algorithm.archive().size()});
+        }
     }
 
-    for (auto& channel : work_channels) channel->close();
-    for (std::thread& t : threads) t.join();
+    shutdown();
 
     run_result.elapsed =
         std::chrono::duration<double>(SteadyClock::now() - run_start).count();
     run_result.evaluations = completed;
+    if (trace)
+        trace->record({obs::EventKind::run_end, run_result.elapsed, -1,
+                       run_result.elapsed, completed});
+    if (metrics) {
+        metrics->counter("thread.results").inc(completed);
+        metrics->gauge("thread.elapsed_seconds").set(run_result.elapsed);
+    }
     return run_result;
 }
 

@@ -27,6 +27,11 @@
 #include "moea/borg.hpp"
 #include "problems/problem.hpp"
 
+namespace borg::obs {
+class TraceSink;
+class MetricsRegistry;
+} // namespace borg::obs
+
 namespace borg::parallel {
 
 struct ThreadRunResult {
@@ -48,9 +53,19 @@ public:
     /// Runs the algorithm for \p evaluations results. \p problem is
     /// evaluated concurrently from the worker threads and must be
     /// thread-safe.
+    ///
+    /// If an evaluation throws inside a worker thread, the exception is
+    /// captured, every thread is shut down and joined, and the exception
+    /// is rethrown here (it previously escaped the thread body and called
+    /// std::terminate). \p trace, if given, receives the event stream —
+    /// emitted from the master thread only, with times in wall-clock
+    /// seconds since run start; \p metrics receives instruments under the
+    /// "thread." prefix. Either may be null at zero cost.
     ThreadRunResult run(moea::BorgMoea& algorithm,
                         const problems::Problem& problem,
-                        std::uint64_t evaluations);
+                        std::uint64_t evaluations,
+                        obs::TraceSink* trace = nullptr,
+                        obs::MetricsRegistry* metrics = nullptr);
 
 private:
     std::size_t workers_;

@@ -1,0 +1,34 @@
+#ifndef BORG_PARALLEL_TRACE_CHECK_HPP
+#define BORG_PARALLEL_TRACE_CHECK_HPP
+
+/// \file trace_check.hpp
+/// Cross-validates an executor's reported VirtualRunResult against the
+/// aggregates recomputed from its own event trace (obs::recompute).
+///
+/// Every quantity the paper's model consumes — master busy fraction
+/// (saturation, Eq. 3 inputs), mean queue wait (the contention the
+/// analytical model misses), contention rate, applied T_F/T_A summaries,
+/// elapsed T_P — must agree between the two accountings within \p tol.
+/// The `trace_check` bench driver and the event-trace tests run this after
+/// real runs, so any future drift in executor bookkeeping (like the
+/// fault-path and elapsed-time bugs this layer was built to catch) fails
+/// loudly instead of skewing results.
+
+#include <string>
+#include <vector>
+
+#include "obs/event_trace.hpp"
+#include "parallel/virtual_cluster.hpp"
+
+namespace borg::parallel {
+
+/// Returns one human-readable message per discrepancy; empty means the
+/// trace and the reported result are consistent. \p tol is the absolute
+/// tolerance for floating-point comparisons (counts must match exactly).
+std::vector<std::string> cross_validate(const obs::EventTrace& trace,
+                                        const VirtualRunResult& reported,
+                                        double tol = 1e-9);
+
+} // namespace borg::parallel
+
+#endif

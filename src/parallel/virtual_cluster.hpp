@@ -66,6 +66,12 @@ struct VirtualRunResult {
     double elapsed = 0.0; ///< virtual seconds until the N-th result landed
     std::uint64_t evaluations = 0; ///< results ingested (< requested if
                                    ///< every worker failed first)
+    /// True iff the requested evaluation count was reached. False means the
+    /// run starved — e.g. every worker hit its injected failure time before
+    /// the target (total fleet loss) — and `elapsed` is then the time the
+    /// last event fired, not a completion time. Callers must check this
+    /// rather than inferring completion from `elapsed` or `evaluations`.
+    bool completed_target = false;
     std::size_t failed_workers = 0;
     double master_busy_fraction = 0.0;
     double mean_queue_wait = 0.0;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/event_trace.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -192,6 +193,51 @@ TEST(Resource, ContentionStatistics) {
     EXPECT_EQ(res.total_acquires(), 4u);
     EXPECT_EQ(res.contended_acquires(), 3u); // all but the first waited
     EXPECT_EQ(res.in_use(), 0u);
+}
+
+TEST(Resource, TraceEventsMirrorContentionCounters) {
+    // FIFO direct handoff keeps the counters and the emitted event stream
+    // consistent: one acquire_request per acquire (queue depth > 0 exactly
+    // when the acquirer had to wait), one acquire_grant per acquisition
+    // that actually resumed, and a drained run grants everything.
+    Environment env;
+    borg::obs::EventTrace trace;
+    env.set_trace(&trace);
+    Resource res(env, 1);
+    std::vector<std::pair<int, double>> log;
+    for (int tag = 0; tag < 5; ++tag)
+        env.spawn(resource_user(env, res, 1.0, tag, log));
+    env.run();
+
+    using borg::obs::EventKind;
+    EXPECT_EQ(trace.count(EventKind::acquire_request), res.total_acquires());
+    EXPECT_EQ(trace.count(EventKind::acquire_grant), res.total_acquires());
+    EXPECT_EQ(trace.count(EventKind::release), 5u);
+    EXPECT_EQ(res.in_use(), 0u);
+
+    std::size_t contended_requests = 0;
+    std::vector<double> grant_waits;
+    for (const borg::obs::Event& e : trace.events()) {
+        if (e.kind == EventKind::acquire_request && e.count > 0)
+            ++contended_requests;
+        if (e.kind == EventKind::acquire_grant) grant_waits.push_back(e.value);
+    }
+    EXPECT_EQ(contended_requests, res.contended_acquires());
+    // FIFO: each successive holder waited one hold-time longer.
+    ASSERT_EQ(grant_waits.size(), 5u);
+    for (std::size_t i = 0; i < grant_waits.size(); ++i)
+        EXPECT_DOUBLE_EQ(grant_waits[i], static_cast<double>(i));
+}
+
+TEST(Resource, NoTraceSinkEmitsNothing) {
+    Environment env;
+    Resource res(env, 1);
+    std::vector<std::pair<int, double>> log;
+    for (int tag = 0; tag < 3; ++tag)
+        env.spawn(resource_user(env, res, 1.0, tag, log));
+    env.run();
+    EXPECT_EQ(env.trace(), nullptr); // null-sink fast path
+    EXPECT_EQ(res.total_acquires(), 3u);
 }
 
 TEST(Resource, ReleaseWithoutAcquireThrows) {

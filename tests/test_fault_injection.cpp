@@ -118,6 +118,7 @@ TEST(FaultInjection, RunCompletesDespiteFailures) {
     const auto result =
         AsyncMasterSlaveExecutor(algo, *f.problem, cfg).run(8000);
     EXPECT_EQ(result.evaluations, 8000u);
+    EXPECT_TRUE(result.completed_target);
     EXPECT_EQ(result.failed_workers, 4u);
     EXPECT_EQ(algo.evaluations(), 8000u);
 }
@@ -150,6 +151,11 @@ TEST(FaultInjection, TotalFailureReturnsPartialRun) {
     EXPECT_LT(result.evaluations, 100000u);
     EXPECT_EQ(result.failed_workers, 4u);
     EXPECT_GT(result.evaluations, 0u); // work done before the failures
+    // Regression: total fleet loss used to return silently with the same
+    // shape as a successful run; the caller could not tell a starved run
+    // from a completed one.
+    EXPECT_FALSE(result.completed_target);
+    EXPECT_GT(result.elapsed, 0.0); // time the simulation actually drained
 }
 
 TEST(FaultInjection, SearchQualityUnaffectedByWhoEvaluates) {

@@ -6,6 +6,7 @@
 
 #include "metrics/hypervolume.hpp"
 #include "models/analytical.hpp"
+#include "obs/event_trace.hpp"
 #include "parallel/async_executor.hpp"
 #include "problems/problem.hpp"
 #include "problems/reference_set.hpp"
@@ -44,10 +45,38 @@ TEST(MultiMaster, CompletesGlobalBudget) {
     MultiMasterExecutor exec(*f.problem, f.params(), f.config(32, 4));
     const auto result = exec.run(8000);
     EXPECT_EQ(result.evaluations, 8000u);
+    EXPECT_TRUE(result.completed_target);
     std::uint64_t total = 0;
     for (const auto e : result.island_evaluations) total += e;
     EXPECT_EQ(total, 8000u);
     EXPECT_EQ(result.island_evaluations.size(), 4u);
+}
+
+TEST(MultiMaster, TraceAttributesEventsToIslands) {
+    Fixture f;
+    MultiMasterExecutor exec(*f.problem, f.params(), f.config(32, 4, 500));
+    obs::EventTrace trace;
+    const auto result = exec.run(8000, &trace);
+
+    using obs::EventKind;
+    EXPECT_EQ(trace.count(EventKind::result), result.evaluations);
+    EXPECT_EQ(trace.count(EventKind::worker_spawn), 28u); // 32 - 4 masters
+    EXPECT_EQ(trace.count(EventKind::migration), result.migrations);
+    EXPECT_EQ(trace.count(EventKind::run_end), 1u);
+
+    // Every per-island event carries a valid island index, and each
+    // island's master_hold sum reproduces the reported busy fraction.
+    std::vector<double> hold(4, 0.0);
+    for (const obs::Event& e : trace.events()) {
+        if (e.kind == EventKind::master_hold) {
+            ASSERT_GE(e.actor, 0);
+            ASSERT_LT(e.actor, 4);
+            hold[static_cast<std::size_t>(e.actor)] += e.value;
+        }
+    }
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(hold[i] / result.elapsed, result.island_busy_fraction[i],
+                    1e-12);
 }
 
 TEST(MultiMaster, WorkIsSharedAcrossIslands) {

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
 
 #include "metrics/hypervolume.hpp"
 #include "parallel/message.hpp"
@@ -129,6 +133,63 @@ TEST(ThreadExecutor, SingleWorkerDegeneratesToSerialOrder) {
     for (std::size_t i = 0; i < serial.archive().size(); ++i)
         EXPECT_EQ(threaded.archive()[i].objectives,
                   serial.archive()[i].objectives);
+}
+
+/// Forwards to ZDT1 but throws once a configured number of evaluations has
+/// been reached — exercised concurrently from the worker threads.
+class ThrowingProblem final : public problems::Problem {
+public:
+    ThrowingProblem(std::unique_ptr<problems::Problem> inner,
+                    std::uint64_t throw_after)
+        : inner_(std::move(inner)), throw_after_(throw_after) {}
+
+    std::string name() const override { return "throwing_" + inner_->name(); }
+    std::size_t num_variables() const override {
+        return inner_->num_variables();
+    }
+    std::size_t num_objectives() const override {
+        return inner_->num_objectives();
+    }
+    double lower_bound(std::size_t i) const override {
+        return inner_->lower_bound(i);
+    }
+    double upper_bound(std::size_t i) const override {
+        return inner_->upper_bound(i);
+    }
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override {
+        if (calls_.fetch_add(1, std::memory_order_relaxed) >= throw_after_)
+            throw std::runtime_error("injected evaluation failure");
+        inner_->evaluate(variables, objectives);
+    }
+
+private:
+    std::unique_ptr<problems::Problem> inner_;
+    std::uint64_t throw_after_;
+    mutable std::atomic<std::uint64_t> calls_{0};
+};
+
+TEST(ThreadExecutor, WorkerExceptionRethrownInMaster) {
+    // Regression: an exception escaping moea::evaluate on a worker thread
+    // used to leave the coroutine-free thread body, calling std::terminate
+    // (or, had the thread died quietly, the master would block forever on
+    // the result channel). The executor must capture it, join the fleet,
+    // and rethrow in the calling thread.
+    const ThrowingProblem problem(problems::make_problem("zdt1"), 500);
+    moea::BorgMoea algo(problem, quick_params(problem), 11);
+    ThreadMasterSlaveExecutor exec(4);
+    EXPECT_THROW(exec.run(algo, problem, 5000), std::runtime_error);
+    // The fleet was joined and the run aborted short of the target.
+    EXPECT_LT(algo.evaluations(), 5000u);
+}
+
+TEST(ThreadExecutor, ImmediateWorkerExceptionStillRethrown) {
+    // Every evaluation throws: the master never ingests a single result.
+    const ThrowingProblem problem(problems::make_problem("zdt1"), 0);
+    moea::BorgMoea algo(problem, quick_params(problem), 12);
+    ThreadMasterSlaveExecutor exec(2);
+    EXPECT_THROW(exec.run(algo, problem, 100), std::runtime_error);
+    EXPECT_EQ(algo.evaluations(), 0u);
 }
 
 TEST(ThreadExecutor, RejectsBadInput) {
