@@ -5,14 +5,20 @@
 /// Each variant runs the same budget on DTLZ2_5 and UF11; the output is
 /// final normalized hypervolume (mean over replicates).
 ///
+/// Every (variant, problem, replicate) cell is an independent serial run
+/// and executes replicate-parallel on the sweep engine (DESIGN.md §9);
+/// stdout is byte-identical for any --jobs value.
+///
 /// Flags: --evals 50000  --replicates 3  --epsilon 0.15  --seed 2013
-///        --quick
+///        --quick  --jobs N  --metrics
 
 #include <iostream>
 
+#include "bench/sweep_runner.hpp"
 #include "experiment_common.hpp"
 #include "metrics/hypervolume.hpp"
 #include "moea/nsga2.hpp"
+#include "obs/metrics_registry.hpp"
 #include "problems/reference_set.hpp"
 #include "stats/summary.hpp"
 #include "util/table.hpp"
@@ -33,13 +39,18 @@ struct Variant {
 
 int main(int argc, char** argv) {
     util::CliArgs args(argc, argv);
-    args.check_known({"evals", "replicates", "epsilon", "seed", "quick"});
+    args.check_known(
+        {"evals", "replicates", "epsilon", "seed", "quick", "jobs",
+         "metrics"});
     std::uint64_t evals =
-        static_cast<std::uint64_t>(args.get_int("evals", 50000));
+        static_cast<std::uint64_t>(args.get_uint("evals", 50000));
     std::uint64_t replicates =
-        static_cast<std::uint64_t>(args.get_int("replicates", 3));
+        static_cast<std::uint64_t>(args.get_uint("replicates", 3));
     const double epsilon = args.get_double("epsilon", 0.15);
-    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2013));
+    const auto seed =
+        static_cast<std::uint64_t>(args.get_uint("seed", 2013));
+    const bool dump_metrics = args.get_bool("metrics");
+    const std::size_t jobs = bench::parse_jobs(args);
     if (args.get_bool("quick")) {
         evals = 20000;
         replicates = 1;
@@ -61,34 +72,54 @@ int main(int argc, char** argv) {
     std::cout << "Ablation — final normalized hypervolume after " << evals
               << " evaluations (" << replicates << " replicate(s))\n\n";
 
+    const std::vector<std::string> problem_names{"dtlz2_5", "uf11"};
+
+    // Flattened (variant, problem, replicate) grid; replicate innermost.
+    const std::size_t cells =
+        variants.size() * problem_names.size() * replicates;
+    std::vector<double> hv_results(cells, 0.0);
+
+    obs::MetricsRegistry sweep_metrics;
+    bench::SweepRunner runner({jobs, &sweep_metrics, &std::cerr, "Ablation"});
+    const bench::SweepReport report = runner.run(cells, [&](std::size_t i) {
+        const std::uint64_t rep = i % replicates;
+        const std::size_t pr = (i / replicates) % problem_names.size();
+        const Variant& variant =
+            variants[i / (replicates * problem_names.size())];
+        const std::string& problem_name = problem_names[pr];
+        const auto problem = problems::make_problem(problem_name);
+        const auto normalizer = metrics::NormalizerCache::global().get(
+            problem_name,
+            [&] { return problems::reference_set_for(problem_name); });
+        if (variant.nsga2) {
+            moea::Nsga2 algo(*problem, 100, bench::run_seed(seed, rep, 50));
+            moea::run_serial_generational(algo, *problem, evals);
+            hv_results[i] = normalizer->normalized(algo.front());
+        } else {
+            moea::BorgParams params =
+                bench::experiment_params(*problem, epsilon);
+            params.enable_restarts = variant.restarts;
+            params.enable_adaptation = variant.adaptation;
+            params.forced_operator = variant.forced_operator;
+            moea::BorgMoea algo(*problem, params,
+                                bench::run_seed(seed, rep, 51));
+            moea::run_serial(algo, *problem, evals);
+            hv_results[i] =
+                normalizer->normalized(algo.archive().objective_vectors());
+        }
+    });
+    if (dump_metrics) sweep_metrics.write_json(std::cerr);
+    report.throw_if_failed();
+
     util::Table table({"Variant", "DTLZ2_5", "UF11"});
+    std::size_t base = 0;
     for (const Variant& variant : variants) {
         std::vector<std::string> row{variant.name};
-        for (const std::string& problem_name :
-             {std::string("dtlz2_5"), std::string("uf11")}) {
-            const auto problem = problems::make_problem(problem_name);
-            const auto refset = problems::reference_set_for(problem_name);
-            const metrics::HypervolumeNormalizer normalizer(refset);
+        for (std::size_t pr = 0; pr < problem_names.size(); ++pr) {
             stats::Accumulator hv;
-            for (std::uint64_t rep = 0; rep < replicates; ++rep) {
-                if (variant.nsga2) {
-                    moea::Nsga2 algo(*problem, 100,
-                                     bench::run_seed(seed, rep, 50));
-                    moea::run_serial_generational(algo, *problem, evals);
-                    hv.add(normalizer.normalized(algo.front()));
-                } else {
-                    moea::BorgParams params =
-                        bench::experiment_params(*problem, epsilon);
-                    params.enable_restarts = variant.restarts;
-                    params.enable_adaptation = variant.adaptation;
-                    params.forced_operator = variant.forced_operator;
-                    moea::BorgMoea algo(*problem, params,
-                                        bench::run_seed(seed, rep, 51));
-                    moea::run_serial(algo, *problem, evals);
-                    hv.add(normalizer.normalized(
-                        algo.archive().objective_vectors()));
-                }
-            }
+            for (std::uint64_t rep = 0; rep < replicates; ++rep)
+                hv.add(hv_results[base + rep]);
+            base += replicates;
             row.push_back(util::format_fixed(hv.mean(), 3));
         }
         table.add_row(std::move(row));

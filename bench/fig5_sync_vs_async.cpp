@@ -9,16 +9,23 @@
 /// Output: one ASCII heatmap per model (efficiency deciles rendered as
 /// digits 0-9, '#' for > 0.95) plus a CSV-style dump with --csv.
 ///
+/// The (T_F, P) grid cells are independent simulations and run
+/// replicate-parallel on the sweep engine (DESIGN.md §9); stdout is
+/// byte-identical for any --jobs value.
+///
 /// Flags: --tf-points 9  --p-max 16384  --evals-per-worker 8
 ///        --tc 0.000006  --ta 0.000060  --seed 2013  --csv  --quick
+///        --jobs N  --metrics
 
 #include <algorithm>
 #include <cmath>
 #include <iostream>
 #include <vector>
 
+#include "bench/sweep_runner.hpp"
 #include "models/simulation_model.hpp"
 #include "models/sync_model.hpp"
+#include "obs/metrics_registry.hpp"
 #include "stats/distribution.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -38,18 +45,20 @@ char cell(double efficiency) {
 int main(int argc, char** argv) {
     util::CliArgs args(argc, argv);
     args.check_known({"tf-points", "p-max", "evals-per-worker", "tc", "ta",
-                      "seed", "csv", "quick"});
+                      "seed", "csv", "quick", "jobs", "metrics"});
     std::size_t tf_points =
-        static_cast<std::size_t>(args.get_int("tf-points", 9));
+        static_cast<std::size_t>(args.get_uint("tf-points", 9));
     std::uint64_t p_max =
-        static_cast<std::uint64_t>(args.get_int("p-max", 16384));
+        static_cast<std::uint64_t>(args.get_uint("p-max", 16384));
     const std::uint64_t evals_per_worker =
-        static_cast<std::uint64_t>(args.get_int("evals-per-worker", 8));
+        static_cast<std::uint64_t>(args.get_uint("evals-per-worker", 8));
     const double tc_mean = args.get_double("tc", 0.000006);
     const double ta_mean = args.get_double("ta", 0.000060);
     const auto seed =
-        static_cast<std::uint64_t>(args.get_int("seed", 2013));
+        static_cast<std::uint64_t>(args.get_uint("seed", 2013));
     const bool csv = args.get_bool("csv");
+    const bool dump_metrics = args.get_bool("metrics");
+    const std::size_t jobs = bench::parse_jobs(args);
     if (args.get_bool("quick")) {
         tf_points = 5;
         p_max = 1024;
@@ -70,25 +79,38 @@ int main(int argc, char** argv) {
               << "T_C = " << tc_mean << " s, T_A = " << ta_mean
               << " s; cells are efficiency deciles (# means > 0.95)\n\n";
 
-    const auto tc = stats::make_delay(tc_mean, 0.0);
-    const auto ta = stats::make_delay(ta_mean, 0.0);
-
+    // One sweep cell per (T_F, P) grid point, slotted by index so the
+    // heatmaps are byte-identical for any --jobs value.
+    const std::size_t columns = procs.size();
     std::vector<std::vector<double>> sync_eff(tfs.size()),
         async_eff(tfs.size());
     for (std::size_t ti = 0; ti < tfs.size(); ++ti) {
-        const double tf_mean = tfs[ti];
-        const auto tf = stats::make_delay(tf_mean, 0.1);
-        const models::TimingCosts costs{tf_mean, tc_mean, ta_mean};
-        for (const std::uint64_t p : procs) {
-            sync_eff[ti].push_back(models::sync_efficiency(p, costs));
+        sync_eff[ti].resize(columns);
+        async_eff[ti].resize(columns);
+    }
+
+    obs::MetricsRegistry sweep_metrics;
+    bench::SweepRunner runner({jobs, &sweep_metrics, &std::cerr, "Figure 5"});
+    const bench::SweepReport report =
+        runner.run(tfs.size() * columns, [&](std::size_t i) {
+            const std::size_t ti = i / columns;
+            const std::size_t pi = i % columns;
+            const double tf_mean = tfs[ti];
+            const std::uint64_t p = procs[pi];
+            const auto tf = stats::make_delay(tf_mean, 0.1);
+            const auto tc = stats::make_delay(tc_mean, 0.0);
+            const auto ta = stats::make_delay(ta_mean, 0.0);
+            const models::TimingCosts costs{tf_mean, tc_mean, ta_mean};
+            sync_eff[ti][pi] = models::sync_efficiency(p, costs);
             const std::uint64_t n =
                 std::max<std::uint64_t>(evals_per_worker * (p - 1), 2000);
             models::SimulationConfig cfg{n, p, tf.get(), tc.get(), ta.get(),
                                          seed + p + ti};
-            async_eff[ti].push_back(models::simulated_efficiency(
-                cfg, models::simulate_async(cfg)));
-        }
-    }
+            async_eff[ti][pi] = models::simulated_efficiency(
+                cfg, models::simulate_async(cfg));
+        });
+    if (dump_metrics) sweep_metrics.write_json(std::cerr);
+    report.throw_if_failed();
 
     const auto print_heatmap = [&](const char* title,
                                    const std::vector<std::vector<double>>&

@@ -12,16 +12,24 @@
 /// curves (saturated configurations) are the paper's headline qualitative
 /// result.
 ///
+/// Every (T_F, P, replicate) cell is an independent DES run, so the grid
+/// executes replicate-parallel on the sweep engine (DESIGN.md §9): cell
+/// seeds derive from the grid coordinates, results land in index-addressed
+/// slots, and aggregation runs serially afterwards — stdout is
+/// byte-identical for any --jobs value. Progress goes to stderr.
+///
 /// Flags: --tf 0.001,0.01,0.1  --procs 16,...,1024  --evals 50000
 ///        --replicates 1  --epsilon 0.15  --checkpoints 50  --seed 2013
-///        --quick
+///        --jobs N (default: hardware concurrency)  --metrics  --quick
 
 #include <cmath>
 #include <iostream>
 #include <map>
 
+#include "bench/sweep_runner.hpp"
 #include "experiment_common.hpp"
 #include "metrics/hypervolume.hpp"
+#include "obs/metrics_registry.hpp"
 #include "parallel/trajectory.hpp"
 #include "problems/reference_set.hpp"
 #include "stats/summary.hpp"
@@ -37,26 +45,31 @@ struct HvSpeedupOptions {
     double epsilon = 0.15;
     std::uint64_t checkpoints = 50;
     std::uint64_t seed = 2013;
+    std::size_t jobs = 0; ///< sweep threads; 0 = hardware concurrency
     bool csv = false;
+    bool metrics = false; ///< dump the sweep metrics JSON to stderr
 };
 
 inline HvSpeedupOptions parse_hv_options(int argc, char** argv) {
     util::CliArgs args(argc, argv);
     args.check_known({"tf", "procs", "evals", "replicates", "epsilon",
-                      "checkpoints", "seed", "quick", "csv"});
+                      "checkpoints", "seed", "jobs", "metrics", "quick",
+                      "csv"});
     HvSpeedupOptions opt;
     opt.tfs = args.get_doubles("tf", opt.tfs);
     opt.procs = args.get_ints("procs", opt.procs);
     opt.evals = static_cast<std::uint64_t>(
-        args.get_int("evals", static_cast<std::int64_t>(opt.evals)));
-    opt.replicates = static_cast<std::uint64_t>(
-        args.get_int("replicates", static_cast<std::int64_t>(opt.replicates)));
+        args.get_uint("evals", static_cast<std::int64_t>(opt.evals)));
+    opt.replicates = static_cast<std::uint64_t>(args.get_uint(
+        "replicates", static_cast<std::int64_t>(opt.replicates)));
     opt.epsilon = args.get_double("epsilon", opt.epsilon);
-    opt.checkpoints = static_cast<std::uint64_t>(args.get_int(
+    opt.checkpoints = static_cast<std::uint64_t>(args.get_uint(
         "checkpoints", static_cast<std::int64_t>(opt.checkpoints)));
     opt.seed = static_cast<std::uint64_t>(
-        args.get_int("seed", static_cast<std::int64_t>(opt.seed)));
+        args.get_uint("seed", static_cast<std::int64_t>(opt.seed)));
+    opt.jobs = parse_jobs(args);
     opt.csv = args.get_bool("csv");
+    opt.metrics = args.get_bool("metrics");
     if (args.get_bool("quick")) {
         opt.tfs = {0.01};
         opt.procs = {16, 64, 256, 1024};
@@ -70,65 +83,114 @@ inline HvSpeedupOptions parse_hv_options(int argc, char** argv) {
 inline int run_hv_speedup(const std::string& problem_name,
                           const std::string& figure_label,
                           const HvSpeedupOptions& opt) {
-    const auto problem = problems::make_problem(problem_name);
-    const auto refset = problems::reference_set_for(problem_name);
-    const metrics::HypervolumeNormalizer normalizer(refset);
+    // The reference-set hypervolume is identical for every cell; memoize
+    // it once and share the immutable normalizer across all threads.
+    const auto normalizer = metrics::NormalizerCache::global().get(
+        problem_name,
+        [&] { return problems::reference_set_for(problem_name); });
     const std::uint64_t interval =
         std::max<std::uint64_t>(1, opt.evals / opt.checkpoints);
 
-    std::cout << figure_label
-              << " — speedup vs hypervolume threshold, 5-objective "
-              << problem->name() << "\nN = " << opt.evals << ", "
-              << opt.replicates << " replicate(s); thresholds are "
-              << "normalized hypervolume (1 = reference set)\n";
+    {
+        const auto problem = problems::make_problem(problem_name);
+        std::cout << figure_label
+                  << " — speedup vs hypervolume threshold, 5-objective "
+                  << problem->name() << "\nN = " << opt.evals << ", "
+                  << opt.replicates << " replicate(s); thresholds are "
+                  << "normalized hypervolume (1 = reference set)\n";
+    }
 
     const std::vector<double> thresholds{0.1, 0.2, 0.3, 0.4, 0.5,
                                          0.6, 0.7, 0.8, 0.9, 1.0};
 
-    for (const double tf_mean : opt.tfs) {
+    // Flattened grid: per (T_F, replicate) one serial-baseline cell
+    // (p == 0) followed by one cell per parallel processor count.
+    struct Cell {
+        std::size_t tf_idx = 0;
+        std::uint64_t rep = 0;
+        std::int64_t p = 0; ///< 0 = serial baseline
+    };
+    std::vector<Cell> cells;
+    for (std::size_t ti = 0; ti < opt.tfs.size(); ++ti) {
+        for (std::uint64_t rep = 0; rep < opt.replicates; ++rep) {
+            cells.push_back({ti, rep, 0});
+            for (const std::int64_t p : opt.procs)
+                cells.push_back({ti, rep, p});
+        }
+    }
+
+    struct CellResult {
+        std::vector<double> threshold_times;
+        double final_hv = 0.0; ///< serial cells only
+    };
+    std::vector<CellResult> results(cells.size());
+
+    obs::MetricsRegistry sweep_metrics;
+    SweepRunner runner(
+        {opt.jobs, &sweep_metrics, &std::cerr, figure_label});
+    const SweepReport report = runner.run(cells.size(), [&](std::size_t i) {
+        const Cell& cell = cells[i];
+        const double tf_mean = opt.tfs[cell.tf_idx];
         const auto tf = stats::make_delay(tf_mean, 0.1);
         const auto tc = stats::make_delay(kPaperTc, 0.0);
+        const auto problem = problems::make_problem(problem_name);
+        // Defer the per-checkpoint hypervolume sweep off the DES path;
+        // it is resolved below, still on this pool worker.
+        parallel::TrajectoryRecorder rec(*normalizer, interval,
+                                         /*defer_hypervolume=*/true);
+        if (cell.p == 0) {
+            const auto ta = stats::make_delay(
+                paper_ta_mean(problem_name, 128), 0.2);
+            moea::BorgMoea algo(
+                *problem, experiment_params(*problem, opt.epsilon),
+                run_seed(opt.seed, cell.rep, 10));
+            parallel::VirtualClusterConfig cfg{
+                2, tf.get(), tc.get(), ta.get(),
+                run_seed(opt.seed, cell.rep, 11)};
+            run_serial_virtual(algo, *problem, cfg, opt.evals, &rec);
+        } else {
+            const auto p = static_cast<std::uint64_t>(cell.p);
+            const auto ta_p =
+                stats::make_delay(paper_ta_mean(problem_name, p), 0.2);
+            moea::BorgMoea algo(
+                *problem, experiment_params(*problem, opt.epsilon),
+                run_seed(opt.seed, cell.rep, 20 + p));
+            parallel::VirtualClusterConfig cfg{
+                p, tf.get(), tc.get(), ta_p.get(),
+                run_seed(opt.seed, cell.rep, 30 + p)};
+            parallel::AsyncMasterSlaveExecutor exec(algo, *problem, cfg);
+            exec.run(opt.evals, &rec);
+        }
+        rec.resolve_pending();
+        CellResult& out = results[i];
+        out.threshold_times.reserve(thresholds.size());
+        for (const double h : thresholds)
+            out.threshold_times.push_back(rec.time_to_threshold(h));
+        if (cell.p == 0) out.final_hv = rec.final_hypervolume();
+    });
+    if (opt.metrics) sweep_metrics.write_json(std::cerr);
+    report.throw_if_failed();
 
-        // Threshold -> mean serial time, and per-P mean parallel times.
+    // Serial aggregation in cell-index order: identical accumulator call
+    // sequences — hence identical bytes — no matter how the sweep was
+    // scheduled.
+    for (std::size_t ti = 0; ti < opt.tfs.size(); ++ti) {
+        const double tf_mean = opt.tfs[ti];
         std::map<double, stats::Accumulator> serial_at;
         std::map<std::int64_t, std::map<double, stats::Accumulator>>
             parallel_at;
         stats::Accumulator serial_final_hv;
-
-        for (std::uint64_t rep = 0; rep < opt.replicates; ++rep) {
-            const auto ta = stats::make_delay(
-                paper_ta_mean(problem_name, 128), 0.2);
-
-            moea::BorgMoea serial_algo(
-                *problem, experiment_params(*problem, opt.epsilon),
-                run_seed(opt.seed, rep, 10));
-            parallel::TrajectoryRecorder serial_rec(normalizer, interval);
-            parallel::VirtualClusterConfig serial_cfg{
-                2, tf.get(), tc.get(), ta.get(), run_seed(opt.seed, rep, 11)};
-            run_serial_virtual(serial_algo, *problem, serial_cfg, opt.evals,
-                               &serial_rec);
-            serial_final_hv.add(serial_rec.final_hypervolume());
-            for (const double h : thresholds)
-                serial_at[h].add(serial_rec.time_to_threshold(h));
-
-            for (const std::int64_t p : opt.procs) {
-                const auto ta_p = stats::make_delay(
-                    paper_ta_mean(problem_name,
-                                  static_cast<std::uint64_t>(p)),
-                    0.2);
-                moea::BorgMoea par_algo(
-                    *problem, experiment_params(*problem, opt.epsilon),
-                    run_seed(opt.seed, rep, 20 + static_cast<std::uint64_t>(p)));
-                parallel::TrajectoryRecorder par_rec(normalizer, interval);
-                parallel::VirtualClusterConfig par_cfg{
-                    static_cast<std::uint64_t>(p), tf.get(), tc.get(),
-                    ta_p.get(),
-                    run_seed(opt.seed, rep, 30 + static_cast<std::uint64_t>(p))};
-                parallel::AsyncMasterSlaveExecutor exec(par_algo, *problem,
-                                                        par_cfg);
-                exec.run(opt.evals, &par_rec);
-                for (const double h : thresholds)
-                    parallel_at[p][h].add(par_rec.time_to_threshold(h));
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (cells[i].tf_idx != ti) continue;
+            const CellResult& r = results[i];
+            if (cells[i].p == 0) {
+                serial_final_hv.add(r.final_hv);
+                for (std::size_t k = 0; k < thresholds.size(); ++k)
+                    serial_at[thresholds[k]].add(r.threshold_times[k]);
+            } else {
+                for (std::size_t k = 0; k < thresholds.size(); ++k)
+                    parallel_at[cells[i].p][thresholds[k]].add(
+                        r.threshold_times[k]);
             }
         }
 

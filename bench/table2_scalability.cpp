@@ -8,18 +8,23 @@
 /// the paper's per-row means by default (--measure-ta uses the real
 /// master-step cost on this host); replicates default to 3 instead of 50.
 ///
+/// Every (problem, T_F, P, replicate) cell runs on the replicate-parallel
+/// sweep engine (DESIGN.md §9); stdout is byte-identical for any --jobs.
+///
 /// Flags:
 ///   --problems dtlz2_5,uf11   --tf 0.001,0.01,0.1
 ///   --procs 16,32,...,1024    --evals 100000       --replicates 3
 ///   --epsilon 0.15            --tf-cv 0.1          --ta-cv 0.2
 ///   --measure-ta              --quick              --csv
-///   --seed 2013
+///   --seed 2013               --jobs N             --metrics
 
 #include <iostream>
 
+#include "bench/sweep_runner.hpp"
 #include "experiment_common.hpp"
 #include "models/analytical.hpp"
 #include "models/simulation_model.hpp"
+#include "obs/metrics_registry.hpp"
 #include "stats/summary.hpp"
 #include "util/table.hpp"
 
@@ -38,14 +43,16 @@ struct Options {
     double ta_cv = 0.2;
     bool measure_ta = false;
     bool csv = false;
+    bool metrics = false;
     std::uint64_t seed = 2013;
+    std::size_t jobs = 0;
 };
 
 Options parse(int argc, char** argv) {
     util::CliArgs args(argc, argv);
     args.check_known({"problems", "tf", "procs", "evals", "replicates",
                       "epsilon", "tf-cv", "ta-cv", "measure-ta", "quick",
-                      "csv", "seed"});
+                      "csv", "seed", "jobs", "metrics"});
     Options opt;
     if (args.has("problems")) {
         opt.problems.clear();
@@ -63,16 +70,18 @@ Options parse(int argc, char** argv) {
     opt.tfs = args.get_doubles("tf", opt.tfs);
     opt.procs = args.get_ints("procs", opt.procs);
     opt.evals = static_cast<std::uint64_t>(
-        args.get_int("evals", static_cast<std::int64_t>(opt.evals)));
-    opt.replicates = static_cast<std::uint64_t>(
-        args.get_int("replicates", static_cast<std::int64_t>(opt.replicates)));
+        args.get_uint("evals", static_cast<std::int64_t>(opt.evals)));
+    opt.replicates = static_cast<std::uint64_t>(args.get_uint(
+        "replicates", static_cast<std::int64_t>(opt.replicates)));
     opt.epsilon = args.get_double("epsilon", opt.epsilon);
     opt.tf_cv = args.get_double("tf-cv", opt.tf_cv);
     opt.ta_cv = args.get_double("ta-cv", opt.ta_cv);
     opt.measure_ta = args.get_bool("measure-ta");
     opt.csv = args.get_bool("csv");
+    opt.metrics = args.get_bool("metrics");
     opt.seed = static_cast<std::uint64_t>(
-        args.get_int("seed", static_cast<std::int64_t>(opt.seed)));
+        args.get_uint("seed", static_cast<std::int64_t>(opt.seed)));
+    opt.jobs = bench::parse_jobs(args);
     if (args.get_bool("quick")) {
         opt.evals = 20000;
         opt.replicates = 1;
@@ -94,6 +103,77 @@ int main(int argc, char** argv) {
                                  : "calibrated to the paper's means")
               << "\n\n";
 
+    // Flattened grid; replicates are the innermost axis so each
+    // configuration's cells are contiguous.
+    struct Cell {
+        std::size_t problem_idx = 0;
+        std::size_t tf_idx = 0;
+        std::size_t p_idx = 0;
+        std::uint64_t rep = 0;
+    };
+    std::vector<Cell> cells;
+    for (std::size_t pr = 0; pr < opt.problems.size(); ++pr)
+        for (std::size_t ti = 0; ti < opt.tfs.size(); ++ti)
+            for (std::size_t pi = 0; pi < opt.procs.size(); ++pi)
+                for (std::uint64_t rep = 0; rep < opt.replicates; ++rep)
+                    cells.push_back({pr, ti, pi, rep});
+
+    struct CellResult {
+        double exp_time = 0.0;
+        double sim_time = 0.0;
+        stats::Summary ta_applied;
+    };
+    std::vector<CellResult> results(cells.size());
+
+    obs::MetricsRegistry sweep_metrics;
+    bench::SweepRunner runner(
+        {opt.jobs, &sweep_metrics, &std::cerr, "Table II"});
+    const bench::SweepReport report =
+        runner.run(cells.size(), [&](std::size_t i) {
+            const Cell& cell = cells[i];
+            const std::string& problem_name = opt.problems[cell.problem_idx];
+            const auto problem = problems::make_problem(problem_name);
+            const double tf_mean = opt.tfs[cell.tf_idx];
+            const auto p =
+                static_cast<std::uint64_t>(opt.procs[cell.p_idx]);
+            const double calibrated_ta =
+                bench::paper_ta_mean(problem_name, p);
+
+            const auto tf = stats::make_delay(tf_mean, opt.tf_cv);
+            const auto tc = stats::make_delay(bench::kPaperTc, 0.0);
+            const auto ta = stats::make_delay(calibrated_ta, opt.ta_cv);
+
+            // "Experimental": real algorithm on the virtual cluster.
+            moea::BorgMoea algo(
+                *problem, bench::experiment_params(*problem, opt.epsilon),
+                bench::run_seed(opt.seed, cell.rep, 1));
+            parallel::VirtualClusterConfig cluster{
+                p, tf.get(), tc.get(),
+                opt.measure_ta ? nullptr : ta.get(),
+                bench::run_seed(opt.seed, cell.rep, 2)};
+            parallel::AsyncMasterSlaveExecutor exec(algo, *problem, cluster);
+            const auto run = exec.run(opt.evals);
+
+            // Simulation model: distributions only.
+            models::SimulationConfig sim_cfg{
+                opt.evals, p, tf.get(), tc.get(),
+                opt.measure_ta ? nullptr : ta.get(),
+                bench::run_seed(opt.seed, cell.rep, 3)};
+            const auto measured_ta = stats::make_delay(
+                run.ta_applied.mean,
+                run.ta_applied.mean > 0.0
+                    ? run.ta_applied.stddev / run.ta_applied.mean
+                    : 0.0);
+            if (opt.measure_ta) sim_cfg.ta = measured_ta.get();
+
+            CellResult& out = results[i];
+            out.exp_time = run.elapsed;
+            out.ta_applied = run.ta_applied;
+            out.sim_time = models::simulate_async(sim_cfg).elapsed;
+        });
+    if (opt.metrics) sweep_metrics.write_json(std::cerr);
+    report.throw_if_failed();
+
     // "Sat" columns extend the paper's table with the saturation-aware
     // closed form (models/analytical.hpp) — accurate on both sides of
     // P_UB without running the simulation.
@@ -101,51 +181,24 @@ int main(int argc, char** argv) {
                        "AnaTime", "AnaErr", "SatTime", "SatErr", "SimTime",
                        "SimErr"});
 
+    // Aggregate replicate cells in index order; cells are grouped per
+    // configuration by construction.
+    std::size_t base = 0;
     for (const std::string& problem_name : opt.problems) {
-        const auto problem = problems::make_problem(problem_name);
         for (const double tf_mean : opt.tfs) {
             for (const std::int64_t procs_signed : opt.procs) {
                 const auto p = static_cast<std::uint64_t>(procs_signed);
-                const double calibrated_ta =
-                    bench::paper_ta_mean(problem_name, p);
-
-                const auto tf = stats::make_delay(tf_mean, opt.tf_cv);
-                const auto tc = stats::make_delay(bench::kPaperTc, 0.0);
-                const auto ta = stats::make_delay(calibrated_ta, opt.ta_cv);
-
-                stats::Accumulator exp_time, sim_time, ta_mean_acc;
+                stats::Accumulator exp_time, sim_time;
+                stats::Summary ta_pooled;
                 for (std::uint64_t rep = 0; rep < opt.replicates; ++rep) {
-                    // "Experimental": real algorithm on the virtual cluster.
-                    moea::BorgMoea algo(
-                        *problem,
-                        bench::experiment_params(*problem, opt.epsilon),
-                        bench::run_seed(opt.seed, rep, 1));
-                    parallel::VirtualClusterConfig cluster{
-                        p, tf.get(), tc.get(),
-                        opt.measure_ta ? nullptr : ta.get(),
-                        bench::run_seed(opt.seed, rep, 2)};
-                    parallel::AsyncMasterSlaveExecutor exec(algo, *problem,
-                                                            cluster);
-                    const auto run = exec.run(opt.evals);
-                    exp_time.add(run.elapsed);
-                    ta_mean_acc.add(run.ta_applied.mean);
-
-                    // Simulation model: distributions only.
-                    models::SimulationConfig sim_cfg{
-                        opt.evals, p, tf.get(), tc.get(),
-                        opt.measure_ta ? nullptr : ta.get(),
-                        bench::run_seed(opt.seed, rep, 3)};
-                    const auto measured_ta =
-                        stats::make_delay(run.ta_applied.mean,
-                                          run.ta_applied.mean > 0.0
-                                              ? run.ta_applied.stddev /
-                                                    run.ta_applied.mean
-                                              : 0.0);
-                    if (opt.measure_ta) sim_cfg.ta = measured_ta.get();
-                    sim_time.add(models::simulate_async(sim_cfg).elapsed);
+                    const CellResult& r = results[base + rep];
+                    exp_time.add(r.exp_time);
+                    sim_time.add(r.sim_time);
+                    ta_pooled.merge(r.ta_applied);
                 }
+                base += opt.replicates;
 
-                const double ta_used = ta_mean_acc.mean();
+                const double ta_used = ta_pooled.mean;
                 const models::TimingCosts costs{tf_mean, bench::kPaperTc,
                                                 ta_used};
                 const double actual = exp_time.mean();

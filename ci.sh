@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 CI: plain Release build + tests, the trace_check observability
-# gate, then the same tests under AddressSanitizer + UBSan.
+# Tier-1 CI: plain Release build + full tests, the trace_check
+# observability gate, the fast+threads tiers under AddressSanitizer +
+# UBSan, and the concurrency surface (thread pool, sweep runner,
+# host-thread executor) under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs=$(nproc 2>/dev/null || echo 2)
 
-echo "=== Release build + tests ==="
+echo "=== Release build + tests (all tiers) ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
@@ -14,10 +16,16 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 echo "=== trace_check (observability cross-validation gate) ==="
 ./build/bench/trace_check
 
-echo "=== Sanitizer build (address,undefined) + tests ==="
+echo "=== Sanitizer build (address,undefined) + fast/threads tiers ==="
 cmake -B build-san -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DBORG_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j "$jobs"
-ctest --test-dir build-san --output-on-failure -j "$jobs"
+ctest --test-dir build-san --output-on-failure -j "$jobs" -LE slow
+
+echo "=== ThreadSanitizer build + threads tier ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBORG_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs" --target borg_thread_tests
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L threads
 
 echo "ci.sh: all gates passed"

@@ -212,4 +212,29 @@ double HypervolumeNormalizer::normalized(const Front& front) const {
     return std::clamp(hv / reference_hv_, 0.0, 1.0);
 }
 
+std::shared_ptr<const HypervolumeNormalizer>
+NormalizerCache::get(const std::string& key,
+                     const std::function<Front()>& reference_set,
+                     double margin) {
+    const std::lock_guard lock(mutex_);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        it = cache_
+                 .emplace(key, std::make_shared<const HypervolumeNormalizer>(
+                                   reference_set(), margin))
+                 .first;
+    }
+    return it->second;
+}
+
+std::size_t NormalizerCache::size() const {
+    const std::lock_guard lock(mutex_);
+    return cache_.size();
+}
+
+NormalizerCache& NormalizerCache::global() {
+    static NormalizerCache cache;
+    return cache;
+}
+
 } // namespace borg::metrics

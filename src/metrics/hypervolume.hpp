@@ -18,6 +18,11 @@
 ///    cross-checking the exact engine and for very large fronts.
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 namespace borg::metrics {
@@ -70,6 +75,34 @@ public:
 private:
     std::vector<double> reference_point_;
     double reference_hv_;
+};
+
+/// Thread-safe memo of HypervolumeNormalizers keyed by problem name.
+///
+/// Building a normalizer computes the exact WFG hypervolume of the whole
+/// reference set — by far the most expensive part of normalized-HV
+/// evaluation, and identical for every replicate of a sweep. The cache
+/// builds it once per key and hands every sweep cell the same immutable
+/// instance (normalized() is const and lock-free, so concurrent cells
+/// share it safely).
+class NormalizerCache {
+public:
+    /// Returns the normalizer for \p key, invoking \p reference_set to
+    /// build it on first use. The builder runs under the cache lock so
+    /// concurrent first requests for one key build exactly once.
+    std::shared_ptr<const HypervolumeNormalizer>
+    get(const std::string& key,
+        const std::function<Front()>& reference_set, double margin = 0.1);
+
+    std::size_t size() const;
+
+    /// Process-wide memo shared by the experiment drivers.
+    static NormalizerCache& global();
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<const HypervolumeNormalizer>>
+        cache_;
 };
 
 } // namespace borg::metrics

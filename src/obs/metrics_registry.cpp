@@ -19,6 +19,22 @@ void Histogram::observe(double x) noexcept {
     m2_ += delta * (x - mean_);
 }
 
+void Histogram::merge(const Histogram& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    n_ += other.n_;
+}
+
 double Histogram::variance() const noexcept {
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }

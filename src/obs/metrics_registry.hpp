@@ -45,6 +45,11 @@ class Histogram {
 public:
     void observe(double x) noexcept;
 
+    /// Absorbs another histogram's samples (Chan parallel mean/M2 merge).
+    /// Lets sweep workers keep thread-local instruments and combine them
+    /// afterwards with no ordering effects.
+    void merge(const Histogram& other) noexcept;
+
     std::size_t count() const noexcept { return n_; }
     double mean() const noexcept { return n_ ? mean_ : 0.0; }
     double variance() const noexcept;

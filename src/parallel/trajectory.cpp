@@ -1,14 +1,17 @@
 #include "parallel/trajectory.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace borg::parallel {
 
 TrajectoryRecorder::TrajectoryRecorder(
-    const metrics::HypervolumeNormalizer& normalizer, std::uint64_t interval)
+    const metrics::HypervolumeNormalizer& normalizer, std::uint64_t interval,
+    bool defer_hypervolume)
     : normalizer_(normalizer),
       interval_(interval),
-      next_checkpoint_(interval) {
+      next_checkpoint_(interval),
+      defer_(defer_hypervolume) {
     if (interval == 0)
         throw std::invalid_argument("trajectory: interval must be >= 1");
 }
@@ -19,8 +22,24 @@ void TrajectoryRecorder::checkpoint(
     TrajectoryPoint point;
     point.time = time;
     point.evaluations = evaluations;
-    point.hypervolume = normalizer_.normalized(front());
+    if (defer_) {
+        pending_.emplace_back(points_.size(), front());
+    } else {
+        point.hypervolume = normalizer_.normalized(front());
+    }
     points_.push_back(point);
+}
+
+void TrajectoryRecorder::resolve_pending() {
+    for (auto& [index, front] : pending_)
+        points_[index].hypervolume = normalizer_.normalized(front);
+    pending_.clear();
+}
+
+void TrajectoryRecorder::require_resolved(const char* what) const {
+    if (!pending_.empty())
+        throw std::logic_error(std::string("trajectory: ") + what +
+                               " read before resolve_pending()");
 }
 
 void TrajectoryRecorder::on_result(
@@ -39,10 +58,12 @@ void TrajectoryRecorder::finalize(
 }
 
 double TrajectoryRecorder::time_to_threshold(double threshold) const {
+    require_resolved("time_to_threshold");
     return parallel::time_to_threshold(points_, threshold);
 }
 
 double TrajectoryRecorder::final_hypervolume() const {
+    require_resolved("final_hypervolume");
     double best = 0.0;
     for (const TrajectoryPoint& p : points_)
         best = std::max(best, p.hypervolume);

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "metrics/hypervolume.hpp"
@@ -27,8 +28,15 @@ class TrajectoryRecorder {
 public:
     /// Computes a hypervolume checkpoint every \p interval evaluations
     /// (and on finalize). The normalizer must outlive the recorder.
+    ///
+    /// With \p defer_hypervolume set, checkpoints only snapshot the front
+    /// (cheap copy) and the exact WFG hypervolume — the dominant cost of a
+    /// checkpointed run — is computed later by resolve_pending(), lifting
+    /// it off the simulation path. Deferred or not, the recorded values
+    /// are identical: the same fronts meet the same normalizer.
     TrajectoryRecorder(const metrics::HypervolumeNormalizer& normalizer,
-                       std::uint64_t interval);
+                       std::uint64_t interval,
+                       bool defer_hypervolume = false);
 
     /// Called by executors after every ingested result. \p front is only
     /// invoked at checkpoints, so suppliers may be arbitrarily expensive.
@@ -43,21 +51,35 @@ public:
         return points_;
     }
 
+    /// Deferred checkpoints whose hypervolume has not been computed yet.
+    std::size_t pending() const noexcept { return pending_.size(); }
+
+    /// Computes the hypervolume of every deferred checkpoint. Required
+    /// before reading thresholds or points when defer_hypervolume was
+    /// set; a no-op otherwise.
+    void resolve_pending();
+
     /// First recorded time at which hypervolume reached \p threshold;
-    /// +infinity when the run never got there.
+    /// +infinity when the run never got there. Throws std::logic_error
+    /// while deferred checkpoints are unresolved.
     double time_to_threshold(double threshold) const;
 
-    /// Best hypervolume seen across the whole run.
+    /// Best hypervolume seen across the whole run. Throws
+    /// std::logic_error while deferred checkpoints are unresolved.
     double final_hypervolume() const;
 
 private:
     void checkpoint(double time, std::uint64_t evaluations,
                     const std::function<metrics::Front()>& front);
+    void require_resolved(const char* what) const;
 
     const metrics::HypervolumeNormalizer& normalizer_;
     std::uint64_t interval_;
     std::uint64_t next_checkpoint_;
+    bool defer_;
     std::vector<TrajectoryPoint> points_;
+    /// (index into points_, snapshotted front) awaiting resolve_pending().
+    std::vector<std::pair<std::size_t, metrics::Front>> pending_;
 };
 
 /// Interpolation-free threshold lookup over an arbitrary trajectory:

@@ -16,6 +16,13 @@ class Accumulator {
 public:
     void add(double x) noexcept;
 
+    /// Absorbs another accumulator's samples using Chan et al.'s parallel
+    /// mean/M2 combination. Exact up to floating-point rounding and — key
+    /// for the replicate-parallel sweep engine — independent of how the
+    /// samples were partitioned, so per-thread partials combine without
+    /// ordering effects.
+    void merge(const Accumulator& other) noexcept;
+
     std::size_t count() const noexcept { return n_; }
     double mean() const noexcept { return n_ ? mean_ : 0.0; }
     /// Unbiased sample variance; 0 with fewer than two samples.
@@ -41,7 +48,18 @@ struct Summary {
     double min = 0.0;
     double max = 0.0;
     double median = 0.0;
+
+    /// Combines this summary with \p other as if the two underlying
+    /// samples were pooled. count/mean/stddev/min/max are exact (Chan
+    /// merge on the recovered second moments). The pooled median is not
+    /// recoverable from two summaries; it is set to the count-weighted
+    /// mean of the inputs' medians, an approximation callers that need
+    /// exact medians must avoid by merging raw samples instead.
+    Summary& merge(const Summary& other) noexcept;
 };
+
+/// Pooled summary of two disjoint samples; see Summary::merge.
+Summary merge(Summary a, const Summary& b) noexcept;
 
 /// Computes a full summary (copies and partially sorts for the median).
 Summary summarize(std::span<const double> xs);

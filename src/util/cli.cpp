@@ -1,11 +1,45 @@
 #include "util/cli.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace borg::util {
 
 namespace {
+
+/// Parses the whole of \p text as an integer. std::stoll's silent
+/// truncation ("64abc" -> 64) once let a mistyped --procs run the wrong
+/// grid; every malformed value is now an error naming the flag.
+std::int64_t parse_full_int(const std::string& flag, const std::string& text) {
+    std::int64_t value = 0;
+    const char* const first = text.data();
+    const char* const last = first + text.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec == std::errc::result_out_of_range)
+        throw std::invalid_argument("--" + flag + ": integer out of range: '" +
+                                    text + "'");
+    if (ec != std::errc() || ptr != last)
+        throw std::invalid_argument("--" + flag + ": expected an integer, " +
+                                    "got '" + text + "'");
+    return value;
+}
+
+/// Parses the whole of \p text as a double (strtod + full-consumption
+/// check; std::from_chars for doubles is not available everywhere).
+double parse_full_double(const std::string& flag, const std::string& text) {
+    if (text.empty())
+        throw std::invalid_argument("--" + flag + ": expected a number, " +
+                                    "got ''");
+    const char* const first = text.c_str();
+    char* end = nullptr;
+    const double value = std::strtod(first, &end);
+    if (end != first + text.size())
+        throw std::invalid_argument("--" + flag + ": expected a number, " +
+                                    "got '" + text + "'");
+    return value;
+}
 
 std::vector<std::string> split_commas(const std::string& value) {
     std::vector<std::string> parts;
@@ -58,12 +92,23 @@ std::string CliArgs::get(const std::string& name,
 std::int64_t CliArgs::get_int(const std::string& name,
                               std::int64_t fallback) const {
     const auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::stoll(it->second);
+    return it == values_.end() ? fallback : parse_full_int(name, it->second);
+}
+
+std::int64_t CliArgs::get_uint(const std::string& name,
+                               std::int64_t fallback) const {
+    const std::int64_t value = get_int(name, fallback);
+    if (value < 0)
+        throw std::invalid_argument("--" + name +
+                                    ": must not be negative, got " +
+                                    std::to_string(value));
+    return value;
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
     const auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    return it == values_.end() ? fallback
+                               : parse_full_double(name, it->second);
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
@@ -78,7 +123,7 @@ std::vector<double> CliArgs::get_doubles(const std::string& name,
     if (it == values_.end()) return fallback;
     std::vector<double> out;
     for (const auto& part : split_commas(it->second))
-        if (!part.empty()) out.push_back(std::stod(part));
+        out.push_back(parse_full_double(name, part));
     return out;
 }
 
@@ -88,7 +133,7 @@ std::vector<std::int64_t> CliArgs::get_ints(
     if (it == values_.end()) return fallback;
     std::vector<std::int64_t> out;
     for (const auto& part : split_commas(it->second))
-        if (!part.empty()) out.push_back(std::stoll(part));
+        out.push_back(parse_full_int(name, part));
     return out;
 }
 

@@ -22,7 +22,17 @@ public:
     bool has(const std::string& name) const;
 
     std::string get(const std::string& name, const std::string& fallback) const;
+
+    /// Strict integer: the whole value must parse ("64abc" and "" are
+    /// errors, not 64), with std::invalid_argument naming the flag.
     std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+
+    /// get_int that additionally rejects negative values — the right
+    /// accessor for counts such as --jobs, --procs, --replicates.
+    std::int64_t get_uint(const std::string& name,
+                          std::int64_t fallback) const;
+
+    /// Strict double: the whole value must parse.
     double get_double(const std::string& name, double fallback) const;
     bool get_bool(const std::string& name, bool fallback = false) const;
 

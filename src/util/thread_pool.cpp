@@ -1,0 +1,126 @@
+#include "util/thread_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace borg::util {
+
+namespace {
+
+/// Set while a worker runs its loop so submit() can detect "called from
+/// inside the pool" and push to the caller's own deque.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_index = 0;
+
+} // namespace
+
+std::size_t ThreadPool::default_concurrency() noexcept {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    const std::size_t n = threads == 0 ? default_concurrency() : threads;
+    queues_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    threads_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard lock(sleep_mutex_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    if (!task) throw std::invalid_argument("thread pool: empty task");
+    std::size_t target;
+    {
+        const std::lock_guard lock(sleep_mutex_);
+        target = tl_pool == this ? tl_index : next_queue_++ % queues_.size();
+        ++queued_;
+        ++in_flight_;
+    }
+    {
+        const std::lock_guard lock(queues_[target]->mutex);
+        queues_[target]->tasks.push_back(std::move(task));
+    }
+    wake_cv_.notify_one();
+}
+
+bool ThreadPool::pop_own(std::size_t self, std::function<void()>& task) {
+    WorkerQueue& queue = *queues_[self];
+    const std::lock_guard lock(queue.mutex);
+    if (queue.tasks.empty()) return false;
+    task = std::move(queue.tasks.back());
+    queue.tasks.pop_back();
+    return true;
+}
+
+bool ThreadPool::steal(std::size_t self, std::function<void()>& task) {
+    for (std::size_t i = 1; i < queues_.size(); ++i) {
+        WorkerQueue& victim = *queues_[(self + i) % queues_.size()];
+        const std::lock_guard lock(victim.mutex);
+        if (victim.tasks.empty()) continue;
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+    tl_pool = this;
+    tl_index = self;
+    for (;;) {
+        std::function<void()> task;
+        if (pop_own(self, task) || steal(self, task)) {
+            {
+                const std::lock_guard lock(sleep_mutex_);
+                --queued_;
+            }
+            try {
+                task();
+            } catch (...) {
+                const std::lock_guard lock(failure_mutex_);
+                if (!failure_) failure_ = std::current_exception();
+            }
+            bool idle;
+            {
+                const std::lock_guard lock(sleep_mutex_);
+                idle = --in_flight_ == 0;
+            }
+            if (idle) idle_cv_.notify_all();
+            continue;
+        }
+        std::unique_lock lock(sleep_mutex_);
+        // A task may have landed between the failed scan and taking the
+        // lock; rescan instead of sleeping through it.
+        if (queued_ > 0) continue;
+        if (stop_) return;
+        wake_cv_.wait(lock, [&] { return queued_ > 0 || stop_; });
+        if (queued_ == 0 && stop_) return;
+    }
+}
+
+void ThreadPool::wait_idle() {
+    if (tl_pool == this)
+        throw std::logic_error("thread pool: wait_idle() from inside a task");
+    {
+        std::unique_lock lock(sleep_mutex_);
+        idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+    }
+    const std::lock_guard lock(failure_mutex_);
+    if (failure_) {
+        std::exception_ptr failure = std::exchange(failure_, nullptr);
+        std::rethrow_exception(failure);
+    }
+}
+
+} // namespace borg::util

@@ -1,0 +1,88 @@
+#ifndef BORG_UTIL_THREAD_POOL_HPP
+#define BORG_UTIL_THREAD_POOL_HPP
+
+/// \file thread_pool.hpp
+/// Work-stealing host-thread pool for embarrassingly parallel sweeps.
+///
+/// The replicate-parallel sweep engine (bench/sweep_runner) fans fully
+/// independent (problem, T_F, P, replicate) cells out across host threads.
+/// Each worker owns a deque: the owner pushes and pops at the back (LIFO,
+/// cache-friendly for nested submissions) while idle workers steal from the
+/// front of a victim's deque (FIFO, oldest-first so large early tasks
+/// migrate). The pool makes NO ordering promises — determinism is the
+/// caller's job and is achieved by slotting results by index, never by
+/// completion order (see DESIGN.md §9).
+///
+/// Tasks must not call wait_idle() (a worker waiting on its own pool
+/// deadlocks); tasks may freely submit() further tasks.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace borg::util {
+
+class ThreadPool {
+public:
+    /// Spawns \p threads workers; 0 means default_concurrency().
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /// Drains every submitted task, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const noexcept { return queues_.size(); }
+
+    /// Enqueues \p task. Called from a worker of this pool, the task lands
+    /// on that worker's own deque (stealable by the others); called from
+    /// outside, deques are fed round-robin.
+    void submit(std::function<void()> task);
+
+    /// Blocks until every submitted task (including tasks submitted by
+    /// tasks) has finished. If any task threw, rethrows the first captured
+    /// exception (the rest of the fleet still ran to completion). Must not
+    /// be called from inside a task.
+    void wait_idle();
+
+    /// Hardware concurrency, never less than 1.
+    static std::size_t default_concurrency() noexcept;
+
+private:
+    struct WorkerQueue {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void worker_loop(std::size_t self);
+    bool pop_own(std::size_t self, std::function<void()>& task);
+    bool steal(std::size_t self, std::function<void()>& task);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> threads_;
+
+    // queued_ counts tasks sitting in some deque; in_flight_ counts tasks
+    // submitted but not yet finished (queued + executing). Guarded by
+    // sleep_mutex_ so sleeping workers and wait_idle() cannot miss a wake.
+    std::mutex sleep_mutex_;
+    std::condition_variable wake_cv_; ///< workers sleep here when starved
+    std::condition_variable idle_cv_; ///< wait_idle() sleeps here
+    std::size_t queued_ = 0;
+    std::size_t in_flight_ = 0;
+    std::size_t next_queue_ = 0; ///< round-robin cursor for external submits
+    bool stop_ = false;
+
+    std::mutex failure_mutex_;
+    std::exception_ptr failure_;
+};
+
+} // namespace borg::util
+
+#endif

@@ -83,4 +83,93 @@ TEST(Cli, NegativeNumberAsValue) {
     EXPECT_EQ(args.get_int("offset", 0), -5);
 }
 
+// Strict numeric parsing: a malformed value must be an error naming the
+// flag, never silently truncated to its numeric prefix or to the fallback.
+
+TEST(Cli, IntRejectsTrailingGarbage) {
+    const auto args = parse({"--jobs", "4x"});
+    EXPECT_THROW(args.get_int("jobs", 0), std::invalid_argument);
+}
+
+TEST(Cli, IntRejectsNonNumeric) {
+    const auto args = parse({"--procs", "many"});
+    EXPECT_THROW(args.get_int("procs", 0), std::invalid_argument);
+}
+
+TEST(Cli, IntRejectsEmptyValue) {
+    const auto args = parse({"--jobs="});
+    EXPECT_THROW(args.get_int("jobs", 0), std::invalid_argument);
+}
+
+TEST(Cli, IntRejectsFloatValue) {
+    const auto args = parse({"--replicates", "2.5"});
+    EXPECT_THROW(args.get_int("replicates", 0), std::invalid_argument);
+}
+
+TEST(Cli, IntRejectsOutOfRange) {
+    const auto args = parse({"--jobs", "99999999999999999999999"});
+    EXPECT_THROW(args.get_int("jobs", 0), std::invalid_argument);
+}
+
+TEST(Cli, IntErrorNamesTheFlag) {
+    const auto args = parse({"--jobs", "4x"});
+    try {
+        args.get_int("jobs", 0);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("--jobs"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Cli, UintAcceptsZeroAndPositive) {
+    const auto args = parse({"--jobs", "0", "--procs", "64"});
+    EXPECT_EQ(args.get_uint("jobs", 1), 0);
+    EXPECT_EQ(args.get_uint("procs", 1), 64);
+    EXPECT_EQ(args.get_uint("absent", 7), 7);
+}
+
+TEST(Cli, UintRejectsNegative) {
+    const auto args = parse({"--replicates", "-3"});
+    EXPECT_THROW(args.get_uint("replicates", 0), std::invalid_argument);
+    try {
+        args.get_uint("replicates", 0);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("--replicates"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Cli, DoubleRejectsTrailingGarbage) {
+    const auto args = parse({"--tf", "0.01abc"});
+    EXPECT_THROW(args.get_double("tf", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, DoubleRejectsNonNumeric) {
+    const auto args = parse({"--tf", "fast"});
+    EXPECT_THROW(args.get_double("tf", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, DoubleAcceptsScientificNotation) {
+    const auto args = parse({"--tc", "6e-6"});
+    EXPECT_DOUBLE_EQ(args.get_double("tc", 0.0), 6e-6);
+}
+
+TEST(Cli, IntListRejectsGarbageElement) {
+    const auto args = parse({"--procs", "16,abc,64"});
+    EXPECT_THROW(args.get_ints("procs", {}), std::invalid_argument);
+}
+
+TEST(Cli, IntListRejectsEmptyElement) {
+    const auto args = parse({"--procs", "16,,64"});
+    EXPECT_THROW(args.get_ints("procs", {}), std::invalid_argument);
+}
+
+TEST(Cli, DoubleListRejectsGarbageElement) {
+    const auto args = parse({"--tf", "0.01,0.1x"});
+    EXPECT_THROW(args.get_doubles("tf", {}), std::invalid_argument);
+}
+
 } // namespace

@@ -1,0 +1,185 @@
+#include "bench/sweep_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace borg;
+using bench::SweepOptions;
+using bench::SweepReport;
+using bench::SweepRunner;
+
+/// The cell workload the determinism tests run: a small deterministic
+/// simulation whose randomness derives only from the cell index, mirroring
+/// the contract the experiment drivers follow.
+std::vector<double> run_grid(std::size_t jobs,
+                             const std::vector<std::size_t>& order = {}) {
+    constexpr std::size_t kCells = 64;
+    std::vector<double> slots(kCells, 0.0);
+    SweepRunner runner({jobs});
+    const SweepReport report = runner.run(kCells, [&](std::size_t i) {
+        util::Rng rng(util::derive_seed(
+            2013, static_cast<std::uint64_t>(i), 7));
+        double acc = 0.0;
+        for (int k = 0; k < 100; ++k) acc += rng.uniform();
+        slots[i] = acc;
+    }, order);
+    EXPECT_EQ(report.failures(), 0u);
+    return slots;
+}
+
+/// Aggregates like the drivers do: serially, in index order, after the
+/// sweep. Identical slots must therefore give identical aggregates.
+stats::Summary aggregate(const std::vector<double>& slots) {
+    return stats::summarize(slots);
+}
+
+TEST(SweepRunner, Jobs1VersusJobs4ProduceIdenticalSlots) {
+    const auto serial = run_grid(1);
+    const auto parallel = run_grid(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "cell " << i;
+
+    const auto a = aggregate(serial);
+    const auto b = aggregate(parallel);
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.stddev, b.stddev);
+    EXPECT_EQ(a.median, b.median);
+}
+
+TEST(SweepRunner, ShuffledSubmissionOrderProducesIdenticalSlots) {
+    const auto baseline = run_grid(1);
+
+    std::vector<std::size_t> order(baseline.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    // Deterministic shuffle (Fisher-Yates with the project's RNG).
+    util::Rng rng(42);
+    for (std::size_t i = order.size(); i-- > 1;)
+        std::swap(order[i], order[rng.below(i + 1)]);
+    ASSERT_FALSE(std::is_sorted(order.begin(), order.end()));
+
+    const auto shuffled = run_grid(4, order);
+    EXPECT_EQ(baseline, shuffled);
+}
+
+TEST(SweepRunner, RejectsBadSubmissionOrder) {
+    SweepRunner runner({1});
+    const auto noop = [](std::size_t) {};
+    EXPECT_THROW(runner.run(3, noop, {0, 1}), std::invalid_argument);
+    EXPECT_THROW(runner.run(3, noop, {0, 1, 1}), std::invalid_argument);
+    EXPECT_THROW(runner.run(3, noop, {0, 1, 3}), std::invalid_argument);
+}
+
+TEST(SweepRunner, ThrowingCellIsIsolatedAndReportedPerCell) {
+    constexpr std::size_t kCells = 32;
+    std::vector<int> ran(kCells, 0);
+    SweepRunner runner({4});
+    const SweepReport report = runner.run(kCells, [&](std::size_t i) {
+        if (i == 5) throw std::runtime_error("cell five exploded");
+        if (i == 17) throw std::domain_error("cell seventeen too");
+        ran[i] = 1;
+    });
+
+    EXPECT_EQ(report.failures(), 2u);
+    ASSERT_EQ(report.cells.size(), kCells);
+    EXPECT_FALSE(report.cells[5].ok);
+    EXPECT_EQ(report.cells[5].error, "cell five exploded");
+    EXPECT_FALSE(report.cells[17].ok);
+    EXPECT_EQ(report.cells[17].error, "cell seventeen too");
+
+    // Every sibling still ran to completion.
+    for (std::size_t i = 0; i < kCells; ++i) {
+        if (i == 5 || i == 17) continue;
+        EXPECT_TRUE(report.cells[i].ok) << "cell " << i;
+        EXPECT_EQ(ran[i], 1) << "cell " << i;
+    }
+
+    try {
+        report.throw_if_failed();
+        FAIL() << "throw_if_failed() did not throw";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("cell 5"), std::string::npos) << what;
+        EXPECT_NE(what.find("cell five exploded"), std::string::npos);
+        EXPECT_NE(what.find("cell 17"), std::string::npos) << what;
+    }
+}
+
+TEST(SweepRunner, CleanReportDoesNotThrow) {
+    SweepRunner runner({2});
+    const SweepReport report = runner.run(8, [](std::size_t) {});
+    EXPECT_EQ(report.failures(), 0u);
+    EXPECT_NO_THROW(report.throw_if_failed());
+}
+
+TEST(SweepRunner, EmitsProgressMetrics) {
+    obs::MetricsRegistry metrics;
+    std::ostringstream progress;
+    SweepRunner runner({2, &metrics, &progress, "unit"});
+    const SweepReport report = runner.run(10, [&](std::size_t i) {
+        if (i == 3) throw std::runtime_error("x");
+    });
+
+    const auto* cells = metrics.find_counter("sweep.cells");
+    const auto* done = metrics.find_counter("sweep.cells_done");
+    const auto* failed = metrics.find_counter("sweep.cells_failed");
+    const auto* seconds = metrics.find_histogram("sweep.cell_seconds");
+    const auto* elapsed = metrics.find_gauge("sweep.elapsed_seconds");
+    ASSERT_NE(cells, nullptr);
+    ASSERT_NE(done, nullptr);
+    ASSERT_NE(failed, nullptr);
+    ASSERT_NE(seconds, nullptr);
+    ASSERT_NE(elapsed, nullptr);
+    EXPECT_EQ(cells->value(), 10u);
+    // cells_done counts every finished cell, ok or not.
+    EXPECT_EQ(done->value(), 10u);
+    EXPECT_EQ(failed->value(), 1u);
+    EXPECT_EQ(seconds->count(), 10u);
+    EXPECT_GE(elapsed->value(), 0.0);
+    EXPECT_GE(report.elapsed_seconds, 0.0);
+
+    // Progress lines carry the label and go to the progress stream only.
+    EXPECT_NE(progress.str().find("unit"), std::string::npos);
+}
+
+TEST(SweepRunner, ZeroCellsIsANoOp) {
+    obs::MetricsRegistry metrics;
+    SweepRunner runner({1, &metrics});
+    const SweepReport report = runner.run(0, [](std::size_t) {
+        FAIL() << "cell function must not run";
+    });
+    EXPECT_TRUE(report.cells.empty());
+    EXPECT_EQ(report.failures(), 0u);
+}
+
+TEST(SweepRunner, ParseJobsDefaultsToAutoAndRejectsZero) {
+    {
+        const char* argv[] = {"prog"};
+        const util::CliArgs args(1, argv);
+        EXPECT_EQ(bench::parse_jobs(args), 0u);
+    }
+    {
+        const char* argv[] = {"prog", "--jobs", "3"};
+        const util::CliArgs args(3, argv);
+        EXPECT_EQ(bench::parse_jobs(args), 3u);
+    }
+    {
+        const char* argv[] = {"prog", "--jobs", "0"};
+        const util::CliArgs args(3, argv);
+        EXPECT_THROW(bench::parse_jobs(args), std::invalid_argument);
+    }
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using borg::util::ThreadPool;
+
+TEST(ThreadPool, DefaultConcurrencyAtLeastOne) {
+    EXPECT_GE(ThreadPool::default_concurrency(), 1u);
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), ThreadPool::default_concurrency());
+}
+
+TEST(ThreadPool, ExecutesEveryTask) {
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 1000; ++i)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, SingleThreadRunsEverything) {
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
+    ThreadPool pool(2);
+    pool.wait_idle();
+    SUCCEED();
+}
+
+TEST(ThreadPool, StealingDrainsUnevenLoad) {
+    // All submissions land round-robin, but one long task pins a worker;
+    // the rest must finish via stealing well before the long task ends.
+    ThreadPool pool(4);
+    std::atomic<int> quick{0};
+    std::atomic<bool> release{false};
+    pool.submit([&release] {
+        while (!release.load()) std::this_thread::yield();
+    });
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&quick] { quick.fetch_add(1); });
+    while (quick.load() < 200) std::this_thread::yield();
+    release.store(true);
+    pool.wait_idle();
+    EXPECT_EQ(quick.load(), 200);
+}
+
+TEST(ThreadPool, TasksMaySubmitMoreTasks) {
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 10; ++i) {
+        pool.submit([&pool, &count] {
+            count.fetch_add(1);
+            pool.submit([&count] { count.fetch_add(1); });
+        });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskException) {
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([] { throw std::runtime_error("boom"); });
+    for (int i = 0; i < 50; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+    // The rest of the fleet was not poisoned.
+    EXPECT_EQ(ran.load(), 50);
+    // The failure is consumed: a second wait is clean.
+    pool.wait_idle();
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&count] { count.fetch_add(1); });
+    }
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.submit({}), std::invalid_argument);
+}
+
+} // namespace
