@@ -80,7 +80,10 @@ int main(int argc, char** argv) {
     std::vector<double> hv_results(cells, 0.0);
 
     obs::MetricsRegistry sweep_metrics;
-    bench::SweepRunner runner({jobs, &sweep_metrics, &std::cerr, "Ablation"});
+    bench::SweepRunner runner({.jobs = jobs,
+                               .obs = {.metrics = &sweep_metrics},
+                               .progress = &std::cerr,
+                               .label = "Ablation"});
     const bench::SweepReport report = runner.run(cells, [&](std::size_t i) {
         const std::uint64_t rep = i % replicates;
         const std::size_t pr = (i / replicates) % problem_names.size();

@@ -90,7 +90,10 @@ int main(int argc, char** argv) {
     }
 
     obs::MetricsRegistry sweep_metrics;
-    bench::SweepRunner runner({jobs, &sweep_metrics, &std::cerr, "Figure 5"});
+    bench::SweepRunner runner({.jobs = jobs,
+                               .obs = {.metrics = &sweep_metrics},
+                               .progress = &std::cerr,
+                               .label = "Figure 5"});
     const bench::SweepReport report =
         runner.run(tfs.size() * columns, [&](std::size_t i) {
             const std::size_t ti = i / columns;

@@ -126,8 +126,10 @@ inline int run_hv_speedup(const std::string& problem_name,
     std::vector<CellResult> results(cells.size());
 
     obs::MetricsRegistry sweep_metrics;
-    SweepRunner runner(
-        {opt.jobs, &sweep_metrics, &std::cerr, figure_label});
+    SweepRunner runner({.jobs = opt.jobs,
+                        .obs = {.metrics = &sweep_metrics},
+                        .progress = &std::cerr,
+                        .label = figure_label});
     const SweepReport report = runner.run(cells.size(), [&](std::size_t i) {
         const Cell& cell = cells[i];
         const double tf_mean = opt.tfs[cell.tf_idx];
@@ -147,7 +149,8 @@ inline int run_hv_speedup(const std::string& problem_name,
             parallel::VirtualClusterConfig cfg{
                 2, tf.get(), tc.get(), ta.get(),
                 run_seed(opt.seed, cell.rep, 11)};
-            run_serial_virtual(algo, *problem, cfg, opt.evals, &rec);
+            run_serial_virtual(algo, *problem, cfg, opt.evals,
+                               {.recorder = &rec});
         } else {
             const auto p = static_cast<std::uint64_t>(cell.p);
             const auto ta_p =
@@ -159,7 +162,7 @@ inline int run_hv_speedup(const std::string& problem_name,
                 p, tf.get(), tc.get(), ta_p.get(),
                 run_seed(opt.seed, cell.rep, 30 + p)};
             parallel::AsyncMasterSlaveExecutor exec(algo, *problem, cfg);
-            exec.run(opt.evals, &rec);
+            exec.run(opt.evals, {.recorder = &rec});
         }
         rec.resolve_pending();
         CellResult& out = results[i];

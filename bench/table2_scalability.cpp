@@ -126,8 +126,10 @@ int main(int argc, char** argv) {
     std::vector<CellResult> results(cells.size());
 
     obs::MetricsRegistry sweep_metrics;
-    bench::SweepRunner runner(
-        {opt.jobs, &sweep_metrics, &std::cerr, "Table II"});
+    bench::SweepRunner runner({.jobs = opt.jobs,
+                               .obs = {.metrics = &sweep_metrics},
+                               .progress = &std::cerr,
+                               .label = "Table II"});
     const bench::SweepReport report =
         runner.run(cells.size(), [&](std::size_t i) {
             const Cell& cell = cells[i];

@@ -1,19 +1,22 @@
 /// trace_check — end-to-end validation of the run-observability layer.
 ///
-/// Runs a Figure-3-style 5-objective DTLZ2 configuration on the
-/// asynchronous virtual-cluster executor (and a synchronous NSGA-II run)
-/// with an EventTrace attached, then:
+/// Runs a Figure-3-style 5-objective DTLZ2 configuration through every
+/// master policy hosted by the ClusterEngine — asynchronous Borg,
+/// synchronous (generational) NSGA-II, the multi-master island ring, and
+/// both statistics-only simulation policies — with an EventTrace attached,
+/// then:
 ///
 ///   1. recomputes master_busy_fraction, mean_queue_wait, contention_rate,
-///      elapsed, and the T_F/T_A sample summaries from the raw JSONL-able
-///      event stream and cross-validates them against the executor-reported
-///      VirtualRunResult (tolerance 1e-9);
-///   2. repeats the run with the same seed and checks the two JSONL
+///      elapsed, and (where the policy mirrors its draws into the trace)
+///      the T_F/T_A sample summaries from the raw JSONL-able event stream
+///      and cross-validates them against the reported run result
+///      (tolerance 1e-9);
+///   2. repeats the async run with the same seed and checks the two JSONL
 ///      exports are byte-identical (trace determinism);
-///   3. optionally writes the trace to a file (first CLI argument).
+///   3. optionally writes the async trace to a file (first CLI argument).
 ///
 /// Exit code 0 means every check passed — CI runs this as a gate, turning
-/// the executor-accounting invariants into a permanently enforced check.
+/// the engine-accounting invariants into a permanently enforced check.
 
 #include <cstdio>
 #include <fstream>
@@ -21,10 +24,12 @@
 #include <vector>
 
 #include "experiment_common.hpp"
+#include "models/simulation_model.hpp"
 #include "moea/nsga2.hpp"
 #include "obs/event_trace.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace_check.hpp"
+#include "parallel/multi_master.hpp"
 #include "parallel/sync_executor.hpp"
 #include "parallel/trace_check.hpp"
 #include "stats/distribution.hpp"
@@ -59,6 +64,20 @@ struct CheckContext {
     }
 };
 
+/// SimulationResult does not carry sample summaries or failure counts, so
+/// project the fields it does report; sample checks are skipped.
+obs::ReportedRun sim_reported(const models::SimulationResult& result) {
+    obs::ReportedRun reported;
+    reported.evaluations = result.evaluations;
+    reported.completed_target = true; // the sim runs its full budget
+    reported.elapsed = result.elapsed;
+    reported.master_busy_fraction = result.master_busy_fraction;
+    reported.mean_queue_wait = result.mean_queue_wait;
+    reported.contention_rate = result.contention_rate;
+    reported.check_samples = false;
+    return reported;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -83,14 +102,14 @@ int main(int argc, char** argv) {
 
     CheckContext ctx;
 
-    // --- asynchronous executor: cross-validate + determinism ------------
+    // --- asynchronous policy: cross-validate + determinism --------------
     const auto async_run = [&](obs::EventTrace& trace,
                                obs::MetricsRegistry* metrics) {
         moea::BorgMoea algo(*problem,
                             bench::experiment_params(*problem, 0.15),
                             seed);
         parallel::AsyncMasterSlaveExecutor exec(algo, *problem, cfg);
-        return exec.run(evals, nullptr, &trace, metrics);
+        return exec.run(evals, {.trace = &trace, .metrics = metrics});
     };
 
     obs::EventTrace trace_a;
@@ -118,14 +137,58 @@ int main(int argc, char** argv) {
     ctx.expect(agg.final_archive_size > 0,
                "trace carries archive snapshots");
 
-    // --- synchronous executor: same invariants over the barrier protocol -
+    // --- synchronous policy: same invariants over the barrier protocol --
     moea::Nsga2 sync_algo(*problem, 100, seed);
     parallel::SyncMasterSlaveExecutor sync_exec(sync_algo, *problem, cfg);
     obs::EventTrace sync_trace;
     const auto sync_reported =
-        sync_exec.run(evals, nullptr, &sync_trace, &metrics);
+        sync_exec.run(evals, {.trace = &sync_trace, .metrics = &metrics});
     ctx.report("sync aggregates",
                parallel::cross_validate(sync_trace, sync_reported));
+
+    // --- multi-master island ring: per-island masters, one trace --------
+    // The multi-master policy does not mirror T_F/T_A draws into the
+    // trace (work is attributed through per-island result/hold events),
+    // so sample-summary checks are skipped.
+    parallel::MultiMasterConfig mm;
+    mm.cluster = cfg;
+    mm.cluster.processors = 18; // 3 islands x (1 master + 5 workers)
+    mm.islands = 3;
+    mm.migration_interval = 500;
+    parallel::MultiMasterExecutor mm_exec(
+        *problem, bench::experiment_params(*problem, 0.15), mm);
+    obs::EventTrace mm_trace;
+    const auto mm_result =
+        mm_exec.run(evals, {.trace = &mm_trace, .metrics = &metrics});
+    ctx.report("multi-master aggregates",
+               obs::cross_validate(
+                   mm_trace,
+                   parallel::to_reported(mm_result,
+                                         /*check_samples=*/false)));
+    ctx.expect(mm_result.migrations > 0, "multi-master run migrated");
+
+    // --- simulation model, both protocols: statistics-only policies -----
+    models::SimulationConfig sim_cfg;
+    sim_cfg.tf = tf.get();
+    sim_cfg.tc = tc.get();
+    sim_cfg.ta = ta.get();
+    sim_cfg.evaluations = evals;
+    sim_cfg.processors = p;
+    sim_cfg.seed = seed;
+
+    obs::EventTrace sim_async_trace;
+    const auto sim_async = models::simulate_async(
+        sim_cfg, {.trace = &sim_async_trace, .metrics = &metrics});
+    ctx.report("sim-async aggregates",
+               obs::cross_validate(sim_async_trace,
+                                   sim_reported(sim_async)));
+
+    obs::EventTrace sim_sync_trace;
+    const auto sim_sync = models::simulate_sync(
+        sim_cfg, {.trace = &sim_sync_trace, .metrics = &metrics});
+    ctx.report("sim-sync aggregates",
+               obs::cross_validate(sim_sync_trace,
+                                   sim_reported(sim_sync)));
 
     // --- optional JSONL export ------------------------------------------
     if (argc > 1) {

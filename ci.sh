@@ -1,17 +1,31 @@
 #!/usr/bin/env bash
-# Tier-1 CI: plain Release build + full tests, the trace_check
-# observability gate, the fast+threads tiers under AddressSanitizer +
-# UBSan, and the concurrency surface (thread pool, sweep runner,
-# host-thread executor) under ThreadSanitizer.
+# Tier-1 CI: plain Release build + full tests, a clang-tidy pass over the
+# engine/parallel layer (skipped when clang-tidy is not installed), the
+# trace_check observability gate, the fast+threads tiers under
+# AddressSanitizer + UBSan, and the concurrency surface (thread pool,
+# sweep runner, host-thread executor) under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs=$(nproc 2>/dev/null || echo 2)
 
 echo "=== Release build + tests (all tiers) ==="
-cmake -B build -S . >/dev/null
+cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "=== clang-tidy (static analysis; gate on new warnings) ==="
+# The compile database is always generated (editors and other tooling
+# consume it too); the tidy pass itself degrades to a skip when the
+# binary is absent so the gate never depends on host packages.
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Checks are configured in .clang-tidy; -warnings-as-errors there turns
+  # any new finding into a CI failure.
+  find src bench examples -name '*.cpp' -print0 |
+    xargs -0 -P "$jobs" -n 8 clang-tidy -p build --quiet
+else
+  echo "clang-tidy not installed; skipping static-analysis gate"
+fi
 
 echo "=== trace_check (observability cross-validation gate) ==="
 ./build/bench/trace_check

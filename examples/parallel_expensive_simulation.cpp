@@ -49,7 +49,7 @@ int main() {
         moea::BorgMoea algorithm(expensive, params, 42);
         parallel::ThreadMasterSlaveExecutor executor(workers);
         const auto run = executor.run(algorithm, expensive, kEvaluations,
-                                      nullptr, &metrics);
+                                      {.metrics = &metrics});
 
         const auto ta_summary = stats::summarize(run.ta_samples);
         if (workers == 1) serial_wall = run.elapsed;

@@ -78,8 +78,8 @@ SweepReport SweepRunner::run(std::size_t cells,
     std::size_t done = 0;
     std::size_t failed = 0;
 
-    if (options_.metrics)
-        options_.metrics->counter("sweep.cells").inc(cells);
+    if (options_.obs.metrics)
+        options_.obs.metrics->counter("sweep.cells").inc(cells);
 
     const auto on_cell_finished = [&](const CellOutcome& outcome) {
         const std::lock_guard lock(progress_mutex);
@@ -89,8 +89,8 @@ SweepReport SweepRunner::run(std::size_t cells,
         const double eta =
             elapsed / static_cast<double>(done) *
             static_cast<double>(cells - done);
-        if (options_.metrics) {
-            obs::MetricsRegistry& m = *options_.metrics;
+        if (options_.obs.metrics) {
+            obs::MetricsRegistry& m = *options_.obs.metrics;
             m.counter("sweep.cells_done").inc();
             if (!outcome.ok) m.counter("sweep.cells_failed").inc();
             m.histogram("sweep.cell_seconds").observe(outcome.seconds);

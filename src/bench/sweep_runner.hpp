@@ -32,23 +32,23 @@
 #include <string>
 #include <vector>
 
+#include "parallel/run_context.hpp"
 #include "util/cli.hpp"
-
-namespace borg::obs {
-class MetricsRegistry;
-} // namespace borg::obs
 
 namespace borg::bench {
 
 struct SweepOptions {
     /// Host threads to run cells on; 0 means one per hardware thread.
     std::size_t jobs = 0;
-    /// Optional instruments: sweep.cells (counter), sweep.cells_done,
-    /// sweep.cells_failed, sweep.cell_seconds (histogram),
-    /// sweep.elapsed_seconds and sweep.eta_seconds (gauges). The registry
-    /// is only touched under the runner's internal lock; callers must not
-    /// update it concurrently while a sweep is running.
-    obs::MetricsRegistry* metrics = nullptr;
+    /// Observability sinks for the sweep itself. Only obs.metrics is
+    /// consulted (instruments: sweep.cells counter, sweep.cells_done,
+    /// sweep.cells_failed, sweep.cell_seconds histogram,
+    /// sweep.elapsed_seconds and sweep.eta_seconds gauges); the registry
+    /// is only touched under the runner's internal lock, so callers must
+    /// not update it concurrently while a sweep is running. obs.trace and
+    /// obs.recorder are per-run concerns — cells pass their own
+    /// RunContext to the executors they drive.
+    parallel::RunContext obs = {};
     /// Optional throttled progress lines ("[label] 12/40 cells ...").
     /// Point this at std::cerr, never at the results stream.
     std::ostream* progress = nullptr;

@@ -4,14 +4,19 @@
 #include <stdexcept>
 #include <vector>
 
-#include "des/environment.hpp"
-#include "des/resource.hpp"
-#include "stats/summary.hpp"
+#include "obs/event_trace.hpp"
+#include "parallel/cluster_engine.hpp"
 #include "util/rng.hpp"
 
 namespace borg::models {
 
 namespace {
+
+using parallel::ClusterEngine;
+using parallel::EventMasterPolicy;
+using parallel::GenerationalMasterPolicy;
+using parallel::WorkItem;
+using parallel::WorkerRef;
 
 void validate(const SimulationConfig& config) {
     if (config.evaluations == 0)
@@ -22,170 +27,138 @@ void validate(const SimulationConfig& config) {
         throw std::invalid_argument("simulation: missing distribution");
 }
 
-/// Shared mutable state of one asynchronous simulation run.
-struct AsyncState {
-    const SimulationConfig* config = nullptr;
-    des::Environment* env = nullptr;
-    util::Rng rng{1};
-    std::uint64_t dispatched = 0;
-    std::uint64_t completed = 0;
-    bool finished = false; ///< explicit: a finish at t=0 is a valid finish
-    double finish_time = 0.0;
-    double master_hold_time = 0.0;
-    stats::Accumulator queue_wait;
+ClusterEngine::Setup engine_setup(const SimulationConfig& config) {
+    ClusterEngine::Setup setup;
+    setup.tf = config.tf;
+    setup.tc = config.tc;
+    setup.ta = config.ta;
+    setup.processors = config.processors;
+    setup.groups = {{config.processors - 1, config.seed, 0}};
+    return setup;
+}
 
-    bool claim() {
-        if (dispatched >= config->evaluations) return false;
-        ++dispatched;
+SimulationResult to_simulation_result(const parallel::VirtualRunResult& r) {
+    SimulationResult result;
+    result.elapsed = r.elapsed;
+    result.evaluations = r.evaluations;
+    result.master_busy_fraction = r.master_busy_fraction;
+    result.mean_queue_wait = r.mean_queue_wait;
+    result.contention_rate = r.contention_rate;
+    return result;
+}
+
+/// The paper's SimPy fragment as a master policy: nothing real is
+/// computed — work items are empty claims on the evaluation budget, and
+/// every cost is a pure distribution draw. Running it through the same
+/// ClusterEngine as the real-algorithm executors is what makes the
+/// model-vs-experiment comparison share scheduling code (DESIGN.md §10).
+class SimAsyncPolicy final : public EventMasterPolicy {
+public:
+    const char* prefix() const noexcept override { return "sim_async"; }
+
+    std::optional<WorkItem>
+    dispatch_initial(ClusterEngine& engine, const WorkerRef& worker) override {
+        (void)worker;
+        if (!claim(engine)) return std::nullopt;
+        return WorkItem{};
+    }
+
+    void evaluate(WorkItem& work) override { (void)work; }
+
+    Service serve(ClusterEngine& engine, const WorkerRef& worker,
+                  WorkItem work) override {
+        (void)work;
+        const auto actor = static_cast<std::int64_t>(worker.global);
+        // Return the result (T_C), master ingests it and generates the
+        // next offspring (T_A), master sends the new offspring back (T_C).
+        const double tc1 = engine.sample_tc(worker.group, actor);
+        const double ta = engine.sample_ta(worker.group, actor, 0.0);
+        const double tc2 = engine.sample_tc(worker.group, actor);
+        std::optional<WorkItem> next;
+        if (claim(engine)) next = WorkItem{};
+        return {tc1 + ta + tc2, std::move(next)};
+    }
+
+    void on_worker_failure(ClusterEngine& engine,
+                           const WorkerRef& worker) override {
+        (void)engine;
+        (void)worker;
+        --dispatched_;
+    }
+
+    void record_result(ClusterEngine& engine,
+                       const WorkerRef& worker) override {
+        if (auto* trace = engine.trace())
+            trace->record({obs::EventKind::result, engine.now(),
+                           static_cast<std::int64_t>(worker.global), 0.0,
+                           engine.completed()});
+    }
+
+private:
+    bool claim(ClusterEngine& engine) {
+        if (dispatched_ >= engine.target()) return false;
+        ++dispatched_;
         return true;
     }
 
-    void complete() {
-        if (++completed == config->evaluations) {
-            finished = true;
-            finish_time = env->now();
-            env->stop();
-        }
-    }
-
-    double tf() { return config->tf->sample(rng); }
-    double tc() { return config->tc->sample(rng); }
-    double ta() { return config->ta->sample(rng); }
+    std::uint64_t dispatched_ = 0;
 };
 
-/// One simulated worker: the paper's SimPy process.
-des::Process async_worker(AsyncState& state, des::Resource& master) {
-    des::Environment& env = *state.env;
+/// The synchronous protocol of Figure 1, statistics-only: per generation
+/// min(P, remaining) offspring, one on the master itself, T_F drawn
+/// lazily during the send sweep (preserving the historical tc/tf draw
+/// interleaving), T_A^sync = one draw per offspring.
+class SimSyncPolicy final : public GenerationalMasterPolicy {
+public:
+    explicit SimSyncPolicy(const SimulationConfig& config)
+        : config_(config) {}
 
-    // Initial work assignment travels through the master like any other
-    // message (the master sends the initial offspring one at a time).
-    {
-        const double wait_start = env.now();
-        co_await master.acquire();
-        state.queue_wait.add(env.now() - wait_start);
-        const double hold = state.tc();
-        state.master_hold_time += hold;
-        co_await env.delay(hold);
-        master.release();
+    const char* prefix() const noexcept override { return "sim_sync"; }
+
+    Plan plan(ClusterEngine& engine, std::uint64_t completed,
+              std::uint64_t target,
+              const std::vector<std::size_t>& alive_workers) override {
+        (void)engine;
+        const std::uint64_t remaining = target - completed;
+        const std::size_t batch = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, alive_workers.size() + 1));
+        return {batch, batch};
     }
 
-    while (state.claim()) {
-        co_await env.delay(state.tf()); // evaluate the offspring
-
-        const double wait_start = env.now();
-        co_await master.acquire();
-        state.queue_wait.add(env.now() - wait_start);
-        // Return the result (T_C), master ingests it and generates the next
-        // offspring (T_A), master sends the new offspring back (T_C).
-        const double hold = state.tc() + state.ta() + state.tc();
-        state.master_hold_time += hold;
-        co_await env.delay(hold);
-        master.release();
-
-        state.complete();
+    double node_eval_time(ClusterEngine& engine, double at,
+                          std::size_t node) override {
+        return engine.gen_sample_tf(at, static_cast<std::int64_t>(node), 1.0);
     }
-}
+
+    Ingest ingest(ClusterEngine& engine, std::size_t batch) override {
+        double ta_sync = 0.0;
+        for (std::size_t i = 0; i < batch; ++i)
+            ta_sync += config_.ta->sample(engine.group_rng(0));
+        return {ta_sync, ta_sync / static_cast<double>(batch)};
+    }
+
+private:
+    const SimulationConfig& config_;
+};
 
 } // namespace
 
-SimulationResult simulate_async(const SimulationConfig& config) {
+SimulationResult simulate_async(const SimulationConfig& config,
+                                const parallel::RunContext& ctx) {
     validate(config);
-
-    des::Environment env;
-    des::Resource master(env, 1);
-    AsyncState state;
-    state.config = &config;
-    state.env = &env;
-    state.rng = util::Rng(config.seed);
-
-    const std::uint64_t workers = config.processors - 1;
-    for (std::uint64_t w = 0; w < workers; ++w)
-        env.spawn(async_worker(state, master));
-    env.run();
-
-    SimulationResult result;
-    result.evaluations = state.completed;
-    result.elapsed = state.finished ? state.finish_time : env.now();
-    result.master_busy_fraction =
-        result.elapsed > 0.0 ? state.master_hold_time / result.elapsed : 0.0;
-    result.mean_queue_wait = state.queue_wait.mean();
-    result.contention_rate =
-        master.total_acquires() > 0
-            ? static_cast<double>(master.contended_acquires()) /
-                  static_cast<double>(master.total_acquires())
-            : 0.0;
-    return result;
+    ClusterEngine engine(engine_setup(config), ctx);
+    SimAsyncPolicy policy;
+    return to_simulation_result(
+        engine.run_events(policy, config.evaluations));
 }
 
-SimulationResult simulate_sync(const SimulationConfig& config) {
+SimulationResult simulate_sync(const SimulationConfig& config,
+                               const parallel::RunContext& ctx) {
     validate(config);
-    util::Rng rng(config.seed);
-
-    const std::uint64_t p = config.processors;
-    std::uint64_t remaining = config.evaluations;
-    double now = 0.0;
-    double master_busy = 0.0;
-    stats::Accumulator queue_wait;
-    std::uint64_t contended = 0;
-    std::uint64_t acquires = 0;
-
-    std::vector<double> eval_done;
-    eval_done.reserve(p);
-
-    while (remaining > 0) {
-        // This generation evaluates min(P, remaining) offspring; one of
-        // them on the master itself (Figure 1).
-        const std::uint64_t batch =
-            remaining < p ? remaining : p;
-        remaining -= batch;
-        const std::uint64_t worker_jobs = batch > 0 ? batch - 1 : 0;
-
-        // Serialized sends to the workers.
-        eval_done.clear();
-        double send_clock = now;
-        for (std::uint64_t w = 0; w < worker_jobs; ++w) {
-            const double tc = config.tc->sample(rng);
-            send_clock += tc;
-            master_busy += tc;
-            eval_done.push_back(send_clock + config.tf->sample(rng));
-        }
-        // The master evaluates its own offspring after the sends.
-        const double master_eval_done = send_clock + config.tf->sample(rng);
-
-        // Serialized receives, in completion order; each holds the master
-        // for T_C. The master cannot receive before its own evaluation is
-        // finished.
-        std::sort(eval_done.begin(), eval_done.end());
-        double recv_clock = master_eval_done;
-        for (const double done : eval_done) {
-            ++acquires;
-            const double start = recv_clock > done ? recv_clock : done;
-            if (recv_clock > done) ++contended;
-            queue_wait.add(start - done);
-            const double tc = config.tc->sample(rng);
-            master_busy += tc;
-            recv_clock = start + tc;
-        }
-
-        // Generation processing: the master handles all offspring at once
-        // (T_A^sync = sum of one T_A draw per offspring).
-        double ta_sync = 0.0;
-        for (std::uint64_t i = 0; i < batch; ++i)
-            ta_sync += config.ta->sample(rng);
-        master_busy += ta_sync;
-        now = recv_clock + ta_sync;
-    }
-
-    SimulationResult result;
-    result.evaluations = config.evaluations;
-    result.elapsed = now;
-    result.master_busy_fraction = now > 0.0 ? master_busy / now : 0.0;
-    result.mean_queue_wait = queue_wait.mean();
-    result.contention_rate =
-        acquires > 0 ? static_cast<double>(contended) /
-                           static_cast<double>(acquires)
-                     : 0.0;
-    return result;
+    ClusterEngine engine(engine_setup(config), ctx);
+    SimSyncPolicy policy(config);
+    return to_simulation_result(
+        engine.run_generational(policy, config.evaluations));
 }
 
 double simulated_efficiency(const SimulationConfig& config,

@@ -21,12 +21,16 @@
 /// Unlike the full virtual-time executor (parallel/async_executor.hpp),
 /// nothing real is computed here: the model "holds resources" only, so a
 /// 16,384-processor sweep point costs micro-, not milliseconds of work per
-/// simulated evaluation.
+/// simulated evaluation. Both protocols run as statistics-only master
+/// policies on the same parallel::ClusterEngine that drives the
+/// real-algorithm executors, so model and experiment provably share their
+/// scheduling code (DESIGN.md §10).
 
 #include <cstdint>
 #include <memory>
 
 #include "models/analytical.hpp"
+#include "parallel/run_context.hpp"
 #include "stats/distribution.hpp"
 
 namespace borg::models {
@@ -50,16 +54,22 @@ struct SimulationResult {
     double contention_rate = 0.0; ///< fraction of acquisitions that queued
 };
 
-/// Simulates the asynchronous master-slave protocol.
-SimulationResult simulate_async(const SimulationConfig& config);
+/// Simulates the asynchronous master-slave protocol. \p ctx optionally
+/// attaches the engine's event trace ("sim" events share the executor
+/// schema) and metrics under the "sim_async." prefix; ctx.recorder is
+/// ignored (there is no archive to checkpoint).
+SimulationResult simulate_async(const SimulationConfig& config,
+                                const parallel::RunContext& ctx = {});
 
 /// Simulates the synchronous (generational) master-slave protocol of
 /// Figure 1: per generation the master sends P-1 messages serially,
 /// every node (master included) evaluates one offspring, results are
 /// received serially, then the master processes the whole generation
 /// (sum of P sampled T_A values). Used to study how T_F variability hurts
-/// the synchronous model (Section VI-B's closing observation).
-SimulationResult simulate_sync(const SimulationConfig& config);
+/// the synchronous model (Section VI-B's closing observation). \p ctx as
+/// for simulate_async, under the "sim_sync." prefix.
+SimulationResult simulate_sync(const SimulationConfig& config,
+                               const parallel::RunContext& ctx = {});
 
 /// Efficiency implied by a simulated run: E_P = T_S / (P T_P) with
 /// T_S = N (mean T_F + mean T_A) from the configured distributions.

@@ -1,5 +1,8 @@
 #include "obs/trace_check.hpp"
 
+#include <cmath>
+#include <cstdio>
+
 #include "stats/summary.hpp"
 
 namespace borg::obs {
@@ -68,6 +71,78 @@ TraceAggregates recompute(std::span<const Event> events) {
     agg.ta_count = ta.count();
     agg.ta_mean = ta.mean();
     return agg;
+}
+
+namespace {
+
+void check_close(std::vector<std::string>& issues, const char* what,
+                 double reported, double recomputed, double tol) {
+    if (std::abs(reported - recomputed) <= tol) return;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: reported %.17g vs trace %.17g (|diff| %.3g > %.3g)",
+                  what, reported, recomputed,
+                  std::abs(reported - recomputed), tol);
+    issues.emplace_back(buf);
+}
+
+void check_count(std::vector<std::string>& issues, const char* what,
+                 std::uint64_t reported, std::uint64_t recomputed) {
+    if (reported == recomputed) return;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s: reported %llu vs trace %llu", what,
+                  static_cast<unsigned long long>(reported),
+                  static_cast<unsigned long long>(recomputed));
+    issues.emplace_back(buf);
+}
+
+} // namespace
+
+std::vector<std::string> cross_validate(const EventTrace& trace,
+                                        const ReportedRun& reported,
+                                        double tol) {
+    std::vector<std::string> issues;
+    const TraceAggregates agg = recompute(trace);
+
+    if (!agg.saw_run_end) {
+        issues.emplace_back("trace has no run_end event");
+        return issues;
+    }
+
+    check_count(issues, "evaluations", reported.evaluations, agg.completed);
+    check_count(issues, "failed_workers", reported.failed_workers,
+                agg.worker_failures);
+    check_close(issues, "elapsed", reported.elapsed, agg.elapsed, tol);
+    check_close(issues, "master_busy_fraction",
+                reported.master_busy_fraction, agg.master_busy_fraction,
+                tol);
+    check_close(issues, "mean_queue_wait", reported.mean_queue_wait,
+                agg.mean_queue_wait, tol);
+    check_close(issues, "contention_rate", reported.contention_rate,
+                agg.contention_rate(), tol);
+    if (reported.check_samples) {
+        check_count(issues, "tf_applied.count", reported.tf_count,
+                    agg.tf_count);
+        check_close(issues, "tf_applied.mean", reported.tf_mean, agg.tf_mean,
+                    tol);
+        check_count(issues, "ta_applied.count", reported.ta_count,
+                    agg.ta_count);
+        check_close(issues, "ta_applied.mean", reported.ta_mean, agg.ta_mean,
+                    tol);
+    }
+
+    // Internal trace consistency: the completed-target flag must agree
+    // with the recomputed counts (>= because the sync executor's final
+    // generation is not truncated and may overshoot the budget), and every
+    // granted acquisition must have been requested.
+    if (reported.completed_target != (agg.completed >= agg.target)) {
+        issues.emplace_back(
+            "completed_target flag disagrees with trace counts");
+    }
+    if (agg.grants > agg.total_acquires)
+        issues.emplace_back("trace grants exceed acquire requests");
+
+    return issues;
 }
 
 } // namespace borg::obs

@@ -2,7 +2,8 @@
 #define BORG_OBS_TRACE_CHECK_HPP
 
 /// \file trace_check.hpp
-/// Recomputes run aggregates from a raw event trace.
+/// Recomputes run aggregates from a raw event trace and cross-validates
+/// them against what a run reported.
 ///
 /// This is the heart of the observability invariant: every summary
 /// statistic an executor reports (master busy fraction, mean queue wait,
@@ -11,11 +12,16 @@
 /// derivation using the *same* accumulation arithmetic as the executors
 /// (streaming Welford means, sequential sums), so a consistent executor
 /// matches to the last bit and any accounting drift is a hard failure.
-/// parallel/trace_check.hpp wraps this into a VirtualRunResult
-/// cross-validator; the `trace_check` bench driver runs it end to end.
+/// cross_validate() compares the recomputed aggregates against a
+/// ReportedRun — the executor-agnostic projection of a run result
+/// (parallel/trace_check.hpp adapts VirtualRunResult) — and returns one
+/// message per discrepancy. The `trace_check` bench driver runs the whole
+/// loop end to end over every master policy.
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <vector>
 
 #include "obs/event_trace.hpp"
 
@@ -63,6 +69,34 @@ TraceAggregates recompute(std::span<const Event> events);
 inline TraceAggregates recompute(const EventTrace& trace) {
     return recompute(std::span<const Event>(trace.events()));
 }
+
+/// What a run claims about itself, in trace-comparable terms.
+struct ReportedRun {
+    std::uint64_t evaluations = 0;
+    std::uint64_t failed_workers = 0;
+    bool completed_target = false;
+    double elapsed = 0.0;
+    double master_busy_fraction = 0.0;
+    double mean_queue_wait = 0.0;
+    double contention_rate = 0.0;
+    /// Whether the run mirrored its T_F/T_A draws into the trace as
+    /// sample events. Protocols that do not (the multi-master executor
+    /// identifies work through per-island result/hold events instead)
+    /// set this false and the sample-summary checks are skipped.
+    bool check_samples = true;
+    std::uint64_t tf_count = 0;
+    double tf_mean = 0.0;
+    std::uint64_t ta_count = 0;
+    double ta_mean = 0.0;
+};
+
+/// Returns one human-readable message per discrepancy between \p reported
+/// and the aggregates recomputed from \p trace; empty means consistent.
+/// \p tol is the absolute tolerance for floating-point comparisons
+/// (counts must match exactly).
+std::vector<std::string> cross_validate(const EventTrace& trace,
+                                        const ReportedRun& reported,
+                                        double tol = 1e-9);
 
 } // namespace borg::obs
 

@@ -1,14 +1,11 @@
 #include "parallel/async_executor.hpp"
 
 #include <chrono>
-#include <limits>
-#include <optional>
 #include <stdexcept>
+#include <utility>
 
-#include "des/environment.hpp"
-#include "des/resource.hpp"
 #include "obs/event_trace.hpp"
-#include "obs/metrics_registry.hpp"
+#include "parallel/cluster_engine.hpp"
 #include "stats/summary.hpp"
 #include "util/rng.hpp"
 
@@ -22,218 +19,83 @@ double seconds_since(SteadyClock::time_point start) {
     return std::chrono::duration<double>(SteadyClock::now() - start).count();
 }
 
-/// Shared per-run state for the worker coroutines.
-struct ExecState {
-    moea::BorgMoea* algorithm = nullptr;
-    const problems::Problem* problem = nullptr;
-    const VirtualClusterConfig* config = nullptr;
-    des::Environment* env = nullptr;
-    TrajectoryRecorder* recorder = nullptr;
-    obs::TraceSink* trace = nullptr;
-    obs::Histogram* h_tf = nullptr;
-    obs::Histogram* h_ta = nullptr;
-    obs::Histogram* h_wait = nullptr;
-    util::Rng rng{1};
+/// The asynchronous Borg protocol as a master policy: every master
+/// interaction ingests one result and immediately hands back fresh work
+/// while the evaluation budget lasts (DESIGN.md §10).
+class AsyncBorgPolicy final : public EventMasterPolicy {
+public:
+    AsyncBorgPolicy(moea::BorgMoea& algorithm, const problems::Problem& problem)
+        : algorithm_(algorithm), problem_(problem) {}
 
-    std::uint64_t target = 0;
-    std::uint64_t issued = 0;
-    std::uint64_t completed = 0;
-    std::size_t failed_workers = 0;
-    bool finished = false; ///< target reached (explicit; finish time alone
-                           ///< cannot distinguish "done at t=0" from "never
-                           ///< done" under zero-delay distributions)
-    double finish_time = 0.0;
-    double master_hold = 0.0;
-    stats::Accumulator queue_wait;
-    stats::Accumulator ta_applied;
-    stats::Accumulator tf_applied;
+    const char* prefix() const noexcept override { return "async"; }
 
-    double sample_tf(std::size_t worker) {
-        const double speed = config->worker_speed.empty()
-                                 ? 1.0
-                                 : config->worker_speed[worker];
-        const double v = config->tf->sample(rng) * speed;
-        tf_applied.add(v);
-        if (h_tf) h_tf->observe(v);
-        if (trace)
-            trace->record({obs::EventKind::tf_sample, env->now(),
-                           static_cast<std::int64_t>(worker), v, 0});
-        return v;
-    }
-    double sample_tc(std::size_t worker) {
-        const double v = config->tc->sample(rng);
-        if (trace)
-            trace->record({obs::EventKind::tc_sample, env->now(),
-                           static_cast<std::int64_t>(worker), v, 0});
-        return v;
-    }
-
-    double failure_time(std::size_t worker) const {
-        return config->worker_failure_at.empty()
-                   ? std::numeric_limits<double>::infinity()
-                   : config->worker_failure_at[worker];
-    }
-
-    void add_wait(std::size_t worker, double wait) {
+    std::optional<WorkItem>
+    dispatch_initial(ClusterEngine& engine, const WorkerRef& worker) override {
         (void)worker;
-        queue_wait.add(wait);
-        if (h_wait) h_wait->observe(wait);
+        if (issued_ >= engine.target()) return std::nullopt;
+        WorkItem work{algorithm_.next_offspring()};
+        ++issued_;
+        return work;
     }
 
-    void add_hold(double hold) {
-        master_hold += hold;
-        if (trace)
-            trace->record(
-                {obs::EventKind::master_hold, env->now(), 0, hold, 0});
+    void evaluate(WorkItem& work) override {
+        moea::evaluate(problem_, *work.solution);
     }
 
-    /// The real master step: ingest the result and (if work remains)
-    /// produce the next offspring. Returns the applied T_A — sampled from
-    /// the configured distribution, or the measured CPU time of the step.
-    double master_step(std::size_t worker, moea::Solution result,
-                       std::optional<moea::Solution>& next_work) {
+    Service serve(ClusterEngine& engine, const WorkerRef& worker,
+                  WorkItem work) override {
         const auto start = SteadyClock::now();
-        algorithm->receive(std::move(result));
-        if (issued < target) {
-            next_work = algorithm->next_offspring();
-            ++issued;
+        algorithm_.receive(std::move(*work.solution));
+        std::optional<WorkItem> next;
+        if (issued_ < engine.target()) {
+            next = WorkItem{algorithm_.next_offspring()};
+            ++issued_;
         }
         const double measured = seconds_since(start);
-        const double ta = config->ta ? config->ta->sample(rng) : measured;
-        ta_applied.add(ta);
-        if (h_ta) h_ta->observe(ta);
-        if (trace)
-            trace->record({obs::EventKind::ta_sample, env->now(),
-                           static_cast<std::int64_t>(worker), ta, 0});
-        return ta;
+        const auto actor = static_cast<std::int64_t>(worker.global);
+        // Protocol order: the master ingests + generates (T_A), then the
+        // result-return and fresh-work messages are priced (T_C twice).
+        const double ta = engine.sample_ta(worker.group, actor, measured);
+        const double tc1 = engine.sample_tc(worker.group, actor);
+        const double tc2 = engine.sample_tc(worker.group, actor);
+        return {tc1 + ta + tc2, std::move(next)};
     }
 
-    void record(std::size_t worker) {
-        if (trace) {
-            trace->record({obs::EventKind::result, env->now(),
-                           static_cast<std::int64_t>(worker), 0.0,
-                           completed});
-            trace->record({obs::EventKind::archive_snapshot, env->now(), -1,
-                           0.0, algorithm->archive().size()});
-        }
-        if (!recorder) return;
-        recorder->on_result(env->now(), completed, [this] {
-            return algorithm->archive().objective_vectors();
-        });
+    void on_worker_failure(ClusterEngine& engine,
+                           const WorkerRef& worker) override {
+        (void)engine;
+        (void)worker;
+        --issued_; // the lost offspring's claim returns to the pool
     }
+
+    void record_result(ClusterEngine& engine,
+                       const WorkerRef& worker) override {
+        if (auto* trace = engine.trace()) {
+            trace->record({obs::EventKind::result, engine.now(),
+                           static_cast<std::int64_t>(worker.global), 0.0,
+                           engine.completed()});
+            trace->record({obs::EventKind::archive_snapshot, engine.now(), -1,
+                           0.0, algorithm_.archive().size()});
+        }
+        if (auto* recorder = engine.recorder())
+            recorder->on_result(engine.now(), engine.completed(), [this] {
+                return algorithm_.archive().objective_vectors();
+            });
+    }
+
+    void finalize(ClusterEngine& engine,
+                  const VirtualRunResult& result) override {
+        if (auto* recorder = engine.recorder())
+            recorder->finalize(result.elapsed, result.evaluations, [this] {
+                return algorithm_.archive().objective_vectors();
+            });
+    }
+
+private:
+    moea::BorgMoea& algorithm_;
+    const problems::Problem& problem_;
+    std::uint64_t issued_ = 0;
 };
-
-des::Process async_worker(ExecState& state, des::Resource& master,
-                          std::size_t index) {
-    des::Environment& env = *state.env;
-    const double fail_at = state.failure_time(index);
-    std::optional<moea::Solution> work;
-
-    // Initial assignment: the master sends the first offspring. Matching
-    // the simulation model, only the message cost T_C occupies the master
-    // here; generation cost is charged with the first result.
-    {
-        const double wait_start = env.now();
-        co_await master.acquire();
-        state.add_wait(index, env.now() - wait_start);
-        if (state.issued < state.target) {
-            work = state.algorithm->next_offspring();
-            ++state.issued;
-        }
-        const double hold = state.sample_tc(index);
-        state.add_hold(hold);
-        co_await env.delay(hold);
-        master.release();
-    }
-
-    while (work) {
-        // Fault injection: a failed worker returns its claim to the pool
-        // (the master re-dispatches via a surviving worker's next
-        // interaction) and retires. The generated offspring is lost with
-        // the node.
-        if (env.now() >= fail_at) {
-            --state.issued;
-            ++state.failed_workers;
-            if (state.trace)
-                state.trace->record({obs::EventKind::worker_failure,
-                                     env.now(),
-                                     static_cast<std::int64_t>(index), 0.0,
-                                     1});
-            co_return;
-        }
-
-        // The worker evaluates the offspring: the objectives are computed
-        // for real, and the virtual clock advances by a sampled T_F
-        // (scaled by this worker's speed factor).
-        moea::evaluate(*state.problem, *work);
-        co_await env.delay(state.sample_tf(index));
-
-        const double wait_start = env.now();
-        co_await master.acquire();
-        state.add_wait(index, env.now() - wait_start);
-
-        std::optional<moea::Solution> next_work;
-        const double ta = state.master_step(index, std::move(*work), next_work);
-        work = std::move(next_work);
-
-        const double hold =
-            state.sample_tc(index) + ta + state.sample_tc(index);
-        state.add_hold(hold);
-        co_await env.delay(hold);
-        master.release();
-
-        ++state.completed;
-        state.record(index);
-        if (state.completed == state.target) {
-            state.finished = true;
-            state.finish_time = env.now();
-            env.stop();
-        }
-    }
-}
-
-VirtualRunResult collect(const ExecState& state, const des::Resource& master,
-                         double fallback_now) {
-    VirtualRunResult result;
-    result.evaluations = state.completed;
-    result.completed_target = state.finished;
-    // A starved run (total fleet loss) never set finish_time; report the
-    // time the simulation actually drained instead.
-    result.elapsed = state.finished ? state.finish_time : fallback_now;
-    result.failed_workers = state.failed_workers;
-    result.master_busy_fraction =
-        result.elapsed > 0.0 ? state.master_hold / result.elapsed : 0.0;
-    result.mean_queue_wait = state.queue_wait.mean();
-    result.contention_rate =
-        master.total_acquires() > 0
-            ? static_cast<double>(master.contended_acquires()) /
-                  static_cast<double>(master.total_acquires())
-            : 0.0;
-    result.ta_applied.count = state.ta_applied.count();
-    result.ta_applied.mean = state.ta_applied.mean();
-    result.ta_applied.stddev = state.ta_applied.stddev();
-    result.ta_applied.min = state.ta_applied.min();
-    result.ta_applied.max = state.ta_applied.max();
-    result.tf_applied.count = state.tf_applied.count();
-    result.tf_applied.mean = state.tf_applied.mean();
-    result.tf_applied.stddev = state.tf_applied.stddev();
-    result.tf_applied.min = state.tf_applied.min();
-    result.tf_applied.max = state.tf_applied.max();
-    return result;
-}
-
-void publish_metrics(obs::MetricsRegistry* metrics,
-                     const VirtualRunResult& result) {
-    if (!metrics) return;
-    metrics->counter("async.results").inc(result.evaluations);
-    metrics->counter("async.failed_workers")
-        .inc(static_cast<std::uint64_t>(result.failed_workers));
-    if (!result.completed_target) metrics->counter("async.starved_runs").inc();
-    metrics->gauge("async.elapsed_seconds").set(result.elapsed);
-    metrics->gauge("async.master_busy_fraction")
-        .set(result.master_busy_fraction);
-    metrics->gauge("async.contention_rate").set(result.contention_rate);
-}
 
 } // namespace
 
@@ -245,67 +107,37 @@ AsyncMasterSlaveExecutor::AsyncMasterSlaveExecutor(
 }
 
 VirtualRunResult AsyncMasterSlaveExecutor::run(std::uint64_t evaluations,
-                                               TrajectoryRecorder* recorder,
-                                               obs::TraceSink* trace,
-                                               obs::MetricsRegistry* metrics) {
+                                               const RunContext& ctx) {
     if (evaluations == 0)
         throw std::invalid_argument("async executor: evaluations == 0");
     if (algorithm_.evaluations() != 0)
         throw std::logic_error("async executor: algorithm already used");
 
-    des::Environment env;
-    env.set_trace(trace);
-    env.set_metrics(metrics);
-    des::Resource master(env, 1);
-    ExecState state;
-    state.algorithm = &algorithm_;
-    state.problem = &problem_;
-    state.config = &config_;
-    state.env = &env;
-    state.recorder = recorder;
-    state.trace = trace;
-    if (metrics) {
-        state.h_tf = &metrics->histogram("async.tf_seconds");
-        state.h_ta = &metrics->histogram("async.ta_seconds");
-        state.h_wait = &metrics->histogram("async.queue_wait_seconds");
-    }
-    state.rng = util::Rng(config_.seed);
-    state.target = evaluations;
+    ClusterEngine::Setup setup;
+    setup.tf = config_.tf;
+    setup.tc = config_.tc;
+    setup.ta = config_.ta;
+    setup.processors = config_.processors;
+    setup.worker_speed = config_.worker_speed;
+    setup.worker_failure_at = config_.worker_failure_at;
+    setup.groups = {{config_.processors - 1, config_.seed, 0}};
 
-    const std::uint64_t workers = config_.processors - 1;
-    if (trace)
-        trace->record({obs::EventKind::run_start, env.now(), -1,
-                       static_cast<double>(config_.processors), evaluations});
-    for (std::uint64_t w = 0; w < workers; ++w) {
-        if (trace)
-            trace->record({obs::EventKind::worker_spawn, env.now(),
-                           static_cast<std::int64_t>(w), 0.0, 0});
-        env.spawn(async_worker(state, master, static_cast<std::size_t>(w)));
-    }
-    env.run();
-
-    VirtualRunResult result = collect(state, master, env.now());
-    if (trace)
-        trace->record({obs::EventKind::run_end, result.elapsed, -1,
-                       result.elapsed, state.completed});
-    publish_metrics(metrics, result);
-    if (recorder)
-        recorder->finalize(result.elapsed, state.completed, [&] {
-            return algorithm_.archive().objective_vectors();
-        });
-    return result;
+    ClusterEngine engine(std::move(setup), ctx);
+    AsyncBorgPolicy policy(algorithm_, problem_);
+    return engine.run_events(policy, evaluations);
 }
 
 VirtualRunResult run_serial_virtual(moea::BorgMoea& algorithm,
                                     const problems::Problem& problem,
                                     const VirtualClusterConfig& config,
                                     std::uint64_t evaluations,
-                                    TrajectoryRecorder* recorder) {
+                                    const RunContext& ctx) {
     if (!config.tf)
         throw std::invalid_argument("serial virtual: missing T_F distribution");
     if (evaluations == 0)
         throw std::invalid_argument("serial virtual: evaluations == 0");
 
+    TrajectoryRecorder* recorder = ctx.recorder;
     util::Rng rng(config.seed);
     stats::Accumulator ta_acc, tf_acc;
     double now = 0.0;

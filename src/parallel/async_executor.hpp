@@ -25,13 +25,9 @@
 #include <cstdint>
 
 #include "moea/borg.hpp"
+#include "parallel/run_context.hpp"
 #include "parallel/trajectory.hpp"
 #include "parallel/virtual_cluster.hpp"
-
-namespace borg::obs {
-class TraceSink;
-class MetricsRegistry;
-} // namespace borg::obs
 
 namespace borg::parallel {
 
@@ -44,17 +40,15 @@ public:
                              const problems::Problem& problem,
                              VirtualClusterConfig config);
 
-    /// Runs until \p evaluations results have been ingested. \p recorder,
-    /// if given, receives a callback after every ingested result. \p trace,
-    /// if given, receives the full typed event stream (worker spawns and
-    /// failures, master acquire/release with queue depth, per-evaluation
-    /// T_F/T_C/T_A samples, archive snapshots — DESIGN.md §8); \p metrics
-    /// receives counters/gauges/histograms under the "async." prefix.
-    /// Either may be null; a null sink costs nothing on the hot path.
+    /// Runs until \p evaluations results have been ingested. \p ctx
+    /// attaches the optional observability sinks: ctx.recorder receives a
+    /// callback after every ingested result; ctx.trace the full typed
+    /// event stream (worker spawns and failures, master acquire/release
+    /// with queue depth, per-evaluation T_F/T_C/T_A samples, archive
+    /// snapshots — DESIGN.md §8); ctx.metrics counters/gauges/histograms
+    /// under the "async." prefix. Null sinks cost nothing on the hot path.
     VirtualRunResult run(std::uint64_t evaluations,
-                         TrajectoryRecorder* recorder = nullptr,
-                         obs::TraceSink* trace = nullptr,
-                         obs::MetricsRegistry* metrics = nullptr);
+                         const RunContext& ctx = {});
 
 private:
     moea::BorgMoea& algorithm_;
@@ -67,11 +61,12 @@ private:
 /// evaluation (no communication), yielding the paper's T_S and the serial
 /// hypervolume trajectory T_S^h. T_A is sampled or measured exactly as in
 /// the parallel executor.
+/// Only ctx.recorder is consulted (a serial run has no cluster events).
 VirtualRunResult run_serial_virtual(moea::BorgMoea& algorithm,
                                     const problems::Problem& problem,
                                     const VirtualClusterConfig& config,
                                     std::uint64_t evaluations,
-                                    TrajectoryRecorder* recorder = nullptr);
+                                    const RunContext& ctx = {});
 
 } // namespace borg::parallel
 

@@ -1,0 +1,354 @@
+#ifndef BORG_PARALLEL_CLUSTER_ENGINE_HPP
+#define BORG_PARALLEL_CLUSTER_ENGINE_HPP
+
+/// \file cluster_engine.hpp
+/// The one virtual-time master-slave engine behind every executor and the
+/// paper's simulation model.
+///
+/// The paper compares a single scheduling protocol across incarnations —
+/// analytical model, discrete-event simulation, real-algorithm runs
+/// (Sections III–V). Before this engine existed the codebase implemented
+/// that protocol five times over; model-vs-experiment agreement rested on
+/// five hand-synchronized copies of the same worker loop. Now there is one
+/// engine owning everything protocol-generic:
+///
+///   * worker lifecycle — spawn, evaluate, fail (worker_failure_at),
+///     retire — for any number of master groups (islands);
+///   * the T_F/T_C/T_A sampling streams, with per-worker `worker_speed`
+///     scaling and sample mirroring into trace + histograms;
+///   * the master as a capacity-1 FIFO `des::Resource` per group, with
+///     queue-wait, contention, and busy-fraction accounting (the
+///     generational driver reproduces the same accounting arithmetic
+///     without a resource, since a barrier never interleaves);
+///   * all obs emission: typed trace events and metric instruments under
+///     the policy's prefix.
+///
+/// What a protocol *means* is supplied by a MasterPolicy: what to dispatch
+/// to a free worker, how the master ingests a result, what the service
+/// hold costs, and — for barrier protocols — how a generation is planned
+/// and processed. The four executors and the simulation model are thin
+/// policies over this engine, so the simulation model provably shares
+/// scheduling code with the real-algorithm executors (DESIGN.md §10).
+///
+/// Determinism contract: policies draw every virtual-time cost through the
+/// engine's sample_* helpers, in the exact order the protocol charges
+/// them. The engine never draws from a policy's stream behind its back —
+/// bookkeeping (wait/hold accumulators, counters) consumes no randomness —
+/// so fixed seeds reproduce byte-identical event traces
+/// (tests/test_golden_traces.cpp holds the fixtures).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "des/environment.hpp"
+#include "moea/solution.hpp"
+#include "parallel/run_context.hpp"
+#include "parallel/virtual_cluster.hpp"
+#include "stats/distribution.hpp"
+#include "stats/summary.hpp"
+
+namespace borg::des {
+class Resource;
+} // namespace borg::des
+
+namespace borg::obs {
+class Histogram;
+} // namespace borg::obs
+
+namespace borg::util {
+class Rng;
+}
+
+namespace borg::parallel {
+
+class ClusterEngine;
+
+/// Identity of one virtual worker. `global` indexes the engine-wide
+/// worker_speed / worker_failure_at arrays (workers are numbered in spawn
+/// order across groups); `group`/`local` locate it inside its island.
+struct WorkerRef {
+    std::size_t group = 0;
+    std::size_t local = 0;
+    std::size_t global = 0;
+};
+
+/// One master group: a master resource plus its sampling stream. Single
+/// -master protocols use exactly one; the multi-master executor one per
+/// island.
+struct GroupSpec {
+    std::uint64_t workers = 0;
+    std::uint64_t rng_seed = 1;
+    /// Stamped into this group's resource trace events (`actor` field).
+    std::int64_t trace_id = 0;
+};
+
+/// What a worker carries between master interactions. Real-algorithm
+/// policies put the offspring here; the statistics-only simulation policy
+/// leaves it empty — the work item then only marks "has work".
+struct WorkItem {
+    std::optional<moea::Solution> solution;
+};
+
+/// Protocol identity shared by both driver shapes.
+class MasterPolicy {
+public:
+    virtual ~MasterPolicy() = default;
+
+    /// Metric-name prefix, e.g. "async" -> "async.results".
+    virtual const char* prefix() const noexcept = 0;
+
+    /// Whether T_F/T_C/T_A draws are mirrored into the trace as
+    /// tf_sample/tc_sample/ta_sample events. The multi-master executor
+    /// turns this off (its traces identify work through per-island
+    /// result/hold events instead, as they always have).
+    virtual bool trace_samples() const noexcept { return true; }
+};
+
+/// Policy for event-driven (asynchronous) protocols: each worker loops
+/// evaluate -> queue for its master -> be serviced, with no barrier. The
+/// engine drives the des::Environment; hooks run inside worker coroutines.
+class EventMasterPolicy : public MasterPolicy {
+public:
+    /// Outcome of one master service (the engine charges `hold` to the
+    /// group's master and then releases it).
+    struct Service {
+        double hold = 0.0;
+        std::optional<WorkItem> next; ///< nullopt retires the worker
+    };
+
+    /// Called under the initial master hold: claim/produce the first work
+    /// item, or nullopt when the run needs no more workers. Must not
+    /// sample the engine streams (the engine charges the initial T_C).
+    virtual std::optional<WorkItem>
+    dispatch_initial(ClusterEngine& engine, const WorkerRef& worker) = 0;
+
+    /// Computes the real objectives (a no-op for statistics-only
+    /// policies). Runs before the T_F delay is charged.
+    virtual void evaluate(WorkItem& work) = 0;
+
+    /// The master service, called when the worker is granted the master:
+    /// ingest `work`, decide the next dispatch, and price the hold by
+    /// drawing T_A/T_C through the engine in protocol order.
+    virtual Service serve(ClusterEngine& engine, const WorkerRef& worker,
+                          WorkItem work) = 0;
+
+    /// A worker hit its failure time while holding unfinished work; return
+    /// the claim to the pool. The engine counts the failure and emits the
+    /// worker_failure event.
+    virtual void on_worker_failure(ClusterEngine& engine,
+                                   const WorkerRef& worker) = 0;
+
+    /// Emit the policy's per-result events / recorder checkpoint. Runs
+    /// after the service hold is released and the completion counter has
+    /// been advanced, before the engine's target check.
+    virtual void record_result(ClusterEngine& engine,
+                               const WorkerRef& worker) = 0;
+
+    /// Runs after record_result and the target check; the island policy
+    /// launches ring migrations from here.
+    virtual void after_result(ClusterEngine& engine, const WorkerRef& worker) {
+        (void)engine;
+        (void)worker;
+    }
+
+    /// Emits the worker_spawn trace event for one worker. The default is
+    /// the single-master shape {actor = global index}; the multi-master
+    /// policy stamps {actor = island, count = local} instead.
+    virtual void record_spawn(ClusterEngine& engine, const WorkerRef& worker);
+
+    /// Policy-specific instruments beyond the engine's uniform set
+    /// (e.g. mm.migrations).
+    virtual void publish_extra_metrics(ClusterEngine& engine,
+                                       obs::MetricsRegistry& metrics) {
+        (void)engine;
+        (void)metrics;
+    }
+
+    /// Runs last (after run_end and metrics publication) with the final
+    /// result — the recorder-finalize hook.
+    virtual void finalize(ClusterEngine& engine,
+                          const VirtualRunResult& result) {
+        (void)engine;
+        (void)result;
+    }
+};
+
+/// Policy for barrier (generational) protocols: the run is a sequence of
+/// generations — plan/evaluate, serialized sends, serialized receives
+/// gated on the master's own evaluation, whole-generation ingest. The
+/// engine drives the clock arithmetic and all shared accounting; it needs
+/// no des::Environment because a barrier never interleaves services.
+class GenerationalMasterPolicy : public MasterPolicy {
+public:
+    struct Plan {
+        std::size_t batch = 0; ///< offspring evaluated this generation
+        std::size_t nodes = 0; ///< participating nodes incl. master (>= 1)
+    };
+
+    struct Ingest {
+        double ta_sync = 0.0;      ///< whole-generation processing time
+        double ta_per_offspring = 0.0; ///< ta_sync / batch (the reported T_A)
+    };
+
+    /// Produce and price the next generation. `alive_workers` holds the
+    /// global indices of workers that have not failed; node k >= 1 of the
+    /// plan is alive_workers[k - 1], node 0 the master. Policies that
+    /// draw T_F up front (the real sync executor) do so here through
+    /// gen_sample_tf; lazy policies (the simulation model) defer to
+    /// node_eval_time.
+    virtual Plan plan(ClusterEngine& engine, std::uint64_t completed,
+                      std::uint64_t target,
+                      const std::vector<std::size_t>& alive_workers) = 0;
+
+    /// Summed evaluation time of node \p node this generation, queried
+    /// during the send sweep (workers, in node order, then the master).
+    virtual double node_eval_time(ClusterEngine& engine, double at,
+                                  std::size_t node) = 0;
+
+    /// Whole-generation master processing: ingest the results and price
+    /// T_A^sync (one draw per offspring, or the measured ingest time).
+    virtual Ingest ingest(ClusterEngine& engine, std::size_t batch) = 0;
+
+    /// Recorder checkpoint after a generation is ingested.
+    virtual void record_generation(ClusterEngine& engine, double now,
+                                   std::uint64_t completed) {
+        (void)engine;
+        (void)now;
+        (void)completed;
+    }
+
+    /// See EventMasterPolicy::finalize.
+    virtual void finalize(ClusterEngine& engine,
+                          const VirtualRunResult& result) {
+        (void)engine;
+        (void)result;
+    }
+};
+
+/// One run of the engine. Construct, call exactly one of run_events /
+/// run_generational, read the result (and any per-group statistics the
+/// wrapping executor's result type needs).
+class ClusterEngine {
+public:
+    struct Setup {
+        /// Required sampling streams; ta == nullptr means "measure the
+        /// real master step" (policies pass the measured seconds into
+        /// sample_ta).
+        const stats::Distribution* tf = nullptr;
+        const stats::Distribution* tc = nullptr;
+        const stats::Distribution* ta = nullptr;
+        /// Total processors (masters + workers) — run_start payload only.
+        std::uint64_t processors = 0;
+        /// Per-worker multipliers/failure times indexed by global worker
+        /// index; empty means homogeneous / failure-free.
+        std::vector<double> worker_speed;
+        std::vector<double> worker_failure_at;
+        std::vector<GroupSpec> groups;
+    };
+
+    ClusterEngine(Setup setup, const RunContext& ctx);
+    ~ClusterEngine();
+
+    ClusterEngine(const ClusterEngine&) = delete;
+    ClusterEngine& operator=(const ClusterEngine&) = delete;
+
+    VirtualRunResult run_events(EventMasterPolicy& policy,
+                                std::uint64_t evaluations);
+    VirtualRunResult run_generational(GenerationalMasterPolicy& policy,
+                                      std::uint64_t evaluations);
+
+    // ----------------------------------------------------- policy services
+
+    /// The DES environment (event-driven runs only; policies spawn side
+    /// processes such as migrations on it).
+    des::Environment& env() noexcept { return *env_; }
+    /// Current virtual time — env().now() on the event path, the
+    /// generational driver's clock otherwise.
+    double now() const noexcept;
+
+    std::uint64_t target() const noexcept { return target_; }
+    std::uint64_t completed() const noexcept { return completed_; }
+    bool measured_ta() const noexcept { return setup_.ta == nullptr; }
+
+    obs::TraceSink* trace() noexcept { return ctx_.trace; }
+    TrajectoryRecorder* recorder() noexcept { return ctx_.recorder; }
+
+    util::Rng& group_rng(std::size_t group) noexcept;
+    des::Resource& group_master(std::size_t group) noexcept;
+    std::size_t group_count() const noexcept { return groups_.size(); }
+    std::uint64_t group_evaluations(std::size_t group) const noexcept;
+    double group_hold(std::size_t group) const noexcept;
+
+    double speed_of(std::size_t global_worker) const noexcept;
+    double failure_time_of(std::size_t global_worker) const noexcept;
+
+    /// Draws a speed-scaled T_F for \p worker from its group stream,
+    /// feeding the tf accumulator/histogram and (if trace_samples) a
+    /// tf_sample event at the current time with actor = global index.
+    double sample_tf(const WorkerRef& worker);
+    /// Draws a T_C from \p group's stream (tc_sample at current time).
+    double sample_tc(std::size_t group, std::int64_t actor);
+    /// Applied T_A: drawn from the configured distribution, or
+    /// \p measured_seconds under measured mode. Feeds the ta
+    /// accumulator/histogram (ta_sample at current time).
+    double sample_ta(std::size_t group, std::int64_t actor,
+                     double measured_seconds);
+
+    /// Queue-wait accounting shared by worker acquires and policy side
+    /// processes (migrations) — keeps the engine's reported mean equal to
+    /// what obs::recompute derives from the grant events.
+    void add_wait(double wait);
+    /// Charges master hold time to \p group and emits the master_hold
+    /// event (at the current time, before the delay is taken).
+    void add_hold(std::size_t group, double hold);
+
+    // ------------------------------- generational-driver sampling helpers
+    // (explicit event times: the barrier driver time-stamps samples at
+    // protocol positions, not at a DES clock)
+
+    double gen_sample_tf(double at, std::int64_t actor, double speed);
+    double gen_sample_tc(double at, std::int64_t actor);
+
+private:
+    struct Group;
+
+    des::Process worker_loop(EventMasterPolicy& policy, WorkerRef worker);
+    void emit_run_start();
+    VirtualRunResult collect(double elapsed_fallback);
+    void publish_metrics(const char* prefix, const VirtualRunResult& result);
+    /// Marks workers whose failure time has passed as dead (emitting
+    /// worker_failure); returns true if any worker died now.
+    bool reap_dead_workers(double now, std::vector<std::size_t>& alive,
+                           std::vector<char>& dead);
+
+    Setup setup_;
+    RunContext ctx_;
+    std::unique_ptr<des::Environment> env_;
+    std::vector<std::unique_ptr<Group>> groups_;
+    MasterPolicy* policy_ = nullptr; ///< set for the duration of a run
+
+    std::uint64_t target_ = 0;
+    std::uint64_t completed_ = 0;
+    std::size_t failed_workers_ = 0;
+    bool finished_ = false; ///< explicit: a t=0 finish is a valid finish
+    double finish_time_ = 0.0;
+    double gen_now_ = 0.0; ///< generational driver clock
+    bool generational_ = false;
+    /// Generational-path acquire accounting (the event path reads the
+    /// group resources instead).
+    std::uint64_t gen_acquires_ = 0;
+    std::uint64_t gen_contended_ = 0;
+
+    stats::Accumulator queue_wait_;
+    stats::Accumulator ta_applied_;
+    stats::Accumulator tf_applied_;
+    obs::Histogram* h_tf_ = nullptr;
+    obs::Histogram* h_ta_ = nullptr;
+    obs::Histogram* h_wait_ = nullptr;
+};
+
+} // namespace borg::parallel
+
+#endif

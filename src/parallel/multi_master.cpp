@@ -1,13 +1,13 @@
 #include "parallel/multi_master.hpp"
 
 #include <chrono>
-#include <optional>
 #include <stdexcept>
+#include <utility>
 
-#include "des/environment.hpp"
 #include "des/resource.hpp"
 #include "obs/event_trace.hpp"
 #include "obs/metrics_registry.hpp"
+#include "parallel/cluster_engine.hpp"
 #include "util/rng.hpp"
 
 namespace borg::parallel {
@@ -16,139 +16,161 @@ namespace {
 
 using SteadyClock = std::chrono::steady_clock;
 
-struct Island;
+double seconds_since(SteadyClock::time_point start) {
+    return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
 
-/// Run-global state shared by all islands.
-struct Global {
-    const MultiMasterConfig* config = nullptr;
-    des::Environment* env = nullptr;
-    std::uint64_t target = 0;
-    std::uint64_t dispatched = 0;
-    std::uint64_t completed = 0;
-    std::uint64_t migrations = 0;
-    bool finished = false; ///< explicit: a t=0 finish is a valid finish
-    double finish_time = 0.0;
-    std::vector<std::unique_ptr<Island>> islands;
+/// The hierarchical topology as a master policy: one engine group per
+/// island, each running the asynchronous Borg protocol against its own
+/// algorithm instance, with ring migrations launched after results
+/// (DESIGN.md §10). The evaluation budget is global — faster islands
+/// claim more of it.
+class IslandRingPolicy final : public EventMasterPolicy {
+public:
+    IslandRingPolicy(const problems::Problem& problem,
+                     const moea::BorgParams& params,
+                     const MultiMasterConfig& config)
+        : config_(config) {
+        islands_.reserve(config.islands);
+        for (std::size_t i = 0; i < config.islands; ++i) {
+            Island island;
+            island.algorithm = std::make_unique<moea::BorgMoea>(
+                problem, params,
+                util::derive_seed(config.cluster.seed, i, 100));
+            islands_.push_back(std::move(island));
+        }
+    }
 
-    bool claim() {
-        if (dispatched >= target) return false;
-        ++dispatched;
+    const char* prefix() const noexcept override { return "mm"; }
+
+    /// Multi-master traces identify work through per-island result/hold
+    /// events; the per-draw sample mirror stays off, as it always has.
+    bool trace_samples() const noexcept override { return false; }
+
+    std::optional<WorkItem>
+    dispatch_initial(ClusterEngine& engine, const WorkerRef& worker) override {
+        if (!claim(engine)) return std::nullopt;
+        return WorkItem{islands_[worker.group].algorithm->next_offspring()};
+    }
+
+    void evaluate(WorkItem& work) override {
+        const moea::BorgMoea& any = *islands_.front().algorithm;
+        moea::evaluate(any.problem(), *work.solution);
+    }
+
+    Service serve(ClusterEngine& engine, const WorkerRef& worker,
+                  WorkItem work) override {
+        Island& island = islands_[worker.group];
+        const auto start = SteadyClock::now();
+        island.algorithm->receive(std::move(*work.solution));
+        std::optional<WorkItem> next;
+        if (claim(engine)) next = WorkItem{island.algorithm->next_offspring()};
+        const double measured = seconds_since(start);
+        const auto actor = static_cast<std::int64_t>(worker.group);
+        // Protocol order: result message, ingest + generate, fresh-work
+        // message — all charged to this island's master.
+        const double tc1 = engine.sample_tc(worker.group, actor);
+        const double ta = engine.sample_ta(worker.group, actor, measured);
+        const double tc2 = engine.sample_tc(worker.group, actor);
+        return {tc1 + ta + tc2, std::move(next)};
+    }
+
+    void on_worker_failure(ClusterEngine& engine,
+                           const WorkerRef& worker) override {
+        (void)engine;
+        (void)worker;
+        --dispatched_; // the lost offspring's claim returns to the pool
+    }
+
+    void record_result(ClusterEngine& engine,
+                       const WorkerRef& worker) override {
+        ++islands_[worker.group].since_migration;
+        if (auto* trace = engine.trace())
+            trace->record({obs::EventKind::result, engine.now(),
+                           static_cast<std::int64_t>(worker.group), 0.0,
+                           engine.completed()});
+    }
+
+    void after_result(ClusterEngine& engine,
+                      const WorkerRef& worker) override {
+        Island& island = islands_[worker.group];
+        const std::uint64_t interval = config_.migration_interval;
+        if (interval > 0 && island.since_migration >= interval &&
+            islands_.size() > 1) {
+            island.since_migration = 0;
+            const std::size_t to = (worker.group + 1) % islands_.size();
+            engine.env().spawn(migrate(engine, worker.group, to));
+        }
+    }
+
+    /// Multi-master worker_spawn shape: actor = island, count = local slot.
+    void record_spawn(ClusterEngine& engine,
+                      const WorkerRef& worker) override {
+        if (auto* trace = engine.trace())
+            trace->record({obs::EventKind::worker_spawn, engine.now(),
+                           static_cast<std::int64_t>(worker.group), 0.0,
+                           worker.local});
+    }
+
+    void publish_extra_metrics(ClusterEngine& engine,
+                               obs::MetricsRegistry& metrics) override {
+        (void)engine;
+        metrics.counter("mm.migrations").inc(migrations_);
+    }
+
+    std::uint64_t migrations() const noexcept { return migrations_; }
+
+    const moea::EpsilonBoxArchive& island_archive(std::size_t i) const {
+        return islands_[i].algorithm->archive();
+    }
+
+private:
+    struct Island {
+        std::unique_ptr<moea::BorgMoea> algorithm;
+        std::uint64_t since_migration = 0;
+    };
+
+    bool claim(ClusterEngine& engine) {
+        if (dispatched_ >= engine.target()) return false;
+        ++dispatched_;
         return true;
     }
 
-    void complete() {
-        if (++completed == target) {
-            finished = true;
-            finish_time = env->now();
-            env->stop();
-        }
-    }
-};
+    /// Delivers one migrant into the target island through its master,
+    /// charged T_C (message) + T_A (ingestion) of master hold time.
+    des::Process migrate(ClusterEngine& engine, std::size_t from,
+                         std::size_t to) {
+        des::Environment& env = engine.env();
+        const auto& archive = islands_[from].algorithm->archive();
+        if (archive.empty()) co_return;
+        moea::Solution migrant =
+            archive[static_cast<std::size_t>(
+                engine.group_rng(from).below(archive.size()))];
 
-struct Island {
-    std::size_t index = 0;
-    std::unique_ptr<moea::BorgMoea> algorithm;
-    std::unique_ptr<des::Resource> master;
-    util::Rng rng{1};
-    std::uint64_t evaluations = 0;
-    std::uint64_t since_migration = 0;
-    double master_hold = 0.0;
-
-    double tf(const Global& g) { return g.config->cluster.tf->sample(rng); }
-    double tc(const Global& g) { return g.config->cluster.tc->sample(rng); }
-
-    /// Applied T_A: sampled, or measured from the real master step the
-    /// caller just timed.
-    double ta(const Global& g, double measured) {
-        return g.config->cluster.ta ? g.config->cluster.ta->sample(rng)
-                                    : measured;
-    }
-};
-
-/// Records a master-busy contribution for one island (mirrored into the
-/// trace so per-island busy fractions are recomputable).
-void add_hold(Global& global, Island& island, double hold) {
-    island.master_hold += hold;
-    if (auto* t = global.env->trace())
-        t->record({obs::EventKind::master_hold, global.env->now(),
-                   static_cast<std::int64_t>(island.index), hold, 0});
-}
-
-/// Delivers one migrant into the target island through its master.
-des::Process migrate(Global& global, Island& from, Island& to) {
-    des::Environment& env = *global.env;
-    const auto& archive = from.algorithm->archive();
-    if (archive.empty()) co_return;
-    moea::Solution migrant =
-        archive[static_cast<std::size_t>(from.rng.below(archive.size()))];
-
-    co_await to.master->acquire();
-    const auto start = SteadyClock::now();
-    to.algorithm->receive(std::move(migrant));
-    const double measured =
-        std::chrono::duration<double>(SteadyClock::now() - start).count();
-    const double hold = to.tc(global) + to.ta(global, measured);
-    add_hold(global, to, hold);
-    co_await env.delay(hold);
-    to.master->release();
-    ++global.migrations;
-    if (auto* t = env.trace())
-        t->record({obs::EventKind::migration, env.now(),
-                   static_cast<std::int64_t>(to.index), 0.0,
-                   global.migrations});
-}
-
-des::Process island_worker(Global& global, Island& island) {
-    des::Environment& env = *global.env;
-    std::optional<moea::Solution> work;
-
-    // Initial assignment from this island's master.
-    {
-        co_await island.master->acquire();
-        if (global.claim()) work = island.algorithm->next_offspring();
-        const double hold = island.tc(global);
-        add_hold(global, island, hold);
-        co_await env.delay(hold);
-        island.master->release();
-    }
-
-    const problems::Problem& problem = island.algorithm->problem();
-    while (work) {
-        moea::evaluate(problem, *work);
-        co_await env.delay(island.tf(global));
-
-        co_await island.master->acquire();
+        const double wait_start = env.now();
+        co_await engine.group_master(to).acquire();
+        engine.add_wait(env.now() - wait_start);
         const auto start = SteadyClock::now();
-        island.algorithm->receive(std::move(*work));
-        work.reset();
-        if (global.claim()) work = island.algorithm->next_offspring();
-        const double measured =
-            std::chrono::duration<double>(SteadyClock::now() - start)
-                .count();
-        const double hold = island.tc(global) +
-                            island.ta(global, measured) + island.tc(global);
-        add_hold(global, island, hold);
+        islands_[to].algorithm->receive(std::move(migrant));
+        const double measured = seconds_since(start);
+        const auto actor = static_cast<std::int64_t>(to);
+        const double tc = engine.sample_tc(to, actor);
+        const double ta = engine.sample_ta(to, actor, measured);
+        const double hold = tc + ta;
+        engine.add_hold(to, hold);
         co_await env.delay(hold);
-        island.master->release();
-
-        ++island.evaluations;
-        ++island.since_migration;
-        global.complete();
-        if (auto* t = env.trace())
-            t->record({obs::EventKind::result, env.now(),
-                       static_cast<std::int64_t>(island.index), 0.0,
-                       global.completed});
-
-        const std::uint64_t interval = global.config->migration_interval;
-        if (interval > 0 && island.since_migration >= interval &&
-            global.islands.size() > 1) {
-            island.since_migration = 0;
-            Island& neighbour =
-                *global.islands[(island.index + 1) % global.islands.size()];
-            env.spawn(migrate(global, island, neighbour));
-        }
+        engine.group_master(to).release();
+        ++migrations_;
+        if (auto* trace = engine.trace())
+            trace->record({obs::EventKind::migration, env.now(), actor, 0.0,
+                           migrations_});
     }
-}
+
+    const MultiMasterConfig& config_;
+    std::vector<Island> islands_;
+    std::uint64_t dispatched_ = 0;
+    std::uint64_t migrations_ = 0;
+};
 
 } // namespace
 
@@ -156,86 +178,58 @@ MultiMasterExecutor::MultiMasterExecutor(const problems::Problem& problem,
                                          moea::BorgParams params,
                                          MultiMasterConfig config)
     : problem_(problem), params_(std::move(params)), config_(config) {
-    validate(config_.cluster);
     if (config_.islands == 0)
         throw std::invalid_argument("multi-master: need >= 1 island");
     if (config_.cluster.processors < 2 * config_.islands)
         throw std::invalid_argument(
             "multi-master: need >= 2 processors per island");
+    validate(config_.cluster, config_.cluster.processors - config_.islands);
 }
 
 MultiMasterResult MultiMasterExecutor::run(std::uint64_t evaluations,
-                                           obs::TraceSink* trace,
-                                           obs::MetricsRegistry* metrics) {
+                                           const RunContext& ctx) {
     if (evaluations == 0)
         throw std::invalid_argument("multi-master: evaluations == 0");
     if (used_) throw std::logic_error("multi-master: executor already used");
     used_ = true;
 
-    des::Environment env;
-    env.set_trace(trace);
-    env.set_metrics(metrics);
-    Global global;
-    global.config = &config_;
-    global.env = &env;
-    global.target = evaluations;
-
     // Split processors: each island gets a master; workers are distributed
     // as evenly as possible.
     const std::uint64_t islands = config_.islands;
     const std::uint64_t total_workers = config_.cluster.processors - islands;
-    if (trace)
-        trace->record({obs::EventKind::run_start, env.now(), -1,
-                       static_cast<double>(config_.cluster.processors),
-                       evaluations});
-    for (std::size_t i = 0; i < islands; ++i) {
-        auto island = std::make_unique<Island>();
-        island->index = i;
-        island->algorithm = std::make_unique<moea::BorgMoea>(
-            problem_, params_,
-            util::derive_seed(config_.cluster.seed, i, 100));
-        island->master = std::make_unique<des::Resource>(env, 1);
-        island->master->set_trace_id(static_cast<std::int64_t>(i));
-        island->rng =
-            util::Rng(util::derive_seed(config_.cluster.seed, i, 200));
-        global.islands.push_back(std::move(island));
-    }
+
+    ClusterEngine::Setup setup;
+    setup.tf = config_.cluster.tf;
+    setup.tc = config_.cluster.tc;
+    setup.ta = config_.cluster.ta;
+    setup.processors = config_.cluster.processors;
+    setup.worker_speed = config_.cluster.worker_speed;
+    setup.worker_failure_at = config_.cluster.worker_failure_at;
     for (std::size_t i = 0; i < islands; ++i) {
         const std::uint64_t workers =
             total_workers / islands + (i < total_workers % islands ? 1 : 0);
-        for (std::uint64_t w = 0; w < workers; ++w) {
-            if (trace)
-                trace->record({obs::EventKind::worker_spawn, env.now(),
-                               static_cast<std::int64_t>(i), 0.0, w});
-            env.spawn(island_worker(global, *global.islands[i]));
-        }
+        setup.groups.push_back(
+            {workers, util::derive_seed(config_.cluster.seed, i, 200),
+             static_cast<std::int64_t>(i)});
     }
-    env.run();
 
+    ClusterEngine engine(std::move(setup), ctx);
+    IslandRingPolicy policy(problem_, params_, config_);
     MultiMasterResult result;
-    result.evaluations = global.completed;
-    result.completed_target = global.finished;
-    result.elapsed = global.finished ? global.finish_time : env.now();
-    result.migrations = global.migrations;
+    static_cast<VirtualRunResult&>(result) =
+        engine.run_events(policy, evaluations);
 
+    result.migrations = policy.migrations();
     moea::EpsilonBoxArchive combined(params_.epsilons);
-    for (const auto& island : global.islands) {
-        result.island_evaluations.push_back(island->evaluations);
+    for (std::size_t i = 0; i < islands; ++i) {
+        result.island_evaluations.push_back(engine.group_evaluations(i));
         result.island_busy_fraction.push_back(
-            result.elapsed > 0.0 ? island->master_hold / result.elapsed
+            result.elapsed > 0.0 ? engine.group_hold(i) / result.elapsed
                                  : 0.0);
-        for (const moea::Solution& s : island->algorithm->archive().solutions())
+        for (const moea::Solution& s : policy.island_archive(i).solutions())
             combined.add(s);
     }
     result.combined_archive = combined.solutions();
-    if (trace)
-        trace->record({obs::EventKind::run_end, result.elapsed, -1,
-                       result.elapsed, global.completed});
-    if (metrics) {
-        metrics->counter("mm.results").inc(global.completed);
-        metrics->counter("mm.migrations").inc(global.migrations);
-        metrics->gauge("mm.elapsed_seconds").set(result.elapsed);
-    }
     return result;
 }
 

@@ -32,12 +32,8 @@
 
 #include "moea/borg.hpp"
 #include "moea/epsilon_archive.hpp"
+#include "parallel/run_context.hpp"
 #include "parallel/virtual_cluster.hpp"
-
-namespace borg::obs {
-class TraceSink;
-class MetricsRegistry;
-} // namespace borg::obs
 
 namespace borg::parallel {
 
@@ -49,14 +45,12 @@ struct MultiMasterConfig {
     std::uint64_t migration_interval = 1000;
 };
 
-struct MultiMasterResult {
-    double elapsed = 0.0;                ///< time the global N-th result landed
-    std::uint64_t evaluations = 0;       ///< total across islands
-    /// True iff the requested total was reached (mirrors
-    /// VirtualRunResult::completed_target; completion is tracked with an
-    /// explicit flag, not a finish-time sentinel).
-    bool completed_target = false;
-    std::uint64_t migrations = 0;        ///< migrant solutions exchanged
+/// The base carries the engine's uniform accounting (elapsed, evaluations,
+/// completed_target, failed workers, aggregate busy fraction across all
+/// island masters, queue wait, contention, applied T_F/T_A summaries);
+/// the extension is per-island and topology-specific.
+struct MultiMasterResult : VirtualRunResult {
+    std::uint64_t migrations = 0; ///< migrant solutions exchanged
     std::vector<std::uint64_t> island_evaluations;
     std::vector<double> island_busy_fraction;
     /// Merged ε-Pareto approximation across all islands.
@@ -73,13 +67,18 @@ public:
 
     /// Runs until \p evaluations results have been ingested in total
     /// (divided dynamically across islands — faster islands do more).
-    /// \p trace, if given, receives the typed event stream with each
+    /// ctx.trace, if given, receives the typed event stream with each
     /// island's master resource identified by its island index in the
-    /// `actor` field, plus `migration` events (DESIGN.md §8); \p metrics
-    /// receives instruments under the "mm." prefix. Either may be null.
+    /// `actor` field, plus `migration` events (DESIGN.md §8); ctx.metrics
+    /// receives instruments under the "mm." prefix.
+    ///
+    /// worker_speed / worker_failure_at are indexed by global worker slot
+    /// (cluster.processors - islands entries, island-major in spawn
+    /// order). Failed workers retire exactly as in the asynchronous
+    /// executor; an island whose workers all fail goes quiet while the
+    /// others keep claiming the global budget.
     MultiMasterResult run(std::uint64_t evaluations,
-                          obs::TraceSink* trace = nullptr,
-                          obs::MetricsRegistry* metrics = nullptr);
+                          const RunContext& ctx = {});
 
 private:
     const problems::Problem& problem_;

@@ -1,0 +1,38 @@
+#ifndef BORG_PARALLEL_RUN_CONTEXT_HPP
+#define BORG_PARALLEL_RUN_CONTEXT_HPP
+
+/// \file run_context.hpp
+/// The observability bundle every executor run accepts: trajectory
+/// checkpointing, the typed event trace, and the metrics registry. One
+/// struct replaces the trailing `(recorder, trace, metrics)` pointer
+/// parameters that each executor signature used to grow independently —
+/// call sites name only what they attach:
+///
+///     exec.run(n, {.trace = &trace, .metrics = &metrics});
+///
+/// Every sink is optional; a null sink costs one pointer test on the hot
+/// path. The referenced objects must outlive the run.
+
+namespace borg::obs {
+class TraceSink;
+class MetricsRegistry;
+} // namespace borg::obs
+
+namespace borg::parallel {
+
+class TrajectoryRecorder;
+
+struct RunContext {
+    /// Receives a callback after every ingested result (event-driven
+    /// protocols) or generation (barrier protocols). Not every executor
+    /// supports checkpointing; those that do say so on their run().
+    TrajectoryRecorder* recorder = nullptr;
+    /// Receives the full typed event stream (DESIGN.md §8).
+    obs::TraceSink* trace = nullptr;
+    /// Receives counters/gauges/histograms under the executor's prefix.
+    obs::MetricsRegistry* metrics = nullptr;
+};
+
+} // namespace borg::parallel
+
+#endif

@@ -3,13 +3,102 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
-#include "obs/event_trace.hpp"
-#include "obs/metrics_registry.hpp"
+#include "parallel/cluster_engine.hpp"
 #include "util/rng.hpp"
 
 namespace borg::parallel {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// The Figure 1 generational protocol as a barrier policy: one
+/// next_generation() per plan, offspring assigned round-robin across the
+/// master and the surviving workers, whole-generation ingest through
+/// receive_generation (DESIGN.md §10).
+class SyncBorgPolicy final : public GenerationalMasterPolicy {
+public:
+    SyncBorgPolicy(moea::GenerationalMoea& algorithm,
+                   const problems::Problem& problem,
+                   const VirtualClusterConfig& config)
+        : algorithm_(algorithm), problem_(problem), config_(config) {}
+
+    const char* prefix() const noexcept override { return "sync"; }
+
+    Plan plan(ClusterEngine& engine, std::uint64_t completed,
+              std::uint64_t target,
+              const std::vector<std::size_t>& alive_workers) override {
+        (void)completed;
+        (void)target;
+        generation_ = algorithm_.next_generation();
+        const std::size_t batch = generation_.size();
+        if (batch == 0)
+            throw std::logic_error("sync executor: empty generation");
+
+        // Round-robin assignment; node 0 is the master (nominal speed),
+        // node k >= 1 is the k-th surviving worker.
+        const std::size_t nodes = std::min(alive_workers.size() + 1, batch);
+        node_eval_.assign(nodes, 0.0);
+        for (std::size_t i = 0; i < batch; ++i) {
+            moea::evaluate(problem_, generation_[i]);
+            const std::size_t node = i % nodes;
+            const double speed =
+                node == 0 ? 1.0 : engine.speed_of(alive_workers[node - 1]);
+            node_eval_[node] += engine.gen_sample_tf(
+                engine.now(), static_cast<std::int64_t>(node), speed);
+        }
+        return {batch, nodes};
+    }
+
+    double node_eval_time(ClusterEngine& engine, double at,
+                          std::size_t node) override {
+        (void)engine;
+        (void)at;
+        return node_eval_[node];
+    }
+
+    Ingest ingest(ClusterEngine& engine, std::size_t batch) override {
+        // Whole-generation processing: measured, or one T_A per offspring.
+        const auto t0 = SteadyClock::now();
+        algorithm_.receive_generation(std::move(generation_));
+        const double measured =
+            std::chrono::duration<double>(SteadyClock::now() - t0).count();
+        double ta_sync = 0.0;
+        if (config_.ta) {
+            for (std::size_t i = 0; i < batch; ++i)
+                ta_sync += config_.ta->sample(engine.group_rng(0));
+        } else {
+            ta_sync = measured;
+        }
+        return {ta_sync, ta_sync / static_cast<double>(batch)};
+    }
+
+    void record_generation(ClusterEngine& engine, double now,
+                           std::uint64_t completed) override {
+        if (auto* recorder = engine.recorder())
+            recorder->on_result(now, completed,
+                                [this] { return algorithm_.front(); });
+    }
+
+    void finalize(ClusterEngine& engine,
+                  const VirtualRunResult& result) override {
+        if (auto* recorder = engine.recorder())
+            recorder->finalize(result.elapsed, result.evaluations,
+                               [this] { return algorithm_.front(); });
+    }
+
+private:
+    moea::GenerationalMoea& algorithm_;
+    const problems::Problem& problem_;
+    const VirtualClusterConfig& config_;
+    std::vector<moea::Solution> generation_;
+    std::vector<double> node_eval_; ///< summed T_F per node, this generation
+};
+
+} // namespace
 
 SyncMasterSlaveExecutor::SyncMasterSlaveExecutor(
     moea::GenerationalMoea& algorithm, const problems::Problem& problem,
@@ -19,182 +108,24 @@ SyncMasterSlaveExecutor::SyncMasterSlaveExecutor(
 }
 
 VirtualRunResult SyncMasterSlaveExecutor::run(std::uint64_t evaluations,
-                                              TrajectoryRecorder* recorder,
-                                              obs::TraceSink* trace,
-                                              obs::MetricsRegistry* metrics) {
+                                              const RunContext& ctx) {
     if (evaluations == 0)
         throw std::invalid_argument("sync executor: evaluations == 0");
     if (algorithm_.evaluations() != 0)
         throw std::logic_error("sync executor: algorithm already used");
 
-    using SteadyClock = std::chrono::steady_clock;
-    util::Rng rng(config_.seed);
-    const std::uint64_t p = config_.processors;
+    ClusterEngine::Setup setup;
+    setup.tf = config_.tf;
+    setup.tc = config_.tc;
+    setup.ta = config_.ta;
+    setup.processors = config_.processors;
+    setup.worker_speed = config_.worker_speed;
+    setup.worker_failure_at = config_.worker_failure_at;
+    setup.groups = {{config_.processors - 1, config_.seed, 0}};
 
-    obs::Histogram* h_tf = nullptr;
-    obs::Histogram* h_ta = nullptr;
-    obs::Histogram* h_wait = nullptr;
-    if (metrics) {
-        h_tf = &metrics->histogram("sync.tf_seconds");
-        h_ta = &metrics->histogram("sync.ta_seconds");
-        h_wait = &metrics->histogram("sync.queue_wait_seconds");
-    }
-    if (trace)
-        trace->record({obs::EventKind::run_start, 0.0, -1,
-                       static_cast<double>(p), evaluations});
-
-    double now = 0.0;
-    double master_busy = 0.0;
-    stats::Accumulator queue_wait, ta_acc, tf_acc;
-    std::uint64_t completed = 0;
-    std::uint64_t contended = 0;
-    std::uint64_t acquires = 0;
-
-    // The master is busy for every serialized send/receive T_C and the
-    // generation processing T_A; each contribution is mirrored as a
-    // `master_hold` trace event so trace_check can re-sum it.
-    const auto hold = [&](double t, double amount) {
-        master_busy += amount;
-        if (trace)
-            trace->record({obs::EventKind::master_hold, t, 0, amount, 0});
-    };
-
-    while (completed < evaluations) {
-        std::vector<moea::Solution> generation = algorithm_.next_generation();
-        const std::size_t batch = generation.size();
-        if (batch == 0)
-            throw std::logic_error("sync executor: empty generation");
-
-        // Round-robin assignment; node 0 is the master.
-        const std::uint64_t nodes =
-            std::min<std::uint64_t>(p, static_cast<std::uint64_t>(batch));
-        std::vector<double> node_eval(nodes, 0.0); // summed T_F per node
-        for (std::size_t i = 0; i < batch; ++i) {
-            moea::evaluate(problem_, generation[i]);
-            const std::size_t node = i % nodes;
-            // Node 0 is the master (nominal speed); workers may be
-            // heterogeneous (worker w = node w - 1).
-            const double speed =
-                (node == 0 || config_.worker_speed.empty())
-                    ? 1.0
-                    : config_.worker_speed[node - 1];
-            const double tf = config_.tf->sample(rng) * speed;
-            tf_acc.add(tf);
-            if (h_tf) h_tf->observe(tf);
-            if (trace)
-                trace->record({obs::EventKind::tf_sample, now,
-                               static_cast<std::int64_t>(node), tf, 0});
-            node_eval[node] += tf;
-        }
-
-        // Serialized sends to the participating workers (nodes 1..).
-        double send_clock = now;
-        std::vector<double> done_times;
-        done_times.reserve(nodes > 0 ? nodes - 1 : 0);
-        for (std::uint64_t w = 1; w < nodes; ++w) {
-            const double tc = config_.tc->sample(rng);
-            if (trace)
-                trace->record({obs::EventKind::tc_sample, send_clock,
-                               static_cast<std::int64_t>(w), tc, 0});
-            send_clock += tc;
-            hold(send_clock, tc);
-            done_times.push_back(send_clock + node_eval[w]);
-        }
-        // The master evaluates its own share after the sends.
-        const double master_done = send_clock + node_eval[0];
-
-        // Serialized receives in completion order, gated by the master's
-        // own evaluation. Each receive is a (request, grant) pair on the
-        // master: a result that lands while the master is still busy has
-        // queued (contended), mirroring the DES resource's accounting.
-        std::sort(done_times.begin(), done_times.end());
-        double recv_clock = master_done;
-        for (const double done : done_times) {
-            ++acquires;
-            const double start = std::max(recv_clock, done);
-            const bool waited = recv_clock > done;
-            if (waited) ++contended;
-            const double wait = start - done;
-            queue_wait.add(wait);
-            if (h_wait) h_wait->observe(wait);
-            if (trace) {
-                trace->record({obs::EventKind::acquire_request, done, 0,
-                               0.0, waited ? 1u : 0u});
-                trace->record({obs::EventKind::acquire_grant, start, 0,
-                               wait, waited ? 1u : 0u});
-            }
-            const double tc = config_.tc->sample(rng);
-            if (trace)
-                trace->record(
-                    {obs::EventKind::tc_sample, start, -1, tc, 0});
-            hold(start + tc, tc);
-            recv_clock = start + tc;
-        }
-
-        // Whole-generation processing: measured, or one T_A per offspring.
-        const auto t0 = SteadyClock::now();
-        algorithm_.receive_generation(std::move(generation));
-        const double measured =
-            std::chrono::duration<double>(SteadyClock::now() - t0).count();
-        double ta_sync = 0.0;
-        if (config_.ta) {
-            for (std::size_t i = 0; i < batch; ++i)
-                ta_sync += config_.ta->sample(rng);
-        } else {
-            ta_sync = measured;
-        }
-        const double ta_per_offspring =
-            ta_sync / static_cast<double>(batch);
-        ta_acc.add(ta_per_offspring);
-        if (h_ta) h_ta->observe(ta_per_offspring);
-        hold(recv_clock + ta_sync, ta_sync);
-        now = recv_clock + ta_sync;
-        if (trace)
-            trace->record({obs::EventKind::ta_sample, now, -1,
-                           ta_per_offspring, 0});
-
-        completed += batch;
-        if (trace)
-            trace->record(
-                {obs::EventKind::generation, now, -1, 0.0, completed});
-        if (recorder)
-            recorder->on_result(now, completed,
-                                [&] { return algorithm_.front(); });
-    }
-
-    VirtualRunResult result;
-    result.evaluations = completed;
-    result.completed_target = completed >= evaluations;
-    result.elapsed = now;
-    result.master_busy_fraction = now > 0.0 ? master_busy / now : 0.0;
-    result.mean_queue_wait = queue_wait.mean();
-    result.contention_rate =
-        acquires > 0
-            ? static_cast<double>(contended) / static_cast<double>(acquires)
-            : 0.0;
-    result.ta_applied.count = ta_acc.count();
-    result.ta_applied.mean = ta_acc.mean();
-    result.ta_applied.stddev = ta_acc.stddev();
-    result.ta_applied.min = ta_acc.min();
-    result.ta_applied.max = ta_acc.max();
-    result.tf_applied.count = tf_acc.count();
-    result.tf_applied.mean = tf_acc.mean();
-    result.tf_applied.stddev = tf_acc.stddev();
-    result.tf_applied.min = tf_acc.min();
-    result.tf_applied.max = tf_acc.max();
-    if (trace)
-        trace->record({obs::EventKind::run_end, result.elapsed, -1,
-                       result.elapsed, completed});
-    if (metrics) {
-        metrics->counter("sync.results").inc(completed);
-        metrics->gauge("sync.elapsed_seconds").set(result.elapsed);
-        metrics->gauge("sync.master_busy_fraction")
-            .set(result.master_busy_fraction);
-        metrics->gauge("sync.contention_rate").set(result.contention_rate);
-    }
-    if (recorder)
-        recorder->finalize(now, completed, [&] { return algorithm_.front(); });
-    return result;
+    ClusterEngine engine(std::move(setup), ctx);
+    SyncBorgPolicy policy(algorithm_, problem_, config_);
+    return engine.run_generational(policy, evaluations);
 }
 
 } // namespace borg::parallel

@@ -18,13 +18,9 @@
 #include <cstdint>
 
 #include "moea/nsga2.hpp"
+#include "parallel/run_context.hpp"
 #include "parallel/trajectory.hpp"
 #include "parallel/virtual_cluster.hpp"
-
-namespace borg::obs {
-class TraceSink;
-class MetricsRegistry;
-} // namespace borg::obs
 
 namespace borg::parallel {
 
@@ -37,15 +33,20 @@ public:
                             VirtualClusterConfig config);
 
     /// Runs whole generations until at least \p evaluations results have
-    /// been ingested (the final generation is not truncated). \p trace, if
-    /// given, receives the typed event stream (T_F/T_C/T_A samples, master
-    /// holds, synthetic acquire request/grant pairs for the serialized
-    /// receives, one `generation` event per barrier — DESIGN.md §8);
-    /// \p metrics receives instruments under the "sync." prefix.
+    /// been ingested (the final generation is not truncated). ctx.trace,
+    /// if given, receives the typed event stream (T_F/T_C/T_A samples,
+    /// master holds, synthetic acquire request/grant pairs for the
+    /// serialized receives, one `generation` event per barrier —
+    /// DESIGN.md §8); ctx.metrics receives instruments under the "sync."
+    /// prefix; ctx.recorder is called once per generation.
+    ///
+    /// Fault injection (worker_failure_at) has barrier semantics: a worker
+    /// that dies mid-generation deserts the barrier and the run aborts
+    /// after the surviving receives with completed_target == false — a
+    /// synchronous protocol has no redispatch path. Workers already dead
+    /// at planning time are simply excluded from the round-robin.
     VirtualRunResult run(std::uint64_t evaluations,
-                         TrajectoryRecorder* recorder = nullptr,
-                         obs::TraceSink* trace = nullptr,
-                         obs::MetricsRegistry* metrics = nullptr);
+                         const RunContext& ctx = {});
 
 private:
     moea::GenerationalMoea& algorithm_;

@@ -38,8 +38,9 @@ ThreadMasterSlaveExecutor::ThreadMasterSlaveExecutor(std::size_t workers)
 
 ThreadRunResult ThreadMasterSlaveExecutor::run(
     moea::BorgMoea& algorithm, const problems::Problem& problem,
-    std::uint64_t evaluations, obs::TraceSink* trace,
-    obs::MetricsRegistry* metrics) {
+    std::uint64_t evaluations, const RunContext& ctx) {
+    obs::TraceSink* trace = ctx.trace;
+    obs::MetricsRegistry* metrics = ctx.metrics;
     if (evaluations == 0)
         throw std::invalid_argument("thread executor: evaluations == 0");
     if (algorithm.evaluations() != 0)

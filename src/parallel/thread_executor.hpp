@@ -25,12 +25,8 @@
 #include <vector>
 
 #include "moea/borg.hpp"
+#include "parallel/run_context.hpp"
 #include "problems/problem.hpp"
-
-namespace borg::obs {
-class TraceSink;
-class MetricsRegistry;
-} // namespace borg::obs
 
 namespace borg::parallel {
 
@@ -57,15 +53,15 @@ public:
     /// If an evaluation throws inside a worker thread, the exception is
     /// captured, every thread is shut down and joined, and the exception
     /// is rethrown here (it previously escaped the thread body and called
-    /// std::terminate). \p trace, if given, receives the event stream —
+    /// std::terminate). ctx.trace, if given, receives the event stream —
     /// emitted from the master thread only, with times in wall-clock
-    /// seconds since run start; \p metrics receives instruments under the
-    /// "thread." prefix. Either may be null at zero cost.
+    /// seconds since run start; ctx.metrics receives instruments under the
+    /// "thread." prefix; ctx.recorder is not consulted (wall-clock runs
+    /// checkpoint through their own measured samples).
     ThreadRunResult run(moea::BorgMoea& algorithm,
                         const problems::Problem& problem,
                         std::uint64_t evaluations,
-                        obs::TraceSink* trace = nullptr,
-                        obs::MetricsRegistry* metrics = nullptr);
+                        const RunContext& ctx = {});
 
 private:
     std::size_t workers_;

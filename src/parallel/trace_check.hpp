@@ -2,32 +2,55 @@
 #define BORG_PARALLEL_TRACE_CHECK_HPP
 
 /// \file trace_check.hpp
-/// Cross-validates an executor's reported VirtualRunResult against the
-/// aggregates recomputed from its own event trace (obs::recompute).
+/// Adapts executor results to the obs-layer trace cross-validator.
 ///
-/// Every quantity the paper's model consumes — master busy fraction
-/// (saturation, Eq. 3 inputs), mean queue wait (the contention the
-/// analytical model misses), contention rate, applied T_F/T_A summaries,
-/// elapsed T_P — must agree between the two accountings within \p tol.
-/// The `trace_check` bench driver and the event-trace tests run this after
-/// real runs, so any future drift in executor bookkeeping (like the
-/// fault-path and elapsed-time bugs this layer was built to catch) fails
-/// loudly instead of skewing results.
+/// The recompute-and-compare logic lives entirely in obs/trace_check.hpp
+/// (one layer, one copy of the arithmetic); this header only projects a
+/// VirtualRunResult onto obs::ReportedRun. Every quantity the paper's
+/// model consumes — master busy fraction (saturation, Eq. 3 inputs), mean
+/// queue wait, contention rate, applied T_F/T_A summaries, elapsed T_P —
+/// must agree between the executor's accounting and the trace within
+/// \p tol. The `trace_check` bench driver and the event-trace tests run
+/// this after real runs, so any future drift in engine or policy
+/// bookkeeping fails loudly instead of skewing results.
 
 #include <string>
 #include <vector>
 
-#include "obs/event_trace.hpp"
+#include "obs/trace_check.hpp"
 #include "parallel/virtual_cluster.hpp"
 
 namespace borg::parallel {
 
+/// \p check_samples: false for protocols that do not mirror T_F/T_A draws
+/// into the trace (the multi-master executor).
+inline obs::ReportedRun to_reported(const VirtualRunResult& result,
+                                    bool check_samples = true) {
+    obs::ReportedRun reported;
+    reported.evaluations = result.evaluations;
+    reported.failed_workers =
+        static_cast<std::uint64_t>(result.failed_workers);
+    reported.completed_target = result.completed_target;
+    reported.elapsed = result.elapsed;
+    reported.master_busy_fraction = result.master_busy_fraction;
+    reported.mean_queue_wait = result.mean_queue_wait;
+    reported.contention_rate = result.contention_rate;
+    reported.check_samples = check_samples;
+    reported.tf_count = result.tf_applied.count;
+    reported.tf_mean = result.tf_applied.mean;
+    reported.ta_count = result.ta_applied.count;
+    reported.ta_mean = result.ta_applied.mean;
+    return reported;
+}
+
 /// Returns one human-readable message per discrepancy; empty means the
 /// trace and the reported result are consistent. \p tol is the absolute
 /// tolerance for floating-point comparisons (counts must match exactly).
-std::vector<std::string> cross_validate(const obs::EventTrace& trace,
-                                        const VirtualRunResult& reported,
-                                        double tol = 1e-9);
+inline std::vector<std::string>
+cross_validate(const obs::EventTrace& trace, const VirtualRunResult& reported,
+               double tol = 1e-9) {
+    return obs::cross_validate(trace, to_reported(reported), tol);
+}
 
 } // namespace borg::parallel
 

@@ -5,6 +5,10 @@
 namespace borg::parallel {
 
 void validate(const VirtualClusterConfig& config) {
+    validate(config, config.processors >= 1 ? config.processors - 1 : 0);
+}
+
+void validate(const VirtualClusterConfig& config, std::uint64_t workers) {
     if (config.processors < 2)
         throw std::invalid_argument(
             "virtual cluster: need P >= 2 (1 master + 1 worker)");
@@ -12,8 +16,6 @@ void validate(const VirtualClusterConfig& config) {
         throw std::invalid_argument("virtual cluster: missing T_F distribution");
     if (!config.tc)
         throw std::invalid_argument("virtual cluster: missing T_C distribution");
-    const std::size_t workers =
-        static_cast<std::size_t>(config.processors - 1);
     if (!config.worker_speed.empty() &&
         config.worker_speed.size() != workers)
         throw std::invalid_argument(

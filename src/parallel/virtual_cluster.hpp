@@ -83,8 +83,11 @@ struct VirtualRunResult {
 };
 
 /// Throws std::invalid_argument unless the config is usable (ta may be
-/// null; tf and tc may not).
+/// null; tf and tc may not). The single-master form sizes the per-worker
+/// arrays against processors - 1; topologies with more than one master
+/// pass their actual worker count explicitly.
 void validate(const VirtualClusterConfig& config);
+void validate(const VirtualClusterConfig& config, std::uint64_t workers);
 
 } // namespace borg::parallel
 

@@ -112,7 +112,7 @@ TEST(AsyncExecutor, RecordsTrajectory) {
     metrics::HypervolumeNormalizer normalizer(refset);
     TrajectoryRecorder recorder(normalizer, 1000);
     AsyncMasterSlaveExecutor exec(algo, *f.problem, f.cluster(16));
-    const auto result = exec.run(10000, &recorder);
+    const auto result = exec.run(10000, {.recorder = &recorder});
 
     ASSERT_GE(recorder.points().size(), 10u);
     double last_time = 0.0;
@@ -201,7 +201,8 @@ TEST(SerialVirtual, RecordsTrajectory) {
     const auto refset = problems::reference_set_for("zdt1");
     metrics::HypervolumeNormalizer normalizer(refset);
     TrajectoryRecorder recorder(normalizer, 2000);
-    run_serial_virtual(algo, *f.problem, f.cluster(2, 5), 10000, &recorder);
+    run_serial_virtual(algo, *f.problem, f.cluster(2, 5), 10000,
+                       {.recorder = &recorder});
     EXPECT_GE(recorder.points().size(), 5u);
     // Hypervolume should improve over the run on ZDT1.
     EXPECT_GT(recorder.points().back().hypervolume,

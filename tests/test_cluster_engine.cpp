@@ -1,0 +1,159 @@
+/// Edge-case tests for the ClusterEngine — the single virtual-time
+/// master-slave engine behind every executor and the simulation model
+/// (DESIGN.md §10). The protocol-level behaviour is covered by the
+/// executor suites and the golden traces; this file probes the engine's
+/// boundaries: minimal clusters, empty runs, failures that land while a
+/// worker holds the master slot, and degenerate island topologies.
+
+#include "parallel/cluster_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "moea/nsga2.hpp"
+#include "obs/event_trace.hpp"
+#include "obs/trace_check.hpp"
+#include "parallel/async_executor.hpp"
+#include "parallel/multi_master.hpp"
+#include "parallel/sync_executor.hpp"
+#include "parallel/trace_check.hpp"
+#include "problems/problem.hpp"
+
+namespace {
+
+using namespace borg;
+using namespace borg::parallel;
+using borg::stats::Distribution;
+using borg::stats::make_delay;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Fixture {
+    std::unique_ptr<problems::Problem> problem =
+        problems::make_problem("zdt1");
+    std::unique_ptr<Distribution> tf = make_delay(0.01, 0.0);
+    std::unique_ptr<Distribution> tc = make_delay(0.000006, 0.0);
+    std::unique_ptr<Distribution> ta = make_delay(0.000029, 0.0);
+
+    moea::BorgParams params() const {
+        return moea::BorgParams::for_problem(*problem, 0.01);
+    }
+    VirtualClusterConfig cluster(std::uint64_t p,
+                                 std::uint64_t seed = 1) const {
+        return VirtualClusterConfig{p, tf.get(), tc.get(), ta.get(), seed};
+    }
+};
+
+// ---------------------------------------------------- minimal clusters
+
+TEST(EngineEdge, AsyncP2SingleWorkerCompletes) {
+    // P = 2 is the smallest legal cluster: one master, one worker. The
+    // protocol degenerates to strict alternation with zero contention.
+    Fixture f;
+    moea::BorgMoea algo(*f.problem, f.params(), 2);
+    AsyncMasterSlaveExecutor exec(algo, *f.problem, f.cluster(2, 3));
+    obs::EventTrace trace;
+    const auto result = exec.run(500, {.trace = &trace});
+    EXPECT_TRUE(result.completed_target);
+    EXPECT_EQ(result.evaluations, 500u);
+    EXPECT_DOUBLE_EQ(result.contention_rate, 0.0);
+    for (const auto& issue : cross_validate(trace, result))
+        ADD_FAILURE() << issue;
+}
+
+TEST(EngineEdge, SyncP2SingleWorkerCompletes) {
+    Fixture f;
+    moea::Nsga2 algo(*f.problem, 8, 4);
+    SyncMasterSlaveExecutor exec(algo, *f.problem, f.cluster(2, 5));
+    obs::EventTrace trace;
+    const auto result = exec.run(160, {.trace = &trace});
+    EXPECT_TRUE(result.completed_target);
+    EXPECT_GE(result.evaluations, 160u);
+    for (const auto& issue : cross_validate(trace, result))
+        ADD_FAILURE() << issue;
+}
+
+// ------------------------------------------------- zero-evaluation runs
+
+TEST(EngineEdge, ZeroEvaluationRunsThrowEverywhere) {
+    Fixture f;
+    moea::BorgMoea async_algo(*f.problem, f.params(), 6);
+    AsyncMasterSlaveExecutor async_exec(async_algo, *f.problem,
+                                        f.cluster(4, 7));
+    EXPECT_THROW(async_exec.run(0), std::invalid_argument);
+
+    moea::Nsga2 sync_algo(*f.problem, 8, 8);
+    SyncMasterSlaveExecutor sync_exec(sync_algo, *f.problem, f.cluster(4, 9));
+    EXPECT_THROW(sync_exec.run(0), std::invalid_argument);
+
+    MultiMasterConfig mm;
+    mm.cluster = f.cluster(8, 10);
+    mm.islands = 2;
+    MultiMasterExecutor mm_exec(*f.problem, f.params(), mm);
+    EXPECT_THROW(mm_exec.run(0), std::invalid_argument);
+}
+
+// ------------------------------- failure while holding the master slot
+
+TEST(EngineEdge, FailureDuringMasterServiceReleasesTheSlot) {
+    // Worker 0's failure time lands inside its first steady-state master
+    // service (it is granted the master at ~0.01006 and holds it for
+    // T_A + 2 T_C). The engine only retires workers at the loop top, so
+    // the in-flight service completes, the slot is released, and the
+    // survivor finishes the run — a failure mid-hold must never leak the
+    // capacity-1 resource and deadlock the cluster.
+    Fixture f;
+    VirtualClusterConfig cfg = f.cluster(3, 11);
+    cfg.worker_failure_at = {0.010065, kInf};
+    moea::BorgMoea algo(*f.problem, f.params(), 12);
+    AsyncMasterSlaveExecutor exec(algo, *f.problem, cfg);
+    obs::EventTrace trace;
+    const auto result = exec.run(400, {.trace = &trace});
+    EXPECT_TRUE(result.completed_target);
+    EXPECT_EQ(result.evaluations, 400u);
+    EXPECT_EQ(result.failed_workers, 1u);
+    // Every granted acquisition was requested and the failed worker's
+    // final service still counted: the trace stays internally consistent.
+    const auto agg = obs::recompute(trace);
+    EXPECT_EQ(agg.grants, agg.total_acquires);
+    EXPECT_EQ(agg.worker_failures, 1u);
+    for (const auto& issue : cross_validate(trace, result))
+        ADD_FAILURE() << issue;
+}
+
+// ------------------------------------------- degenerate island topology
+
+TEST(EngineEdge, MultiMasterOneWorkerPerIsland) {
+    // islands == workers: every island is a P = 2 master-slave pair
+    // (processors == 2 * islands), the thinnest topology the validator
+    // accepts.
+    Fixture f;
+    MultiMasterConfig mm;
+    mm.cluster = f.cluster(6, 13);
+    mm.islands = 3;
+    mm.migration_interval = 100;
+    MultiMasterExecutor exec(*f.problem, f.params(), mm);
+    obs::EventTrace trace;
+    const auto result = exec.run(900, {.trace = &trace});
+    EXPECT_TRUE(result.completed_target);
+    EXPECT_EQ(result.evaluations, 900u);
+    std::uint64_t total = 0;
+    for (const auto e : result.island_evaluations) total += e;
+    EXPECT_EQ(total, 900u);
+    EXPECT_EQ(trace.count(obs::EventKind::worker_spawn), 3u);
+    for (const auto& issue :
+         obs::cross_validate(trace, to_reported(result,
+                                                /*check_samples=*/false)))
+        ADD_FAILURE() << issue;
+
+    // One more master than workers is rejected outright.
+    MultiMasterConfig too_thin;
+    too_thin.cluster = f.cluster(5, 14);
+    too_thin.islands = 3;
+    EXPECT_THROW(MultiMasterExecutor(*f.problem, f.params(), too_thin),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -106,7 +106,7 @@ TEST(AsyncTrace, SameSeedRunsEmitByteIdenticalTraces) {
     for (obs::EventTrace* trace : {&trace_a, &trace_b}) {
         moea::BorgMoea algo(*f.problem, f.params(), 21);
         AsyncMasterSlaveExecutor exec(algo, *f.problem, f.cluster(9, 22));
-        exec.run(4000, nullptr, trace);
+        exec.run(4000, {.trace = trace});
     }
     ASSERT_EQ(trace_a.size(), trace_b.size());
     EXPECT_TRUE(trace_a.events() == trace_b.events());
@@ -118,7 +118,7 @@ TEST(AsyncTrace, ReportedAggregatesMatchTraceRecomputation) {
     obs::EventTrace trace;
     moea::BorgMoea algo(*f.problem, f.params(), 23);
     AsyncMasterSlaveExecutor exec(algo, *f.problem, f.cluster(9, 24));
-    const auto reported = exec.run(4000, nullptr, &trace);
+    const auto reported = exec.run(4000, {.trace = &trace});
 
     const auto issues = cross_validate(trace, reported);
     for (const auto& issue : issues) ADD_FAILURE() << issue;
@@ -136,7 +136,7 @@ TEST(AsyncTrace, MetricsMirrorTheRunResult) {
     obs::MetricsRegistry metrics;
     moea::BorgMoea algo(*f.problem, f.params(), 25);
     AsyncMasterSlaveExecutor exec(algo, *f.problem, f.cluster(9, 26));
-    const auto result = exec.run(3000, nullptr, nullptr, &metrics);
+    const auto result = exec.run(3000, {.metrics = &metrics});
 
     const auto* results = metrics.find_counter("async.results");
     ASSERT_NE(results, nullptr);
@@ -172,7 +172,7 @@ TEST(SyncTrace, ReportedAggregatesMatchTraceRecomputation) {
     obs::EventTrace trace;
     moea::Nsga2 algo(*f.problem, 17, 31);
     SyncMasterSlaveExecutor exec(algo, *f.problem, f.cluster(17, 32));
-    const auto reported = exec.run(4000, nullptr, &trace);
+    const auto reported = exec.run(4000, {.trace = &trace});
 
     const auto issues = cross_validate(trace, reported);
     for (const auto& issue : issues) ADD_FAILURE() << issue;
@@ -188,7 +188,7 @@ TEST(SyncTrace, SameSeedRunsEmitByteIdenticalTraces) {
     for (obs::EventTrace* trace : {&trace_a, &trace_b}) {
         moea::Nsga2 algo(*f.problem, 17, 33);
         SyncMasterSlaveExecutor exec(algo, *f.problem, f.cluster(17, 34));
-        exec.run(3000, nullptr, trace);
+        exec.run(3000, {.trace = trace});
     }
     EXPECT_EQ(trace_a.to_jsonl(), trace_b.to_jsonl());
 }
@@ -202,7 +202,7 @@ TEST(ThreadTrace, TraceCarriesOneResultPerEvaluation) {
     ThreadMasterSlaveExecutor exec(4);
     obs::EventTrace trace;
     obs::MetricsRegistry metrics;
-    const auto result = exec.run(algo, *problem, 2000, &trace, &metrics);
+    const auto result = exec.run(algo, *problem, 2000, {.trace = &trace, .metrics = &metrics});
 
     EXPECT_EQ(trace.count(EventKind::result), 2000u);
     EXPECT_EQ(trace.count(EventKind::worker_spawn), 4u);

@@ -9,8 +9,11 @@
 #include <memory>
 
 #include "moea/nsga2.hpp"
+#include "obs/event_trace.hpp"
 #include "parallel/async_executor.hpp"
+#include "parallel/multi_master.hpp"
 #include "parallel/sync_executor.hpp"
+#include "parallel/trace_check.hpp"
 #include "problems/problem.hpp"
 
 namespace {
@@ -174,6 +177,114 @@ TEST(FaultInjection, ValidatesFailureVector) {
     VirtualClusterConfig cfg = f.cluster(4);
     cfg.worker_failure_at = {1.0}; // wrong size
     EXPECT_THROW(validate(cfg), std::invalid_argument);
+}
+
+// --------------------------------------- sync executor fault injection
+//
+// The synchronous protocol has no redispatch path: a worker that dies
+// while the barrier waits on its result deserts the generation, so the
+// run aborts after the surviving receives (DESIGN.md §10). Only workers
+// already dead at plan time can be routed around.
+
+TEST(SyncFaultInjection, PreRunFailuresShrinkTheBarrier) {
+    Fixture f;
+    VirtualClusterConfig cfg = f.cluster(9, 16);
+    cfg.worker_failure_at = {0.0, 0.0, kInf, kInf, kInf, kInf, kInf, kInf};
+    moea::Nsga2 algo(*f.problem, 16, 17);
+    const auto result =
+        SyncMasterSlaveExecutor(algo, *f.problem, cfg).run(1600);
+    EXPECT_TRUE(result.completed_target);
+    EXPECT_GE(result.evaluations, 1600u);
+    EXPECT_EQ(result.failed_workers, 2u);
+}
+
+TEST(SyncFaultInjection, MidGenerationFailureStarvesTheRun) {
+    Fixture f;
+    VirtualClusterConfig cfg = f.cluster(9, 18);
+    cfg.worker_failure_at = {kInf, kInf, 0.05, kInf, kInf, kInf, kInf, kInf};
+    moea::Nsga2 algo(*f.problem, 16, 19);
+    obs::EventTrace trace;
+    const auto result = SyncMasterSlaveExecutor(algo, *f.problem, cfg)
+                            .run(3200, {.trace = &trace});
+    EXPECT_FALSE(result.completed_target);
+    EXPECT_EQ(result.failed_workers, 1u);
+    EXPECT_GT(result.evaluations, 0u); // generations before the death count
+    EXPECT_LT(result.evaluations, 3200u);
+    // The aborted run's accounting still matches its own trace.
+    for (const auto& issue : cross_validate(trace, result))
+        ADD_FAILURE() << issue;
+}
+
+TEST(SyncFaultInjection, StragglerSpeedStillCompletes) {
+    // Heterogeneous speeds stretch the barrier but never desert it:
+    // slow workers are not failures.
+    Fixture f;
+    VirtualClusterConfig cfg = f.cluster(9, 20);
+    cfg.worker_speed = {1.0, 4.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+    moea::Nsga2 algo(*f.problem, 16, 21);
+    const auto result =
+        SyncMasterSlaveExecutor(algo, *f.problem, cfg).run(800);
+    EXPECT_TRUE(result.completed_target);
+    EXPECT_EQ(result.failed_workers, 0u);
+}
+
+// -------------------------------------- multi-master fault injection
+
+MultiMasterConfig island_config(const Fixture& f, std::uint64_t p,
+                                std::uint64_t islands, std::uint64_t seed) {
+    MultiMasterConfig cfg;
+    cfg.cluster =
+        VirtualClusterConfig{p, f.tf.get(), f.tc.get(), f.ta.get(), seed};
+    cfg.islands = islands;
+    cfg.migration_interval = 200;
+    return cfg;
+}
+
+TEST(MultiMasterFaultInjection, SurvivingIslandCarriesTheRun) {
+    // Island 0 loses all four of its workers early; island 1 keeps
+    // claiming from the global budget and the run still completes.
+    Fixture f;
+    MultiMasterConfig cfg = island_config(f, 10, 2, 22);
+    cfg.cluster.worker_failure_at = {0.1, 0.1, 0.1, 0.1,
+                                     kInf, kInf, kInf, kInf};
+    MultiMasterExecutor exec(*f.problem, f.params(), cfg);
+    const auto result = exec.run(4000);
+    EXPECT_TRUE(result.completed_target);
+    EXPECT_EQ(result.evaluations, 4000u);
+    EXPECT_EQ(result.failed_workers, 4u);
+    EXPECT_GT(result.island_evaluations[1], result.island_evaluations[0]);
+}
+
+TEST(MultiMasterFaultInjection, TotalFleetLossStarvesTheRun) {
+    Fixture f;
+    MultiMasterConfig cfg = island_config(f, 10, 2, 23);
+    cfg.cluster.worker_failure_at = std::vector<double>(8, 0.05);
+    MultiMasterExecutor exec(*f.problem, f.params(), cfg);
+    obs::EventTrace trace;
+    const auto result = exec.run(100000, {.trace = &trace});
+    EXPECT_FALSE(result.completed_target);
+    EXPECT_EQ(result.failed_workers, 8u);
+    EXPECT_GT(result.evaluations, 0u);
+    EXPECT_LT(result.evaluations, 100000u);
+    for (const auto& issue :
+         obs::cross_validate(trace, to_reported(result,
+                                                /*check_samples=*/false)))
+        ADD_FAILURE() << issue;
+}
+
+TEST(MultiMasterFaultInjection, FastIslandAbsorbsMoreOfTheBudget) {
+    // Island 1's workers run 3x slower; the shared evaluation budget is
+    // claim-based, so the fast island performs roughly 3x the work.
+    Fixture f;
+    MultiMasterConfig cfg = island_config(f, 10, 2, 24);
+    cfg.cluster.worker_speed = {1.0, 1.0, 1.0, 1.0, 3.0, 3.0, 3.0, 3.0};
+    MultiMasterExecutor exec(*f.problem, f.params(), cfg);
+    const auto result = exec.run(6000);
+    EXPECT_TRUE(result.completed_target);
+    const double ratio =
+        static_cast<double>(result.island_evaluations[0]) /
+        static_cast<double>(result.island_evaluations[1]);
+    EXPECT_NEAR(ratio, 3.0, 0.5);
 }
 
 } // namespace

@@ -123,13 +123,13 @@ TEST(PaperClaims, HypervolumeSpeedupFlatWhenEfficient) {
     moea::BorgMoea serial_algo(*e.problem, e.params(), 7);
     parallel::TrajectoryRecorder serial_rec(normalizer, 2000);
     run_serial_virtual(serial_algo, *e.problem, e.cluster(2, 8), n,
-                       &serial_rec);
+                       {.recorder = &serial_rec});
 
     moea::BorgMoea par_algo(*e.problem, e.params(), 7);
     parallel::TrajectoryRecorder par_rec(normalizer, 2000);
     parallel::AsyncMasterSlaveExecutor exec(par_algo, *e.problem,
                                             e.cluster(32, 8));
-    exec.run(n, &par_rec);
+    exec.run(n, {.recorder = &par_rec});
 
     // Evaluate S^h over thresholds both runs attained.
     const double h_max = std::min(serial_rec.final_hypervolume(),

@@ -56,7 +56,7 @@ TEST(MultiMaster, TraceAttributesEventsToIslands) {
     Fixture f;
     MultiMasterExecutor exec(*f.problem, f.params(), f.config(32, 4, 500));
     obs::EventTrace trace;
-    const auto result = exec.run(8000, &trace);
+    const auto result = exec.run(8000, {.trace = &trace});
 
     using obs::EventKind;
     EXPECT_EQ(trace.count(EventKind::result), result.evaluations);

@@ -27,7 +27,7 @@ std::vector<double> run_grid(std::size_t jobs,
                              const std::vector<std::size_t>& order = {}) {
     constexpr std::size_t kCells = 64;
     std::vector<double> slots(kCells, 0.0);
-    SweepRunner runner({jobs});
+    SweepRunner runner({.jobs = jobs});
     const SweepReport report = runner.run(kCells, [&](std::size_t i) {
         util::Rng rng(util::derive_seed(
             2013, static_cast<std::uint64_t>(i), 7));
@@ -75,7 +75,7 @@ TEST(SweepRunner, ShuffledSubmissionOrderProducesIdenticalSlots) {
 }
 
 TEST(SweepRunner, RejectsBadSubmissionOrder) {
-    SweepRunner runner({1});
+    SweepRunner runner({.jobs = 1});
     const auto noop = [](std::size_t) {};
     EXPECT_THROW(runner.run(3, noop, {0, 1}), std::invalid_argument);
     EXPECT_THROW(runner.run(3, noop, {0, 1, 1}), std::invalid_argument);
@@ -85,7 +85,7 @@ TEST(SweepRunner, RejectsBadSubmissionOrder) {
 TEST(SweepRunner, ThrowingCellIsIsolatedAndReportedPerCell) {
     constexpr std::size_t kCells = 32;
     std::vector<int> ran(kCells, 0);
-    SweepRunner runner({4});
+    SweepRunner runner({.jobs = 4});
     const SweepReport report = runner.run(kCells, [&](std::size_t i) {
         if (i == 5) throw std::runtime_error("cell five exploded");
         if (i == 17) throw std::domain_error("cell seventeen too");
@@ -118,7 +118,7 @@ TEST(SweepRunner, ThrowingCellIsIsolatedAndReportedPerCell) {
 }
 
 TEST(SweepRunner, CleanReportDoesNotThrow) {
-    SweepRunner runner({2});
+    SweepRunner runner({.jobs = 2});
     const SweepReport report = runner.run(8, [](std::size_t) {});
     EXPECT_EQ(report.failures(), 0u);
     EXPECT_NO_THROW(report.throw_if_failed());
@@ -127,7 +127,11 @@ TEST(SweepRunner, CleanReportDoesNotThrow) {
 TEST(SweepRunner, EmitsProgressMetrics) {
     obs::MetricsRegistry metrics;
     std::ostringstream progress;
-    SweepRunner runner({2, &metrics, &progress, "unit"});
+    SweepRunner runner(
+        {.jobs = 2,
+         .obs = {.metrics = &metrics},
+         .progress = &progress,
+         .label = "unit"});
     const SweepReport report = runner.run(10, [&](std::size_t i) {
         if (i == 3) throw std::runtime_error("x");
     });
@@ -156,7 +160,7 @@ TEST(SweepRunner, EmitsProgressMetrics) {
 
 TEST(SweepRunner, ZeroCellsIsANoOp) {
     obs::MetricsRegistry metrics;
-    SweepRunner runner({1, &metrics});
+    SweepRunner runner({.jobs = 1, .obs = {.metrics = &metrics}});
     const SweepReport report = runner.run(0, [](std::size_t) {
         FAIL() << "cell function must not run";
     });

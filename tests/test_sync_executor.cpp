@@ -94,7 +94,7 @@ TEST(SyncExecutor, RecordsGenerationCheckpoints) {
     metrics::HypervolumeNormalizer normalizer(refset);
     TrajectoryRecorder recorder(normalizer, 25);
     SyncMasterSlaveExecutor exec(algo, *f.problem, f.cluster(25, 9));
-    exec.run(500, &recorder);
+    exec.run(500, {.recorder = &recorder});
     EXPECT_GE(recorder.points().size(), 10u);
 }
 
