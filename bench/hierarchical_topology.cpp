@@ -11,6 +11,7 @@
 /// Flags: --problem dtlz2_5  --tf 0.001  --procs 512  --evals 100000
 ///        --islands 1,2,4,8,16  --migration 1000  --epsilon 0.15
 ///        --replicates 2  --seed 2013  --quick
+///        --hv-algo {auto,wfg,naive,mc}  --hv-mc-samples N
 
 #include <iostream>
 
@@ -27,7 +28,8 @@ int main(int argc, char** argv) {
 
     util::CliArgs args(argc, argv);
     args.check_known({"problem", "tf", "procs", "evals", "islands",
-                      "migration", "epsilon", "replicates", "seed", "quick"});
+                      "migration", "epsilon", "replicates", "seed", "quick",
+                      "hv-algo", "hv-mc-samples"});
     const std::string problem_name = args.get("problem", "dtlz2_5");
     const double tf_mean = args.get_double("tf", 0.001);
     const auto procs = static_cast<std::uint64_t>(args.get_int("procs", 512));
@@ -46,9 +48,12 @@ int main(int argc, char** argv) {
         islands = {1, 4, 16};
     }
 
+    const metrics::HvConfig hv = metrics::hv_config_from_cli(args);
+
     const auto problem = problems::make_problem(problem_name);
     const auto refset = problems::reference_set_for(problem_name);
-    const metrics::HypervolumeNormalizer normalizer(refset);
+    const metrics::HypervolumeNormalizer normalizer(refset, /*margin=*/0.1,
+                                                    hv);
 
     const double ta_mean = bench::paper_ta_mean(problem_name, procs);
     const auto tf = stats::make_delay(tf_mean, 0.1);

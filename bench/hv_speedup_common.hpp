@@ -21,6 +21,7 @@
 /// Flags: --tf 0.001,0.01,0.1  --procs 16,...,1024  --evals 50000
 ///        --replicates 1  --epsilon 0.15  --checkpoints 50  --seed 2013
 ///        --jobs N (default: hardware concurrency)  --metrics  --quick
+///        --hv-algo {auto,wfg,naive,mc}  --hv-mc-samples N
 
 #include <cmath>
 #include <iostream>
@@ -48,13 +49,14 @@ struct HvSpeedupOptions {
     std::size_t jobs = 0; ///< sweep threads; 0 = hardware concurrency
     bool csv = false;
     bool metrics = false; ///< dump the sweep metrics JSON to stderr
+    metrics::HvConfig hv; ///< hypervolume policy for every checkpoint
 };
 
 inline HvSpeedupOptions parse_hv_options(int argc, char** argv) {
     util::CliArgs args(argc, argv);
     args.check_known({"tf", "procs", "evals", "replicates", "epsilon",
                       "checkpoints", "seed", "jobs", "metrics", "quick",
-                      "csv"});
+                      "csv", "hv-algo", "hv-mc-samples"});
     HvSpeedupOptions opt;
     opt.tfs = args.get_doubles("tf", opt.tfs);
     opt.procs = args.get_ints("procs", opt.procs);
@@ -70,6 +72,7 @@ inline HvSpeedupOptions parse_hv_options(int argc, char** argv) {
     opt.jobs = parse_jobs(args);
     opt.csv = args.get_bool("csv");
     opt.metrics = args.get_bool("metrics");
+    opt.hv = metrics::hv_config_from_cli(args);
     if (args.get_bool("quick")) {
         opt.tfs = {0.01};
         opt.procs = {16, 64, 256, 1024};
@@ -86,8 +89,9 @@ inline int run_hv_speedup(const std::string& problem_name,
     // The reference-set hypervolume is identical for every cell; memoize
     // it once and share the immutable normalizer across all threads.
     const auto normalizer = metrics::NormalizerCache::global().get(
-        problem_name,
-        [&] { return problems::reference_set_for(problem_name); });
+        metrics::normalizer_cache_key(problem_name, opt.hv),
+        [&] { return problems::reference_set_for(problem_name); },
+        /*margin=*/0.1, opt.hv);
     const std::uint64_t interval =
         std::max<std::uint64_t>(1, opt.evals / opt.checkpoints);
 

@@ -1,23 +1,42 @@
-/// Micro-benchmarks for hypervolume computation: the exact WFG recursion
-/// against the Monte Carlo estimator over dimensions and front sizes —
-/// the cost driver of the Figure 3/4 trajectory analysis.
+/// Hypervolume kernel benchmark and agreement gate.
+///
+/// Sweeps {3,5,7} objectives x {10,50,200} points over simplex-like fronts
+/// (mostly mutually nondominated — the hard case for WFG) and times the
+/// HypervolumeEngine's exact path against the naive reference WFG,
+/// reporting median ns/call and the speedup per cell. Every timed cell is
+/// also an agreement check: the two policies must match to 1e-9 relative
+/// or the run fails.
+///
+/// ci.sh runs `--quick` (the 5-objective/50-point cell only) as a smoke
+/// gate: exit is non-zero if the engine is not faster than naive there.
+/// The checked-in BENCH_hypervolume.json is the full grid from a Release
+/// build (regenerate with `micro_hypervolume --json BENCH_hypervolume.json`).
+///
+/// Flags: --objectives 3,5,7  --points 10,50,200  --samples 5  --seed 42
+///        --json FILE  --quick
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "metrics/hypervolume.hpp"
-#include "problems/reference_set.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
 
 namespace {
 
 using namespace borg;
 using metrics::Front;
 
-Front random_front(std::size_t points, std::size_t dims, std::uint64_t seed) {
-    // Points near the simplex f1 + ... + fm = 1 so most are mutually
-    // nondominated, the hard case for WFG.
+Front simplex_front(std::size_t points, std::size_t dims,
+                    std::uint64_t seed) {
     util::Rng rng(seed);
     Front front;
     for (std::size_t i = 0; i < points; ++i) {
@@ -33,44 +52,161 @@ Front random_front(std::size_t points, std::size_t dims, std::uint64_t seed) {
     return front;
 }
 
-void BM_ExactHv(benchmark::State& state) {
-    const auto points = static_cast<std::size_t>(state.range(0));
-    const auto dims = static_cast<std::size_t>(state.range(1));
-    const Front front = random_front(points, dims, 42);
-    const std::vector<double> ref(dims, 1.2);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(metrics::hypervolume(front, ref));
+double elapsed_ns(std::chrono::steady_clock::time_point t0,
+                  std::chrono::steady_clock::time_point t1) {
+    return std::chrono::duration<double, std::nano>(t1 - t0).count();
 }
-BENCHMARK(BM_ExactHv)
-    ->Args({100, 2})
-    ->Args({1000, 2})
-    ->Args({100, 3})
-    ->Args({50, 5})
-    ->Args({200, 5});
 
-void BM_MonteCarloHv(benchmark::State& state) {
-    const auto points = static_cast<std::size_t>(state.range(0));
-    const auto dims = static_cast<std::size_t>(state.range(1));
-    const Front front = random_front(points, dims, 43);
-    const std::vector<double> ref(dims, 1.2);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(
-            metrics::hypervolume_monte_carlo(front, ref, 100000, 44));
+/// Median ns per call over \p samples batches. One calibration call sizes
+/// the batch so each sample runs >= 20 ms, keeping the clock quantization
+/// negligible for sub-microsecond calls without ballooning multi-second
+/// ones (naive WFG at 7 objectives x 200 points runs seconds per call).
+double median_ns_per_call(const std::function<double()>& call,
+                          std::size_t samples, double& sink) {
+    const auto c0 = std::chrono::steady_clock::now();
+    sink += call();
+    const auto c1 = std::chrono::steady_clock::now();
+    const double single = std::max(1.0, elapsed_ns(c0, c1));
+    constexpr double kMinSampleNs = 2e7;
+    const auto calls = static_cast<std::uint64_t>(
+        std::max(1.0, std::ceil(kMinSampleNs / single)));
+    std::vector<double> medians;
+    for (std::size_t s = 0; s < samples; ++s) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::uint64_t c = 0; c < calls; ++c) sink += call();
+        const auto t1 = std::chrono::steady_clock::now();
+        medians.push_back(elapsed_ns(t0, t1) /
+                          static_cast<double>(calls));
+    }
+    std::sort(medians.begin(), medians.end());
+    return medians[medians.size() / 2];
 }
-BENCHMARK(BM_MonteCarloHv)->Args({200, 5})->Args({1000, 5});
 
-void BM_NormalizerCheckpoint(benchmark::State& state) {
-    // The Figure 3/4 per-checkpoint cost: normalized hypervolume of an
-    // archive-sized front against the 5-objective DTLZ2 reference set.
-    const auto refset = problems::dtlz2_reference_set(5, 8);
-    const metrics::HypervolumeNormalizer normalizer(refset);
-    const Front archive = random_front(
-        static_cast<std::size_t>(state.range(0)), 5, 45);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(normalizer.normalized(archive));
+std::string format_ns(double ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ns < 1e4 ? "%.0f" : "%.3g", ns);
+    return buf;
 }
-BENCHMARK(BM_NormalizerCheckpoint)->Arg(50)->Arg(200);
+
+struct CellReport {
+    std::size_t objectives = 0;
+    std::size_t points = 0;
+    double engine_ns = 0.0;
+    double naive_ns = 0.0;
+    double speedup = 0.0;
+    double rel_err = 0.0;
+};
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    util::CliArgs args(argc, argv);
+    args.check_known(
+        {"objectives", "points", "samples", "seed", "json", "quick"});
+    auto dims = args.get_ints("objectives", {3, 5, 7});
+    auto sizes = args.get_ints("points", {10, 50, 200});
+    const auto samples =
+        static_cast<std::size_t>(args.get_uint("samples", 5));
+    const auto seed = static_cast<std::uint64_t>(args.get_uint("seed", 42));
+    const std::string json_path = args.get("json", "");
+    if (args.get_bool("quick")) {
+        dims = {5};
+        sizes = {50};
+    }
+
+    metrics::HvConfig wfg;
+    wfg.algo = metrics::HvAlgo::kWfg;
+    metrics::HypervolumeEngine engine(wfg);
+
+    std::cout << "Hypervolume kernel: engine (flat-arena WFG) vs naive "
+                 "reference, median of "
+              << samples << " samples on simplex fronts\n";
+    util::Table table(
+        {"m", "n", "engine ns/call", "naive ns/call", "speedup", "rel err"});
+    std::vector<CellReport> cells;
+    double sink = 0.0;
+    int rc = 0;
+    for (const std::int64_t m_signed : dims) {
+        const auto m = static_cast<std::size_t>(m_signed);
+        for (const std::int64_t n_signed : sizes) {
+            const auto n = static_cast<std::size_t>(n_signed);
+            const Front front = simplex_front(n, m, seed + m * 1000 + n);
+            const std::vector<double> ref(m, 1.2);
+
+            CellReport cell;
+            cell.objectives = m;
+            cell.points = n;
+            const double fast = engine.compute(front, ref);
+            const double slow = metrics::hypervolume_naive(front, ref);
+            cell.rel_err = std::abs(fast - slow) /
+                           std::max(1.0, std::abs(slow));
+            if (cell.rel_err > 1e-9) {
+                std::cerr << "FAIL: engine disagrees with naive at m=" << m
+                          << " n=" << n << " (rel err " << cell.rel_err
+                          << ")\n";
+                return 2;
+            }
+            cell.engine_ns = median_ns_per_call(
+                [&] { return engine.compute(front, ref); }, samples, sink);
+            cell.naive_ns = median_ns_per_call(
+                [&] { return metrics::hypervolume_naive(front, ref); },
+                samples, sink);
+            cell.speedup = cell.naive_ns / cell.engine_ns;
+            cells.push_back(cell);
+            char speedup_buf[32];
+            std::snprintf(speedup_buf, sizeof(speedup_buf), "%.1fx",
+                          cell.speedup);
+            char err_buf[32];
+            std::snprintf(err_buf, sizeof(err_buf), "%.1e", cell.rel_err);
+            table.add_row({std::to_string(m), std::to_string(n),
+                           format_ns(cell.engine_ns),
+                           format_ns(cell.naive_ns), speedup_buf, err_buf});
+        }
+    }
+    table.print(std::cout);
+    // sink keeps the timed calls observable so none can be optimized out.
+    if (!std::isfinite(sink)) std::cerr << "non-finite hypervolume\n";
+
+    // Smoke gate on the paper's own configuration: 5 objectives (DTLZ2_5 /
+    // UF11 sweeps) at archive-like 50 points.
+    for (const CellReport& cell : cells) {
+        if (cell.objectives != 5 || cell.points != 50) continue;
+        if (cell.speedup <= 1.0) {
+            std::cerr << "FAIL: engine slower than naive on the "
+                         "5-objective/50-point gate cell (speedup "
+                      << cell.speedup << ")\n";
+            rc = 1;
+        } else {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.1fx", cell.speedup);
+            std::cout << "gate: 5-objective/50-point speedup " << buf
+                      << "\n";
+        }
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "FAIL: cannot write " << json_path << "\n";
+            return 2;
+        }
+        out << "{\n  \"benchmark\": \"micro_hypervolume\",\n"
+            << "  \"generator\": \"simplex-jitter\",\n"
+            << "  \"samples\": " << samples << ",\n  \"cells\": [\n";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const CellReport& c = cells[i];
+            char buf[256];
+            std::snprintf(buf, sizeof(buf),
+                          "    {\"objectives\": %zu, \"points\": %zu, "
+                          "\"engine_ns\": %.1f, \"naive_ns\": %.1f, "
+                          "\"speedup\": %.2f, \"rel_err\": %.3e}%s\n",
+                          c.objectives, c.points, c.engine_ns, c.naive_ns,
+                          c.speedup, c.rel_err,
+                          i + 1 < cells.size() ? "," : "");
+            out << buf;
+        }
+        out << "  ]\n}\n";
+        std::cout << "wrote " << json_path << "\n";
+    }
+    return rc;
+}

@@ -16,12 +16,26 @@
 
 #include "metrics/hypervolume.hpp"
 
+namespace borg::util {
+class ThreadPool;
+} // namespace borg::util
+
 namespace borg::parallel {
 
 struct TrajectoryPoint {
     double time = 0.0; ///< virtual (or wall) seconds since run start
     std::uint64_t evaluations = 0;
     double hypervolume = 0.0; ///< normalized, 1 is ideal
+};
+
+/// What a resolve_pending() call actually did: how many deferred
+/// checkpoints were filled in, and how many distinct hypervolume
+/// computations that took (the digest cache collapses checkpoints that
+/// captured an unchanged archive front — common late in a run, where the
+/// archive is static for thousands of evaluations).
+struct ResolveStats {
+    std::size_t resolved = 0;
+    std::size_t computed = 0;
 };
 
 class TrajectoryRecorder {
@@ -57,7 +71,17 @@ public:
     /// Computes the hypervolume of every deferred checkpoint. Required
     /// before reading thresholds or points when defer_hypervolume was
     /// set; a no-op otherwise.
-    void resolve_pending();
+    ///
+    /// Duplicate fronts (identical byte-for-byte snapshots, detected by
+    /// digest then confirmed by comparison) are computed once. With a
+    /// \p pool, the distinct fronts fan out across its workers and every
+    /// result is written into a slot addressed by its deduplication
+    /// index, so the resolved values are byte-identical to the serial
+    /// path for any worker count or scheduling order. Must not be called
+    /// from a task running on \p pool itself (the wait would deadlock a
+    /// fully busy pool); sweep cells resolve serially on their own
+    /// worker instead.
+    ResolveStats resolve_pending(util::ThreadPool* pool = nullptr);
 
     /// First recorded time at which hypervolume reached \p threshold;
     /// +infinity when the run never got there. Throws std::logic_error
@@ -80,7 +104,20 @@ private:
     std::vector<TrajectoryPoint> points_;
     /// (index into points_, snapshotted front) awaiting resolve_pending().
     std::vector<std::pair<std::size_t, metrics::Front>> pending_;
+    /// Most recently evaluated front and its value — consecutive
+    /// checkpoints of an unchanged archive skip the recomputation on both
+    /// the immediate and the deferred path.
+    metrics::Front last_front_;
+    double last_value_ = 0.0;
+    bool last_valid_ = false;
 };
+
+/// 64-bit digest of a front snapshot: FNV-1a over its shape and raw
+/// coordinate bit patterns (row order matters — "unchanged archive" means
+/// an identical snapshot). Equal fronts share a digest; the recorder
+/// confirms candidate hits with a full comparison, so collisions cost
+/// time, never correctness.
+std::uint64_t front_digest(const metrics::Front& front) noexcept;
 
 /// Interpolation-free threshold lookup over an arbitrary trajectory:
 /// first point with hypervolume >= threshold (+inf if none). Exposed for

@@ -4,6 +4,8 @@
 
 #include <stdexcept>
 
+#include "metrics/hypervolume.hpp"
+
 namespace {
 
 using borg::util::CliArgs;
@@ -170,6 +172,70 @@ TEST(Cli, IntListRejectsEmptyElement) {
 TEST(Cli, DoubleListRejectsGarbageElement) {
     const auto args = parse({"--tf", "0.01,0.1x"});
     EXPECT_THROW(args.get_doubles("tf", {}), std::invalid_argument);
+}
+
+// --hv-algo / --hv-mc-samples parsing shared by the sweep drivers.
+
+TEST(CliHvConfig, Defaults) {
+    const auto args = parse({});
+    const auto cfg = borg::metrics::hv_config_from_cli(args);
+    EXPECT_EQ(cfg.algo, borg::metrics::HvAlgo::kAuto);
+    EXPECT_EQ(cfg.mc_samples, 100000u);
+}
+
+TEST(CliHvConfig, ParsesAlgoAndSamples) {
+    const auto args = parse({"--hv-algo", "mc", "--hv-mc-samples", "5000"});
+    const auto cfg = borg::metrics::hv_config_from_cli(args);
+    EXPECT_EQ(cfg.algo, borg::metrics::HvAlgo::kMonteCarlo);
+    EXPECT_EQ(cfg.mc_samples, 5000u);
+}
+
+TEST(CliHvConfig, ParsesEveryPolicyName) {
+    using borg::metrics::HvAlgo;
+    using borg::metrics::parse_hv_algo;
+    EXPECT_EQ(parse_hv_algo("auto"), HvAlgo::kAuto);
+    EXPECT_EQ(parse_hv_algo("wfg"), HvAlgo::kWfg);
+    EXPECT_EQ(parse_hv_algo("naive"), HvAlgo::kNaive);
+    EXPECT_EQ(parse_hv_algo("mc"), HvAlgo::kMonteCarlo);
+}
+
+TEST(CliHvConfig, RejectsUnknownAlgo) {
+    const auto args = parse({"--hv-algo", "fastest"});
+    try {
+        borg::metrics::hv_config_from_cli(args);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("--hv-algo"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(CliHvConfig, RejectsZeroSamples) {
+    const auto args = parse({"--hv-mc-samples", "0"});
+    EXPECT_THROW(borg::metrics::hv_config_from_cli(args),
+                 std::invalid_argument);
+}
+
+TEST(CliHvConfig, RejectsNegativeSamples) {
+    const auto args = parse({"--hv-mc-samples", "-100"});
+    EXPECT_THROW(borg::metrics::hv_config_from_cli(args),
+                 std::invalid_argument);
+}
+
+TEST(CliHvConfig, RejectsGarbageSamples) {
+    const auto args = parse({"--hv-mc-samples", "10k"});
+    EXPECT_THROW(borg::metrics::hv_config_from_cli(args),
+                 std::invalid_argument);
+}
+
+TEST(CliHvConfig, CacheKeySeparatesPolicies) {
+    borg::metrics::HvConfig a, b;
+    b.algo = borg::metrics::HvAlgo::kMonteCarlo;
+    b.mc_samples = 2000;
+    EXPECT_EQ(borg::metrics::normalizer_cache_key("dtlz2_5", a),
+              "dtlz2_5|auto|100000");
+    EXPECT_NE(borg::metrics::normalizer_cache_key("dtlz2_5", a),
+              borg::metrics::normalizer_cache_key("dtlz2_5", b));
 }
 
 } // namespace

@@ -161,4 +161,156 @@ TEST(MonteCarlo, DeterministicForSeed) {
                      hypervolume_monte_carlo(front, ref, 10000, 5));
 }
 
+TEST(MonteCarlo, ZeroSamplesThrows) {
+    EXPECT_THROW(hypervolume_monte_carlo({{0.5, 0.5}}, {1.0, 1.0}, 0),
+                 std::invalid_argument);
+}
+
+TEST(ReferencePoint, RaggedReferenceSetThrows) {
+    EXPECT_THROW(reference_point_for({{0.0, 1.0}, {1.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(reference_point_for({{0.0}, {1.0, 0.0, 0.5}}),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// HypervolumeEngine vs the naive reference implementation
+// ---------------------------------------------------------------------------
+
+/// Random front families covering the shapes the sweeps actually see:
+/// 0 = uniform cube, 1 = simplex-like surface with jitter, 2 = coarsely
+/// rounded coordinates (many duplicates, points on the boundary).
+Front random_front(borg::util::Rng& rng, std::size_t m, std::size_t n,
+                   int mode) {
+    Front front(n, std::vector<double>(m));
+    for (auto& row : front) {
+        if (mode == 1) {
+            double norm = 0.0;
+            for (double& x : row) {
+                x = -std::log(1.0 - 0.999 * rng.uniform());
+                norm += x;
+            }
+            for (double& x : row)
+                x = x / std::max(norm, 1e-12) + 0.05 * rng.uniform();
+        } else {
+            for (double& x : row) {
+                x = rng.uniform();
+                if (mode == 2) x = std::round(x * 4.0) / 4.0;
+            }
+        }
+    }
+    return front;
+}
+
+void expect_engine_matches_naive(const Front& front,
+                                 const std::vector<double>& ref,
+                                 const char* label) {
+    const double fast = hypervolume(front, ref);
+    const double slow = hypervolume_naive(front, ref);
+    EXPECT_NEAR(fast, slow, 1e-9 * std::max(1.0, std::abs(slow))) << label;
+}
+
+TEST(HypervolumeEngine, MatchesNaiveRandomized) {
+    // Per-objective size caps keep the naive reference tractable under
+    // sanitizers; caps validated to run in seconds at -O0.
+    const std::size_t max_n[]{0, 0, 200, 200, 120, 80, 40, 24};
+    borg::util::Rng rng(20130807);
+    for (std::size_t m = 2; m <= 7; ++m) {
+        const std::vector<double> ref(m, 1.1);
+        for (int mode = 0; mode < 3; ++mode) {
+            for (const std::size_t n :
+                 {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                  max_n[m] / 2, max_n[m]}) {
+                const auto front = random_front(rng, m, n, mode);
+                const std::string label = "m=" + std::to_string(m) +
+                                          " n=" + std::to_string(n) +
+                                          " mode=" + std::to_string(mode);
+                expect_engine_matches_naive(front, ref, label.c_str());
+            }
+        }
+    }
+}
+
+TEST(HypervolumeEngine, MatchesNaiveOnDegenerateFronts) {
+    const std::vector<double> ref{1.0, 1.0, 1.0};
+    // All-duplicate front.
+    expect_engine_matches_naive(
+        {{0.3, 0.4, 0.5}, {0.3, 0.4, 0.5}, {0.3, 0.4, 0.5}}, ref,
+        "duplicates");
+    // Points on the reference boundary contribute nothing.
+    expect_engine_matches_naive({{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}}, ref,
+                                "boundary");
+    // Mixed: one interior point among boundary/outside points.
+    expect_engine_matches_naive(
+        {{1.0, 0.2, 0.2}, {0.5, 0.5, 0.5}, {1.2, 0.1, 0.1}}, ref, "mixed");
+}
+
+TEST(HypervolumeEngine, SingleObjective) {
+    // m == 1: volume is just ref - min over interior points.
+    EXPECT_NEAR(hypervolume({{0.25}, {0.7}, {1.5}}, {1.0}), 0.75, 1e-12);
+    EXPECT_DOUBLE_EQ(hypervolume({{1.0}}, {1.0}), 0.0);
+}
+
+TEST(HypervolumeEngine, ReusedEngineIsStateless) {
+    // One engine across differently-shaped calls must match fresh engines.
+    HypervolumeEngine engine({.algo = HvAlgo::kWfg});
+    borg::util::Rng rng(7);
+    for (const std::size_t m : {std::size_t{5}, std::size_t{2},
+                                std::size_t{7}, std::size_t{3}}) {
+        const auto front = random_front(rng, m, 30, 0);
+        const std::vector<double> ref(m, 1.1);
+        EXPECT_DOUBLE_EQ(engine.compute(front, ref),
+                         hypervolume(front, ref));
+    }
+}
+
+TEST(HypervolumeEngine, MonteCarloPolicyMatchesFreeFunction) {
+    borg::util::Rng rng(11);
+    const auto front = random_front(rng, 5, 30, 0);
+    const std::vector<double> ref(5, 1.1);
+    HvConfig cfg;
+    cfg.algo = HvAlgo::kMonteCarlo;
+    cfg.mc_samples = 20000;
+    cfg.mc_seed = 99;
+    HypervolumeEngine engine(cfg);
+    EXPECT_DOUBLE_EQ(engine.compute(front, ref),
+                     hypervolume_monte_carlo(front, ref, 20000, 99));
+    // MC tracks the exact value within statistical tolerance.
+    const double exact = hypervolume(front, ref);
+    EXPECT_NEAR(engine.compute(front, ref), exact,
+                0.05 * std::max(exact, 0.01));
+}
+
+TEST(HypervolumeEngine, AutoPolicyStaysExactWithinBudget) {
+    borg::util::Rng rng(13);
+    const auto front = random_front(rng, 5, 40, 0);
+    const std::vector<double> ref(5, 1.1);
+    HypervolumeEngine engine; // default: auto, budget 5e7
+    EXPECT_DOUBLE_EQ(engine.compute(front, ref), hypervolume(front, ref));
+}
+
+TEST(HypervolumeEngine, AutoPolicyFallsBackToMonteCarlo) {
+    borg::util::Rng rng(17);
+    const auto front = random_front(rng, 5, 40, 0);
+    const std::vector<double> ref(5, 1.1);
+    HvConfig cfg;
+    cfg.exact_budget = 1.0; // force every 5-objective call over budget
+    HypervolumeEngine engine(cfg);
+    EXPECT_DOUBLE_EQ(
+        engine.compute(front, ref),
+        hypervolume_monte_carlo(front, ref, cfg.mc_samples, cfg.mc_seed));
+}
+
+TEST(HypervolumeEngine, AutoPolicyNeverSamplesLowDimensions) {
+    // m <= 4 is always exact regardless of budget: the sweep base cases
+    // are cheap enough that sampling would only add noise.
+    borg::util::Rng rng(19);
+    const auto front = random_front(rng, 4, 150, 0);
+    const std::vector<double> ref(4, 1.1);
+    HvConfig cfg;
+    cfg.exact_budget = 1.0;
+    HypervolumeEngine engine(cfg);
+    EXPECT_DOUBLE_EQ(engine.compute(front, ref), hypervolume(front, ref));
+}
+
 } // namespace

@@ -1,0 +1,118 @@
+/// Thread-tier tests (rerun under TSan by ci.sh): parallel trajectory
+/// resolution must produce byte-identical results for any worker count —
+/// the sweep drivers rely on this for schedule-invariant stdout.
+
+#include "parallel/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "problems/reference_set.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace borg;
+using namespace borg::parallel;
+
+struct ParallelResolveTest : ::testing::Test {
+    ParallelResolveTest()
+        : refset(problems::zdt1_reference_set(100)), normalizer(refset) {}
+
+    metrics::Front shifted_front(double shift) const {
+        metrics::Front out;
+        for (const auto& p : refset)
+            out.push_back({p[0] + shift, p[1] + shift});
+        return out;
+    }
+
+    /// Records the same mixed checkpoint sequence (distinct fronts,
+    /// duplicates, and interleavings) into a fresh deferred recorder.
+    TrajectoryRecorder make_recorder() const {
+        TrajectoryRecorder rec(normalizer, 10, /*defer_hypervolume=*/true);
+        const double shifts[] = {0.5, 0.3, 0.3, 0.1, 0.3,  0.1,
+                                 0.0, 0.0, 0.2, 0.05, 0.0, 0.2};
+        std::uint64_t evals = 0;
+        for (const double shift : shifts) {
+            evals += 10;
+            rec.on_result(0.1 * static_cast<double>(evals), evals,
+                          [&] { return shifted_front(shift); });
+        }
+        return rec;
+    }
+
+    static void expect_bitwise_equal(const TrajectoryRecorder& a,
+                                     const TrajectoryRecorder& b) {
+        ASSERT_EQ(a.points().size(), b.points().size());
+        for (std::size_t i = 0; i < a.points().size(); ++i) {
+            // memcmp, not ==: byte identity is the contract, including
+            // signed zeros and every last mantissa bit.
+            EXPECT_EQ(std::memcmp(&a.points()[i], &b.points()[i],
+                                  sizeof(TrajectoryPoint)),
+                      0)
+                << "point " << i;
+        }
+    }
+
+    problems::ReferenceSet refset;
+    metrics::HypervolumeNormalizer normalizer;
+};
+
+TEST_F(ParallelResolveTest, PoolResolveIsByteIdenticalToSerial) {
+    TrajectoryRecorder serial = make_recorder();
+    const ResolveStats serial_stats = serial.resolve_pending();
+
+    // jobs=1 and oversubscribed jobs=4 (the host may have a single core;
+    // oversubscription exercises arbitrary interleavings regardless).
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+        util::ThreadPool pool(jobs);
+        TrajectoryRecorder parallel = make_recorder();
+        const ResolveStats stats = parallel.resolve_pending(&pool);
+        EXPECT_EQ(stats.resolved, serial_stats.resolved);
+        EXPECT_EQ(stats.computed, serial_stats.computed);
+        expect_bitwise_equal(serial, parallel);
+    }
+}
+
+TEST_F(ParallelResolveTest, PoolResolveRepeatsAreStable) {
+    // Repeated parallel resolutions across separate batches keep the
+    // digest-cache seeding consistent with the serial path.
+    util::ThreadPool pool(4);
+    TrajectoryRecorder serial(normalizer, 10, /*defer_hypervolume=*/true);
+    TrajectoryRecorder parallel(normalizer, 10, /*defer_hypervolume=*/true);
+    std::uint64_t evals = 0;
+    for (int batch = 0; batch < 3; ++batch) {
+        for (const double shift : {0.4, 0.2, 0.2, 0.1}) {
+            evals += 10;
+            const double time = 0.1 * static_cast<double>(evals);
+            serial.on_result(time, evals, [&] { return shifted_front(shift); });
+            parallel.on_result(time, evals,
+                               [&] { return shifted_front(shift); });
+        }
+        const ResolveStats a = serial.resolve_pending();
+        const ResolveStats b = parallel.resolve_pending(&pool);
+        EXPECT_EQ(a.resolved, b.resolved);
+        EXPECT_EQ(a.computed, b.computed);
+    }
+    expect_bitwise_equal(serial, parallel);
+}
+
+TEST_F(ParallelResolveTest, PoolTaskExceptionPropagates) {
+    // A normalizer rejecting a malformed front must surface the error from
+    // resolve_pending, not hang the latch or kill a worker.
+    util::ThreadPool pool(2);
+    TrajectoryRecorder rec(normalizer, 10, /*defer_hypervolume=*/true);
+    rec.on_result(1.0, 10, [&] { return shifted_front(0.1); });
+    rec.on_result(2.0, 20, [] {
+        return metrics::Front{{0.1, 0.2, 0.3}}; // wrong arity for ZDT1
+    });
+    rec.on_result(3.0, 30, [&] { return shifted_front(0.0); });
+    EXPECT_THROW(rec.resolve_pending(&pool), std::invalid_argument);
+    // The pool is still usable afterwards.
+    pool.submit([] {});
+    pool.wait_idle();
+}
+
+} // namespace
