@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 CI: plain Release build + full tests, a clang-tidy pass over the
 # engine/parallel layer (skipped when clang-tidy is not installed), the
-# trace_check observability gate, the hypervolume engine agreement+speedup
-# smoke gate, the fast+threads tiers under AddressSanitizer + UBSan, and
-# the concurrency surface (thread pool, sweep runner, host-thread
-# executor) under ThreadSanitizer.
+# trace_check observability gate, the hypervolume and ε-archive engine
+# agreement+speedup smoke gates, the fast+threads tiers under
+# AddressSanitizer + UBSan, and the concurrency surface (thread pool,
+# sweep runner, host-thread executor) under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -35,6 +35,12 @@ echo "=== hypervolume engine gate (agreement + speedup smoke) ==="
 # Fails if the engine disagrees with the naive reference WFG (1e-9
 # relative) or is not faster on the paper's 5-objective cell.
 ./build/bench/micro_hypervolume --quick --json build/BENCH_hypervolume.json
+
+echo "=== archive engine gate (agreement + speedup smoke) ==="
+# Fails if ArchiveEngine diverges from the NaiveArchive oracle on any
+# verdict, member, or counter over the 20k-candidate prefill stream, or
+# is not faster on the 1e3-member steady-state cell.
+./build/bench/micro_archive --quick --json build/BENCH_archive.json
 
 echo "=== Sanitizer build (address,undefined) + fast/threads tiers ==="
 cmake -B build-san -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

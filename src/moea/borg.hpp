@@ -78,7 +78,7 @@ public:
     void receive(Solution solution);
 
     // --- inspection ---------------------------------------------------
-    const EpsilonBoxArchive& archive() const noexcept { return archive_; }
+    const ArchiveEngine& archive() const noexcept { return archive_; }
     const Population& population() const noexcept { return population_; }
 
     std::uint64_t issued() const noexcept { return issued_; }
@@ -117,7 +117,7 @@ private:
 
     std::vector<std::unique_ptr<Variation>> operators_;
     UniformMutation restart_mutation_;
-    EpsilonBoxArchive archive_;
+    ArchiveEngine archive_;
     Population population_;
     OperatorSelector selector_;
     RestartController controller_;

@@ -11,7 +11,9 @@ namespace borg::moea {
 
 namespace {
 
-constexpr const char* kMagic = "borg-checkpoint-v1";
+// v2: the archive record carries the ε vector so a checkpoint can never be
+// silently re-boxed by a differently-configured loader.
+constexpr const char* kMagic = "borg-checkpoint-v2";
 
 void write_double(std::ostream& os, double value) {
     // max_digits10 decimal digits round-trip IEEE doubles exactly.
@@ -109,9 +111,15 @@ void save_checkpoint(const BorgMoea& algorithm, std::ostream& os) {
     for (const Solution& s : algorithm.population_.members())
         write_solution(os, s);
 
+    const auto& epsilons = algorithm.archive_.epsilons();
     os << "archive " << algorithm.archive_.size() << ' '
        << algorithm.archive_.epsilon_progress() << ' '
-       << algorithm.archive_.improvements() << '\n';
+       << algorithm.archive_.improvements() << ' ' << epsilons.size();
+    for (const double e : epsilons) {
+        os << ' ';
+        write_double(os, e);
+    }
+    os << '\n';
     for (std::size_t i = 0; i < algorithm.archive_.size(); ++i)
         write_solution(os, algorithm.archive_[i]);
 }
@@ -165,19 +173,31 @@ void load_checkpoint(BorgMoea& algorithm, std::istream& is) {
     const auto archive_count = read_value<std::size_t>(is, "archive size");
     const auto progress = read_value<std::uint64_t>(is, "epsilon progress");
     const auto improvements = read_value<std::uint64_t>(is, "improvements");
+    const auto epsilon_count = read_value<std::size_t>(is, "epsilon count");
+    std::vector<double> epsilons(epsilon_count);
+    for (double& e : epsilons) e = read_value<double>(is, "epsilon");
     std::vector<Solution> archived;
     archived.reserve(archive_count);
     for (std::size_t i = 0; i < archive_count; ++i)
         archived.push_back(read_solution(is));
 
+    // ε mismatch would silently re-box (and possibly drop) the saved
+    // archive under the loader's grid — refuse instead. Exact comparison
+    // is correct: doubles round-trip exactly through write_double.
+    if (epsilons != algorithm.archive_.epsilons())
+        fail("archive epsilon mismatch (different BorgParams?)");
+
     // Validate dimensions against the configured problem before mutating.
     const std::size_t nvars = algorithm.problem_.num_variables();
     const std::size_t nobjs = algorithm.problem_.num_objectives();
+    const std::size_t ncons = algorithm.problem_.num_constraints();
     for (const Solution& s : members)
-        if (s.variables.size() != nvars || s.objectives.size() != nobjs)
+        if (s.variables.size() != nvars || s.objectives.size() != nobjs ||
+            s.constraints.size() != ncons)
             fail("population solution arity mismatch (different problem?)");
     for (const Solution& s : archived)
-        if (s.variables.size() != nvars || s.objectives.size() != nobjs)
+        if (s.variables.size() != nvars || s.objectives.size() != nobjs ||
+            s.constraints.size() != ncons)
             fail("archive solution arity mismatch (different problem?)");
 
     // Everything parsed; commit.

@@ -16,7 +16,11 @@
 ///
 /// The algorithm's *configuration* (problem, BorgParams, operator
 /// ensemble) is not serialized: construct the BorgMoea with the same
-/// configuration, then load.
+/// configuration, then load. Incompatible configurations fail loudly:
+/// load_checkpoint validates variable/objective/constraint arity against
+/// the configured problem and the saved ε vector against the configured
+/// BorgParams — a mismatched ε grid would otherwise silently re-box (and
+/// possibly drop) the saved archive.
 
 #include <iosfwd>
 #include <stdexcept>

@@ -39,12 +39,31 @@ bool dominates(std::span<const double> a, std::span<const double> b) {
 
 std::vector<std::int64_t> epsilon_box(std::span<const double> objectives,
                                       std::span<const double> epsilons) {
-    assert(objectives.size() == epsilons.size());
     std::vector<std::int64_t> box(objectives.size());
-    for (std::size_t i = 0; i < objectives.size(); ++i)
-        box[i] = static_cast<std::int64_t>(
-            std::floor(objectives[i] / epsilons[i]));
+    epsilon_box_into(objectives, epsilons, box);
     return box;
+}
+
+void epsilon_box_into(std::span<const double> objectives,
+                      std::span<const double> epsilons,
+                      std::span<std::int64_t> out) {
+    assert(objectives.size() == epsilons.size());
+    assert(out.size() == objectives.size());
+    for (std::size_t i = 0; i < objectives.size(); ++i)
+        out[i] = static_cast<std::int64_t>(
+            std::floor(objectives[i] / epsilons[i]));
+}
+
+std::uint64_t box_key_hash(std::span<const std::int64_t> box) {
+    std::uint64_t hash = 0xcbf29ce484222325ull; // FNV offset basis
+    for (const std::int64_t coord : box) {
+        auto word = static_cast<std::uint64_t>(coord);
+        for (int byte = 0; byte < 8; ++byte) {
+            hash ^= (word >> (8 * byte)) & 0xffull;
+            hash *= 0x100000001b3ull; // FNV prime
+        }
+    }
+    return hash;
 }
 
 Dominance compare_boxes(std::span<const std::int64_t> a,

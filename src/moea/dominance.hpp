@@ -39,6 +39,19 @@ bool dominates(std::span<const double> a, std::span<const double> b);
 std::vector<std::int64_t> epsilon_box(std::span<const double> objectives,
                                       std::span<const double> epsilons);
 
+/// Allocation-free epsilon_box: writes the box indices into \p out, which
+/// must already have objectives.size() elements. The archive engine's hot
+/// path calls this with a reusable scratch buffer.
+void epsilon_box_into(std::span<const double> objectives,
+                      std::span<const double> epsilons,
+                      std::span<std::int64_t> out);
+
+/// FNV-1a over the raw bytes of a box-index vector: the exact hash key the
+/// archive engine indexes ε-boxes by. Equal boxes always hash equally;
+/// distinct boxes may collide, so lookups must confirm with a coordinate
+/// comparison.
+std::uint64_t box_key_hash(std::span<const std::int64_t> box);
+
 /// Pareto comparison of two box-index vectors.
 Dominance compare_boxes(std::span<const std::int64_t> a,
                         std::span<const std::int64_t> b);

@@ -1,27 +1,324 @@
 #include "moea/epsilon_archive.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace borg::moea {
 
-EpsilonBoxArchive::EpsilonBoxArchive(std::vector<double> epsilons)
-    : epsilons_(std::move(epsilons)) {
-    if (epsilons_.empty())
+namespace {
+
+void validate_epsilons(const std::vector<double>& epsilons) {
+    if (epsilons.empty())
         throw std::invalid_argument("archive: empty epsilon vector");
-    for (const double e : epsilons_)
+    for (const double e : epsilons)
         if (!(e > 0.0))
             throw std::invalid_argument("archive: epsilons must be positive");
 }
 
-ArchiveAdd EpsilonBoxArchive::add(const Solution& solution) {
-    if (!solution.evaluated || solution.objectives.size() != epsilons_.size())
-        throw std::invalid_argument("archive: unevaluated or wrong-arity solution");
+void validate_candidate(const Solution& solution,
+                        const std::vector<double>& epsilons) {
+    if (!solution.evaluated || solution.objectives.size() != epsilons.size())
+        throw std::invalid_argument(
+            "archive: unevaluated or wrong-arity solution");
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// ArchiveEngine
+// ---------------------------------------------------------------------------
+
+ArchiveEngine::ArchiveEngine(std::vector<double> epsilons)
+    : epsilons_(std::move(epsilons)) {
+    validate_epsilons(epsilons_);
+    const std::size_t m = epsilons_.size();
+    axis_min_.assign(m, 0);
+    axis_max_.assign(m, 0);
+    scratch_box_.assign(m, 0);
+}
+
+std::uint32_t ArchiveEngine::allocate_slot() {
+    if (!free_slots_.empty()) {
+        const std::uint32_t slot = free_slots_.back();
+        free_slots_.pop_back();
+        return slot;
+    }
+    slot_solutions_.emplace_back();
+    box_arena_.resize(box_arena_.size() + epsilons_.size(), 0);
+    slot_sum_.push_back(0);
+    slot_hash_.push_back(0);
+    slot_evicted_.push_back(0);
+    return static_cast<std::uint32_t>(slot_solutions_.size() - 1);
+}
+
+void ArchiveEngine::release_slot(std::uint32_t slot) {
+    // The arena row and index entries stay allocated for reuse; only the
+    // payload is dropped so evicted solutions do not linger.
+    slot_solutions_[slot] = Solution{};
+    free_slots_.push_back(slot);
+}
+
+void ArchiveEngine::erase_from_map(std::uint32_t slot) {
+    auto [lo, hi] = box_map_.equal_range(slot_hash_[slot]);
+    for (auto it = lo; it != hi; ++it) {
+        if (it->second == slot) {
+            box_map_.erase(it);
+            return;
+        }
+    }
+}
+
+void ArchiveEngine::refresh_axis_bounds() {
+    const std::size_t m = epsilons_.size();
+    if (order_.empty()) {
+        axis_min_.assign(m, 0);
+        axis_max_.assign(m, 0);
+        return;
+    }
+    axis_min_.assign(m, std::numeric_limits<std::int64_t>::max());
+    axis_max_.assign(m, std::numeric_limits<std::int64_t>::min());
+    for (const std::uint32_t slot : order_) {
+        const auto box = box_of(slot);
+        for (std::size_t i = 0; i < m; ++i) {
+            axis_min_[i] = std::min(axis_min_[i], box[i]);
+            axis_max_[i] = std::max(axis_max_[i], box[i]);
+        }
+    }
+}
+
+bool ArchiveEngine::below_axis_min() const {
+    for (std::size_t i = 0; i < scratch_box_.size(); ++i)
+        if (scratch_box_[i] < axis_min_[i]) return true;
+    return false;
+}
+
+bool ArchiveEngine::above_axis_max() const {
+    for (std::size_t i = 0; i < scratch_box_.size(); ++i)
+        if (scratch_box_[i] > axis_max_[i]) return true;
+    return false;
+}
+
+void ArchiveEngine::reset_structures() noexcept {
+    slot_solutions_.clear();
+    box_arena_.clear();
+    slot_sum_.clear();
+    slot_hash_.clear();
+    slot_evicted_.clear();
+    free_slots_.clear();
+    order_.clear();
+    by_sum_.clear();
+    box_map_.clear();
+}
+
+void ArchiveEngine::install(const Solution& solution) {
+    // Precondition: scratch_box_ holds the candidate's ε-box.
+    const std::uint32_t slot = allocate_slot();
+    slot_solutions_[slot] = solution;
+    std::copy(scratch_box_.begin(), scratch_box_.end(),
+              box_arena_.begin() +
+                  static_cast<std::ptrdiff_t>(slot * epsilons_.size()));
+    std::int64_t sum = 0;
+    for (const std::int64_t c : scratch_box_) sum += c;
+    slot_sum_[slot] = sum;
+    slot_hash_[slot] = box_key_hash(scratch_box_);
+
+    const auto pos = std::lower_bound(
+        by_sum_.begin(), by_sum_.end(), sum,
+        [&](std::uint32_t s, std::int64_t v) { return slot_sum_[s] < v; });
+    by_sum_.insert(pos, slot);
+    box_map_.emplace(slot_hash_[slot], slot);
+
+    if (order_.empty()) {
+        axis_min_.assign(scratch_box_.begin(), scratch_box_.end());
+        axis_max_.assign(scratch_box_.begin(), scratch_box_.end());
+    } else {
+        for (std::size_t i = 0; i < scratch_box_.size(); ++i) {
+            axis_min_[i] = std::min(axis_min_[i], scratch_box_[i]);
+            axis_max_[i] = std::max(axis_max_[i], scratch_box_[i]);
+        }
+    }
+    order_.push_back(slot);
+}
+
+ArchiveAdd ArchiveEngine::add(const Solution& solution) {
+    validate_candidate(solution, epsilons_);
 
     // Constraint handling: the archive stores the feasible ε-front. While
     // no feasible solution has ever been seen, it instead carries the
     // single least-violating solution so search has an anchor; the first
     // feasible arrival evicts it.
+    if (!solution.feasible()) {
+        const bool infeasible_phase =
+            !order_.empty() && !slot_solutions_[order_[0]].feasible();
+        if (!order_.empty() && !infeasible_phase)
+            return ArchiveAdd::kRejected; // feasible members always win
+        if (!order_.empty() &&
+            solution.total_violation() >=
+                slot_solutions_[order_[0]].total_violation())
+            return ArchiveAdd::kRejected;
+        reset_structures();
+        epsilon_box_into(solution.objectives, epsilons_, scratch_box_);
+        install(solution);
+        ++improvements_;
+        ++progress_; // violation improved: counts as search progress
+        return ArchiveAdd::kAddedNewBox;
+    }
+    if (!order_.empty() && !slot_solutions_[order_[0]].feasible()) {
+        // First feasible solution: the infeasible anchor is obsolete.
+        reset_structures();
+    }
+
+    epsilon_box_into(solution.objectives, epsilons_, scratch_box_);
+    const std::uint64_t hash = box_key_hash(scratch_box_);
+
+    // Same-box contest in O(1) via the exact hash index. Members are
+    // mutually box-nondominated, so an occupied same box means no other
+    // member can reject or be evicted: the contest alone decides.
+    auto [lo, hi] = box_map_.equal_range(hash);
+    for (auto it = lo; it != hi; ++it) {
+        const std::uint32_t slot = it->second;
+        const auto incumbent_box = box_of(slot);
+        if (!std::equal(incumbent_box.begin(), incumbent_box.end(),
+                        scratch_box_.begin()))
+            continue; // different box with a colliding hash
+        const double d_new =
+            distance_to_box_corner(solution.objectives, scratch_box_,
+                                   epsilons_);
+        const double d_old = distance_to_box_corner(
+            slot_solutions_[slot].objectives, incumbent_box, epsilons_);
+        if (!(d_new < d_old)) return ArchiveAdd::kRejected;
+        // The winner inherits the incumbent's slot — box, sum, hash, and
+        // both indexes stay valid — but moves to the back of the
+        // iteration order, matching the naive drop-and-append.
+        slot_solutions_[slot] = solution;
+        order_.erase(std::find(order_.begin(), order_.end(), slot));
+        order_.push_back(slot);
+        ++improvements_;
+        return ArchiveAdd::kReplacedSameBox;
+    }
+
+    std::int64_t cand_sum = 0;
+    for (const std::int64_t c : scratch_box_) cand_sum += c;
+
+    // Rejection: a dominating box is <= on every axis and differs, so its
+    // coordinate sum is strictly smaller. Scanning ascending by sum tests
+    // the strongest members (nearest the ideal corner) first, which is
+    // where a dominator of a typical dominated candidate lives. If the
+    // candidate is below the occupied range on any single axis, nothing
+    // can dominate it and the scan is skipped outright.
+    if (!below_axis_min()) {
+        for (const std::uint32_t slot : by_sum_) {
+            if (slot_sum_[slot] >= cand_sum) break;
+            if (compare_boxes(box_of(slot), scratch_box_) ==
+                Dominance::kDominates)
+                return ArchiveAdd::kRejected;
+        }
+    }
+
+    // Eviction: anything the candidate dominates has a strictly larger
+    // sum — scan the tail of the sum order, skipped entirely when the
+    // candidate exceeds the occupied range on any single axis.
+    scratch_evicted_.clear();
+    if (!above_axis_max()) {
+        for (std::size_t k = by_sum_.size(); k-- > 0;) {
+            const std::uint32_t slot = by_sum_[k];
+            if (slot_sum_[slot] <= cand_sum) break;
+            if (compare_boxes(scratch_box_, box_of(slot)) ==
+                Dominance::kDominates)
+                scratch_evicted_.push_back(slot);
+        }
+    }
+
+    if (!scratch_evicted_.empty()) {
+        for (const std::uint32_t slot : scratch_evicted_)
+            slot_evicted_[slot] = 1;
+        std::erase_if(by_sum_, [&](std::uint32_t s) {
+            return slot_evicted_[s] != 0;
+        });
+        std::erase_if(order_, [&](std::uint32_t s) {
+            return slot_evicted_[s] != 0;
+        });
+        for (const std::uint32_t slot : scratch_evicted_) {
+            erase_from_map(slot);
+            slot_evicted_[slot] = 0;
+            release_slot(slot);
+        }
+        refresh_axis_bounds();
+    }
+
+    install(solution);
+    ++improvements_;
+    ++progress_;
+    return ArchiveAdd::kAddedNewBox;
+}
+
+ArchiveBatchResult ArchiveEngine::add_all(std::span<const Solution> batch) {
+    ArchiveBatchResult result;
+    for (const Solution& s : batch) {
+        switch (add(s)) {
+        case ArchiveAdd::kAddedNewBox: ++result.added_new_box; break;
+        case ArchiveAdd::kReplacedSameBox: ++result.replaced_same_box; break;
+        case ArchiveAdd::kRejected: ++result.rejected; break;
+        }
+    }
+    return result;
+}
+
+std::vector<Solution> ArchiveEngine::solutions() const {
+    std::vector<Solution> out;
+    out.reserve(order_.size());
+    for (const std::uint32_t slot : order_)
+        out.push_back(slot_solutions_[slot]);
+    return out;
+}
+
+std::vector<std::vector<double>> ArchiveEngine::objective_vectors() const {
+    std::vector<std::vector<double>> out;
+    out.reserve(order_.size());
+    for (const std::uint32_t slot : order_)
+        out.push_back(slot_solutions_[slot].objectives);
+    return out;
+}
+
+std::vector<std::size_t> ArchiveEngine::operator_counts(
+    std::size_t num_operators) const {
+    std::vector<std::size_t> counts(num_operators, 0);
+    for (const std::uint32_t slot : order_) {
+        const int op = slot_solutions_[slot].operator_index;
+        if (op >= 0 && static_cast<std::size_t>(op) < num_operators)
+            ++counts[static_cast<std::size_t>(op)];
+    }
+    return counts;
+}
+
+void ArchiveEngine::clear() noexcept { reset_structures(); }
+
+void ArchiveEngine::restore(const std::vector<Solution>& solutions,
+                            std::uint64_t progress,
+                            std::uint64_t improvements) {
+    reset_structures();
+    for (const Solution& s : solutions) {
+        validate_candidate(s, epsilons_);
+        epsilon_box_into(s.objectives, epsilons_, scratch_box_);
+        install(s);
+    }
+    progress_ = progress;
+    improvements_ = improvements;
+}
+
+// ---------------------------------------------------------------------------
+// NaiveArchive — the frozen reference implementation.
+// ---------------------------------------------------------------------------
+
+NaiveArchive::NaiveArchive(std::vector<double> epsilons)
+    : epsilons_(std::move(epsilons)) {
+    validate_epsilons(epsilons_);
+}
+
+ArchiveAdd NaiveArchive::add(const Solution& solution) {
+    validate_candidate(solution, epsilons_);
+
     if (!solution.feasible()) {
         const bool infeasible_phase =
             !entries_.empty() && !entries_[0].solution.feasible();
@@ -86,21 +383,33 @@ ArchiveAdd EpsilonBoxArchive::add(const Solution& solution) {
     return ArchiveAdd::kReplacedSameBox;
 }
 
-std::vector<Solution> EpsilonBoxArchive::solutions() const {
+ArchiveBatchResult NaiveArchive::add_all(std::span<const Solution> batch) {
+    ArchiveBatchResult result;
+    for (const Solution& s : batch) {
+        switch (add(s)) {
+        case ArchiveAdd::kAddedNewBox: ++result.added_new_box; break;
+        case ArchiveAdd::kReplacedSameBox: ++result.replaced_same_box; break;
+        case ArchiveAdd::kRejected: ++result.rejected; break;
+        }
+    }
+    return result;
+}
+
+std::vector<Solution> NaiveArchive::solutions() const {
     std::vector<Solution> out;
     out.reserve(entries_.size());
     for (const Entry& e : entries_) out.push_back(e.solution);
     return out;
 }
 
-std::vector<std::vector<double>> EpsilonBoxArchive::objective_vectors() const {
+std::vector<std::vector<double>> NaiveArchive::objective_vectors() const {
     std::vector<std::vector<double>> out;
     out.reserve(entries_.size());
     for (const Entry& e : entries_) out.push_back(e.solution.objectives);
     return out;
 }
 
-std::vector<std::size_t> EpsilonBoxArchive::operator_counts(
+std::vector<std::size_t> NaiveArchive::operator_counts(
     std::size_t num_operators) const {
     std::vector<std::size_t> counts(num_operators, 0);
     for (const Entry& e : entries_) {
@@ -111,13 +420,17 @@ std::vector<std::size_t> EpsilonBoxArchive::operator_counts(
     return counts;
 }
 
-void EpsilonBoxArchive::clear() noexcept { entries_.clear(); }
+void NaiveArchive::clear() noexcept { entries_.clear(); }
 
-void EpsilonBoxArchive::restore(const std::vector<Solution>& solutions,
-                                std::uint64_t progress,
-                                std::uint64_t improvements) {
+void NaiveArchive::restore(const std::vector<Solution>& solutions,
+                           std::uint64_t progress,
+                           std::uint64_t improvements) {
     entries_.clear();
-    for (const Solution& s : solutions) add(s);
+    for (const Solution& s : solutions) {
+        validate_candidate(s, epsilons_);
+        entries_.push_back(
+            Entry{s, epsilon_box(s.objectives, epsilons_)});
+    }
     progress_ = progress;
     improvements_ = improvements;
 }

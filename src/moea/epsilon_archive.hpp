@@ -21,9 +21,32 @@
 /// one entry — the least-violating solution seen so far — and each
 /// violation improvement counts as ε-progress, so restarts behave
 /// sensibly during the feasibility-seeking phase.
+///
+/// Two implementations share this contract (DESIGN.md §12):
+///
+///   * ArchiveEngine — the production archive. Every insertion is resolved
+///     through three indexes instead of a full scan: an exact FNV-1a hash
+///     over the ε-box coordinates answers same-box contests in O(1); a
+///     box-coordinate-sum-sorted index bounds and orders the dominance
+///     scans (only members with a smaller sum can reject the candidate,
+///     only members with a larger sum can be evicted by it, and scanning
+///     the small-sum members first finds dominators early); per-objective
+///     min/max bounds skip either scan entirely when the candidate is
+///     outside the occupied range on any single axis. Box computation uses
+///     reusable scratch, so the steady-state add path allocates nothing.
+///   * NaiveArchive — the original O(n·m)-scan-per-add implementation,
+///     kept verbatim as the reference oracle. Randomized equivalence tests
+///     and bench/micro_archive pin the engine against it: identical
+///     verdicts, membership, iteration order, and counters on any stream.
+///
+/// Both maintain the same iteration order (insertion order, stable under
+/// eviction, same-box winners re-appended at the end), so the engine is a
+/// drop-in replacement whose runs are bit-identical to the naive archive's.
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "moea/dominance.hpp"
@@ -38,20 +61,40 @@ enum class ArchiveAdd : std::uint8_t {
     kReplacedSameBox, ///< won the within-box tiebreak against the incumbent
 };
 
-class EpsilonBoxArchive {
+/// Tally of a batched add_all() commit, one count per ArchiveAdd outcome.
+struct ArchiveBatchResult {
+    std::size_t added_new_box = 0;
+    std::size_t replaced_same_box = 0;
+    std::size_t rejected = 0;
+
+    std::size_t accepted() const noexcept {
+        return added_new_box + replaced_same_box;
+    }
+};
+
+/// The indexed ε-box archive. See the file comment for the index design;
+/// the public surface is the historical EpsilonBoxArchive API plus
+/// add_all() for generational (whole-batch) commits.
+class ArchiveEngine {
 public:
     /// \p epsilons must have one positive entry per objective.
-    explicit EpsilonBoxArchive(std::vector<double> epsilons);
+    explicit ArchiveEngine(std::vector<double> epsilons);
 
     /// Attempts to insert \p solution (must be evaluated). The archive
     /// stores its own copy.
     ArchiveAdd add(const Solution& solution);
 
-    std::size_t size() const noexcept { return entries_.size(); }
-    bool empty() const noexcept { return entries_.empty(); }
+    /// Batched commit: offers every solution in order (identical to
+    /// calling add() in a loop) and tallies the outcomes. This is the
+    /// entry point for generational ingests and archive merges, where the
+    /// caller cares about the batch outcome, not per-candidate verdicts.
+    ArchiveBatchResult add_all(std::span<const Solution> batch);
+
+    std::size_t size() const noexcept { return order_.size(); }
+    bool empty() const noexcept { return order_.empty(); }
 
     const Solution& operator[](std::size_t i) const {
-        return entries_[i].solution;
+        return slot_solutions_[order_[i]];
     }
 
     /// All archived solutions (ε-Pareto set approximation).
@@ -76,8 +119,100 @@ public:
 
     void clear() noexcept;
 
-    /// Checkpoint restore: re-inserts \p solutions (recomputing boxes) and
-    /// overwrites the progress counters with the saved values.
+    /// Checkpoint restore: installs \p solutions directly, preserving
+    /// order — they are already mutually ε-nondominated, so replaying them
+    /// through add() would only re-run (and, on corner-distance ties,
+    /// misresolve) contests that were settled when they entered the
+    /// archive. Overwrites the progress counters with the saved values.
+    void restore(const std::vector<Solution>& solutions,
+                 std::uint64_t progress, std::uint64_t improvements);
+
+private:
+    std::uint32_t allocate_slot();
+    void release_slot(std::uint32_t slot);
+    /// Installs an already-boxed candidate as a fresh member (no contests).
+    void install(const Solution& solution);
+    void erase_from_map(std::uint32_t slot);
+    void refresh_axis_bounds();
+    /// True iff no member can Pareto-dominate scratch_box_ (single-axis
+    /// lower-bound test).
+    bool below_axis_min() const;
+    /// True iff scratch_box_ can Pareto-dominate no member (single-axis
+    /// upper-bound test).
+    bool above_axis_max() const;
+    void reset_structures() noexcept;
+
+    /// Box row of a slot inside the flat arena.
+    std::span<const std::int64_t> box_of(std::uint32_t slot) const {
+        return {box_arena_.data() +
+                    static_cast<std::size_t>(slot) * epsilons_.size(),
+                epsilons_.size()};
+    }
+
+    std::vector<double> epsilons_;
+
+    // Member storage is struct-of-arrays over stable slot ids: slots never
+    // move while a member lives, so the hash and sum indexes can address
+    // them by id, and the dominance scans touch only the dense sum array
+    // and the flat box arena — never the (heavy) Solution objects.
+    std::vector<Solution> slot_solutions_;
+    std::vector<std::int64_t> box_arena_;   ///< slot * m .. +m: ε-box coords
+    std::vector<std::int64_t> slot_sum_;    ///< Σ box coords (dominance bound)
+    std::vector<std::uint64_t> slot_hash_;  ///< box_key_hash of the box row
+    std::vector<std::uint8_t> slot_evicted_; ///< transient compaction marks
+    std::vector<std::uint32_t> free_slots_;
+
+    /// Iteration order: order_[i] is the slot of the i-th member.
+    std::vector<std::uint32_t> order_;
+    /// Slots sorted ascending by slot_sum_; ties in arbitrary order.
+    std::vector<std::uint32_t> by_sum_;
+    /// Exact box index: FNV key → slot. A multimap because distinct boxes
+    /// may share a hash; hits are confirmed by coordinate comparison.
+    std::unordered_multimap<std::uint64_t, std::uint32_t> box_map_;
+    /// Per-objective min/max box coordinate over current members.
+    std::vector<std::int64_t> axis_min_;
+    std::vector<std::int64_t> axis_max_;
+
+    // Reusable scratch: the steady-state add path allocates nothing.
+    std::vector<std::int64_t> scratch_box_;
+    std::vector<std::uint32_t> scratch_evicted_; ///< slots marked this add
+
+    std::uint64_t progress_ = 0;
+    std::uint64_t improvements_ = 0;
+};
+
+/// The production archive type used throughout the algorithm.
+using EpsilonBoxArchive = ArchiveEngine;
+
+/// The original linear-scan archive, kept as the reference oracle the
+/// engine is pinned against (same role as HvAlgo::naive for the
+/// hypervolume engine). O(n·m) per add; allocates a box per insertion.
+/// Do not "optimize" this class — its value is being obviously correct.
+class NaiveArchive {
+public:
+    explicit NaiveArchive(std::vector<double> epsilons);
+
+    ArchiveAdd add(const Solution& solution);
+    ArchiveBatchResult add_all(std::span<const Solution> batch);
+
+    std::size_t size() const noexcept { return entries_.size(); }
+    bool empty() const noexcept { return entries_.empty(); }
+
+    const Solution& operator[](std::size_t i) const {
+        return entries_[i].solution;
+    }
+
+    std::vector<Solution> solutions() const;
+    std::vector<std::vector<double>> objective_vectors() const;
+
+    const std::vector<double>& epsilons() const noexcept { return epsilons_; }
+    std::uint64_t epsilon_progress() const noexcept { return progress_; }
+    std::uint64_t improvements() const noexcept { return improvements_; }
+
+    std::vector<std::size_t> operator_counts(std::size_t num_operators) const;
+
+    void clear() noexcept;
+
     void restore(const std::vector<Solution>& solutions,
                  std::uint64_t progress, std::uint64_t improvements);
 

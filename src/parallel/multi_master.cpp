@@ -226,8 +226,7 @@ MultiMasterResult MultiMasterExecutor::run(std::uint64_t evaluations,
         result.island_busy_fraction.push_back(
             result.elapsed > 0.0 ? engine.group_hold(i) / result.elapsed
                                  : 0.0);
-        for (const moea::Solution& s : policy.island_archive(i).solutions())
-            combined.add(s);
+        combined.add_all(policy.island_archive(i).solutions());
     }
     result.combined_archive = combined.solutions();
     return result;

@@ -148,6 +148,79 @@ TEST(Checkpoint, RejectsTruncated) {
     EXPECT_THROW(load_checkpoint(restored, truncated), CheckpointError);
 }
 
+/// save → load → save must be byte-identical: load_checkpoint installs the
+/// archive directly (no add() replay), so nothing about the saved state can
+/// shift, reorder, or drop on the way through a restore.
+TEST(Checkpoint, SaveLoadSaveIsByteIdentical) {
+    for (const char* name : {"zdt1", "srn"}) {
+        const auto problem = problems::make_problem(name);
+        BorgParams params;
+        params.epsilons.assign(problem->num_objectives(),
+                               name == std::string("srn") ? 1.0 : 0.01);
+        BorgMoea original(*problem, params, 21);
+        run_serial(original, *problem, 3000);
+
+        std::stringstream first;
+        save_checkpoint(original, first);
+
+        BorgMoea restored(*problem, params, 22);
+        std::stringstream replay(first.str());
+        load_checkpoint(restored, replay);
+
+        std::stringstream second;
+        save_checkpoint(restored, second);
+        EXPECT_EQ(first.str(), second.str()) << "problem " << name;
+    }
+}
+
+TEST(Checkpoint, RejectsEpsilonMismatch) {
+    // Loading into a BorgMoea configured with different epsilons would
+    // silently re-box (and possibly drop) archive members; it must throw.
+    const auto problem = problems::make_problem("zdt1");
+    BorgMoea original(*problem, params_for(*problem), 16);
+    run_serial(original, *problem, 1000);
+    std::stringstream snapshot;
+    save_checkpoint(original, snapshot);
+
+    BorgMoea coarser(*problem, BorgParams::for_problem(*problem, 0.02), 17);
+    EXPECT_THROW(load_checkpoint(coarser, snapshot), CheckpointError);
+}
+
+namespace {
+/// Same variables/objectives as SRN, but unconstrained: exercises the
+/// constraint-arity check that variable/objective validation alone misses.
+class UnconstrainedSrnShape final : public problems::Problem {
+public:
+    std::string name() const override { return "srn-shape"; }
+    std::size_t num_variables() const override { return 2; }
+    std::size_t num_objectives() const override { return 2; }
+    double lower_bound(std::size_t) const override { return -20.0; }
+    double upper_bound(std::size_t) const override { return 20.0; }
+    void evaluate(std::span<const double> variables,
+                  std::span<double> objectives) const override {
+        objectives[0] = variables[0];
+        objectives[1] = variables[1];
+    }
+};
+} // namespace
+
+TEST(Checkpoint, RejectsConstraintArityMismatch) {
+    const auto srn = problems::make_problem("srn");
+    BorgParams params;
+    params.epsilons = {1.0, 1.0};
+    BorgMoea original(*srn, params, 18);
+    run_serial(original, *srn, 1000);
+    std::stringstream snapshot;
+    save_checkpoint(original, snapshot);
+
+    // Same variable and objective arity, no constraints: without the
+    // constraint-arity check this load would succeed and every restored
+    // solution would carry phantom violations.
+    UnconstrainedSrnShape shape;
+    BorgMoea other(shape, params, 19);
+    EXPECT_THROW(load_checkpoint(other, snapshot), CheckpointError);
+}
+
 TEST(Checkpoint, RejectsDifferentProblemDimensions) {
     const auto zdt = problems::make_problem("zdt1");
     BorgMoea original(*zdt, params_for(*zdt), 14);
