@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 CI: plain Release build + full tests, a clang-tidy pass over the
 # engine/parallel layer (skipped when clang-tidy is not installed), the
-# trace_check observability gate, the hypervolume and ε-archive engine
-# agreement+speedup smoke gates, the fast+threads tiers under
+# trace_check observability gate, the hypervolume, ε-archive, and DES
+# engine agreement+speedup smoke gates, the fast+threads tiers under
 # AddressSanitizer + UBSan, and the concurrency surface (thread pool,
 # sweep runner, host-thread executor) under ThreadSanitizer.
 set -euo pipefail
@@ -41,6 +41,12 @@ echo "=== archive engine gate (agreement + speedup smoke) ==="
 # verdict, member, or counter over the 20k-candidate prefill stream, or
 # is not faster on the 1e3-member steady-state cell.
 ./build/bench/micro_archive --quick --json build/BENCH_archive.json
+
+echo "=== DES engine gate (agreement + speedup smoke) ==="
+# Fails if the calendar-queue engine's schedule diverges from the binary
+# heap oracle (wake-order hash, master-slave workload, simulate_async
+# trace) or if it is slower than the heap on the P = 4096 ticker cell.
+./build/bench/micro_des --quick --json build/BENCH_des.json
 
 echo "=== Sanitizer build (address,undefined) + fast/threads tiers ==="
 cmake -B build-san -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -1,6 +1,6 @@
 #include "des/environment.hpp"
 
-#include <stdexcept>
+#include <limits>
 #include <utility>
 
 #include "obs/metrics_registry.hpp"
@@ -26,26 +26,46 @@ Process::~Process() {
     if (handle_) handle_.destroy();
 }
 
+Environment::~Environment() {
+    // Reap frames still suspended (in the queue, or parked in a Resource /
+    // Event waiter list) when the environment dies. Destroying a frame
+    // runs the destructors of its suspended locals but never resumes it,
+    // so teardown order between the environment and the primitives holding
+    // its waiters does not matter.
+    for (const auto handle : live_)
+        if (handle) handle.destroy();
+}
+
 void Environment::spawn(Process process) {
     if (!process.valid())
         throw std::invalid_argument("spawn: invalid process handle");
-    process.handle_.promise().env = this;
-    schedule_at(process.handle_, now_);
-    processes_.push_back(std::move(process));
+    const auto handle = std::exchange(process.handle_, nullptr);
+    auto& promise = handle.promise();
+    promise.env = this;
+    if (!free_slots_.empty()) {
+        promise.slot = free_slots_.back();
+        free_slots_.pop_back();
+        live_[promise.slot] = handle;
+    } else {
+        promise.slot = static_cast<std::uint32_t>(live_.size());
+        live_.push_back(handle);
+        // Sized so that on_process_finished's push_back below can never
+        // allocate (and therefore never throw): one freed slot per live
+        // slot, reserved while we are allowed to fail.
+        free_slots_.reserve(live_.capacity());
+    }
+    schedule_at(handle, now_);
 }
 
-void Environment::schedule_at(std::coroutine_handle<> handle, double t) {
-    if (t < now_)
-        throw std::logic_error("schedule_at: cannot schedule in the past");
-    queue_.push(Scheduled{t, next_seq_++, handle});
-}
-
-void Environment::on_process_finished(std::exception_ptr exception) noexcept {
+void Environment::on_process_finished(Process::promise_type& promise) noexcept {
     ++finished_;
-    if (exception && !first_exception_) first_exception_ = exception;
+    if (promise.exception && !first_exception_)
+        first_exception_ = promise.exception;
+    live_[promise.slot] = nullptr;
+    free_slots_.push_back(promise.slot);
 }
 
-void Environment::dispatch(const Scheduled& item) {
+void Environment::dispatch(const EventRecord& item) {
     now_ = item.time;
     ++events_fired_;
     item.handle.resume();
@@ -54,25 +74,56 @@ void Environment::dispatch(const Scheduled& item) {
 }
 
 void Environment::run() {
-    while (!queue_.empty() && !stopped_) {
-        const Scheduled item = queue_.top();
-        queue_.pop();
-        dispatch(item);
+    stopped_ = false;
+    const MetricsOnExit metrics_guard{*this};
+    EventRecord item;
+    // The queue kind is fixed for the environment's lifetime, but the
+    // compiler cannot prove resume() leaves it alone, so hoist the branch
+    // out of the hot loop by hand — one tight loop per engine.
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    if (queue_kind_ == QueuePolicy::heap) {
+        while (!stopped_ && heap_.pop_if(kInf, item)) dispatch(item);
+    } else {
+        while (!stopped_) {
+            const auto popped = calendar_.pop_ready(kInf);
+            if (!popped.handle) break;
+            now_ = popped.time;
+            ++events_fired_;
+            popped.handle.resume();
+            if (first_exception_)
+                std::rethrow_exception(
+                    std::exchange(first_exception_, nullptr));
+        }
     }
-    publish_engine_metrics();
 }
 
 void Environment::run_until(double t) {
-    while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
-        const Scheduled item = queue_.top();
-        queue_.pop();
-        dispatch(item);
+    if (!std::isfinite(t))
+        throw std::invalid_argument("run_until: non-finite deadline");
+    stopped_ = false;
+    const MetricsOnExit metrics_guard{*this};
+    EventRecord item;
+    if (queue_kind_ == QueuePolicy::heap) {
+        while (!stopped_ && heap_.pop_if(t, item)) dispatch(item);
+    } else {
+        while (!stopped_) {
+            const auto popped = calendar_.pop_ready(t);
+            if (!popped.handle) break;
+            now_ = popped.time;
+            ++events_fired_;
+            popped.handle.resume();
+            if (first_exception_)
+                std::rethrow_exception(
+                    std::exchange(first_exception_, nullptr));
+        }
     }
-    if (!stopped_ && now_ < t && queue_.empty()) now_ = t;
-    publish_engine_metrics();
+    // SimPy run(until=...) semantics: a non-stopped exit leaves the clock
+    // at the deadline even when later events remain queued, so subsequent
+    // delay()s compute from t rather than the last fired event.
+    if (!stopped_ && now_ < t) now_ = t;
 }
 
-void Environment::publish_engine_metrics() const {
+void Environment::publish_engine_metrics() const noexcept {
     if (!metrics_) return;
     metrics_->gauge("des.events").set(static_cast<double>(events_fired_));
     metrics_->gauge("des.finished_processes")

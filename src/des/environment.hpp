@@ -28,12 +28,24 @@
 /// Determinism: events scheduled for the same virtual time fire in FIFO
 /// scheduling order, and resources grant strictly FIFO, so a run is a pure
 /// function of its inputs (including RNG seeds).
+///
+/// Scale (DESIGN.md §13): pending events live in a calendar queue over a
+/// flat struct-of-arrays arena (O(1) amortized dispatch; the pre-rebuild
+/// binary heap remains available as QueuePolicy::heap, the behavioral
+/// oracle both engines are gated against). Coroutine frames come from a
+/// thread-local size-class pool (frame_pool.hpp) and are reclaimed eagerly
+/// the moment a process finishes, so a 10^6-worker saturation run neither
+/// hammers the global allocator nor accretes dead frames.
 
+#include <cmath>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
-#include <queue>
+#include <stdexcept>
 #include <vector>
+
+#include "des/event_queue.hpp"
+#include "des/frame_pool.hpp"
 
 namespace borg::obs {
 class TraceSink;
@@ -45,17 +57,21 @@ namespace borg::des {
 class Environment;
 
 /// Owning handle for a simulation process coroutine. Movable, not copyable.
-/// The coroutine starts suspended; Environment::spawn schedules its first
-/// step at the current virtual time.
+/// The coroutine starts suspended; Environment::spawn takes ownership of
+/// the frame (the handle becomes invalid) and schedules its first step at
+/// the current virtual time. Once spawned, the frame is destroyed — and
+/// its pooled memory recycled — the moment the process runs to completion;
+/// frames still suspended when the environment dies are destroyed by the
+/// environment's destructor.
 class Process {
 public:
     struct promise_type {
         Process get_return_object() noexcept;
         std::suspend_always initial_suspend() noexcept { return {}; }
 
-        /// Stays suspended at the end (the Process object owns and destroys
-        /// the frame) but first reports completion — and any escaped
-        /// exception — to the environment in O(1).
+        /// Reports completion — and any escaped exception — to the
+        /// environment, then lets the coroutine finish without suspending
+        /// so the frame frees itself back to the pool in O(1).
         auto final_suspend() noexcept;
 
         void return_void() noexcept {}
@@ -63,7 +79,17 @@ public:
             exception = std::current_exception();
         }
 
+        /// Frames are pooled by size class (frame_pool.hpp): steady-state
+        /// spawn/finish cycles recycle frames without touching malloc.
+        static void* operator new(std::size_t bytes) {
+            return detail::frame_allocate(bytes);
+        }
+        static void operator delete(void* block, std::size_t bytes) noexcept {
+            detail::frame_deallocate(block, bytes);
+        }
+
         Environment* env = nullptr;
+        std::uint32_t slot = 0;
         std::exception_ptr exception;
     };
 
@@ -75,7 +101,6 @@ public:
     ~Process();
 
     bool valid() const noexcept { return handle_ != nullptr; }
-    bool done() const noexcept { return handle_ && handle_.done(); }
 
 private:
     friend class Environment;
@@ -85,13 +110,21 @@ private:
     std::coroutine_handle<promise_type> handle_;
 };
 
-/// The simulation environment: virtual clock plus a time-ordered event queue
-/// of suspended coroutine resumptions.
+/// The simulation environment: virtual clock plus a time-ordered event
+/// queue of suspended coroutine resumptions.
 class Environment {
 public:
-    Environment() = default;
+    /// \p queue selects the pending-event store: the calendar queue
+    /// (default — O(1) amortized dispatch) or the original binary heap
+    /// kept as the schedule-equivalence oracle. Both produce byte-identical
+    /// schedules; see event_queue.hpp.
+    explicit Environment(QueuePolicy queue = QueuePolicy::calendar) noexcept
+        : queue_kind_(queue) {}
     Environment(const Environment&) = delete;
     Environment& operator=(const Environment&) = delete;
+    ~Environment();
+
+    QueuePolicy queue_policy() const noexcept { return queue_kind_; }
 
     /// Current virtual time in seconds.
     double now() const noexcept { return now_; }
@@ -100,16 +133,24 @@ public:
     /// The environment takes ownership of the coroutine frame.
     void spawn(Process process);
 
-    /// Awaitable that suspends the calling process for \p dt >= 0 virtual
-    /// seconds.
-    auto delay(double dt) noexcept;
+    /// Awaitable that suspends the calling process for \p dt virtual
+    /// seconds. Negative delays clamp to zero; non-finite delays (NaN,
+    /// +/-inf) throw std::invalid_argument — silently admitting a NaN
+    /// would corrupt the queue's ordering, since every NaN comparison is
+    /// false.
+    auto delay(double dt);
 
-    /// Runs until the event queue is empty or stop() was called.
-    /// Rethrows the first exception that escaped any process.
+    /// Runs until the event queue is empty or stop() was called (a prior
+    /// stop is cleared on entry, so calling run() again resumes the
+    /// remaining events). Rethrows the first exception that escaped any
+    /// process; engine metrics are published on every exit path,
+    /// exceptional or not.
     void run();
 
-    /// Runs until now() would exceed \p t (events at exactly t still fire).
-    /// If the queue drains early the clock is advanced to \p t.
+    /// Runs until now() would exceed \p t (events at exactly t still
+    /// fire). On every non-stopped exit the clock is advanced to \p t —
+    /// SimPy run(until=...) semantics — whether or not later events remain
+    /// queued, so a subsequent delay() never computes from a stale clock.
     void run_until(double t);
 
     /// Requests the run loop to halt after the current event completes.
@@ -121,6 +162,18 @@ public:
     /// Count of processes that have run to completion.
     std::size_t finished_processes() const noexcept { return finished_; }
 
+    /// Count of spawned processes whose frames are still live (suspended
+    /// or running). Teardown destroys exactly these.
+    std::size_t live_processes() const noexcept {
+        return live_.size() - free_slots_.size();
+    }
+
+    /// Pending (not yet dispatched) events.
+    std::size_t pending_events() const noexcept {
+        return queue_kind_ == QueuePolicy::heap ? heap_.size()
+                                                : calendar_.size();
+    }
+
     /// Total events dispatched so far (diagnostic / test hook).
     std::uint64_t event_count() const noexcept { return events_fired_; }
 
@@ -131,37 +184,56 @@ public:
     void set_trace(obs::TraceSink* sink) noexcept { trace_ = sink; }
     obs::TraceSink* trace() const noexcept { return trace_; }
 
-    /// Attaches a metrics registry (nullable). run() publishes the engine
-    /// gauges ("des.events", "des.finished_processes") on exit; executors
-    /// reuse the same registry for their own instruments.
+    /// Attaches a metrics registry (nullable). run()/run_until() publish
+    /// the engine gauges ("des.events", "des.finished_processes") on exit
+    /// — including the exception exit path — so the gauges stay truthful
+    /// after a process fault; executors reuse the same registry for their
+    /// own instruments.
     void set_metrics(obs::MetricsRegistry* metrics) noexcept {
         metrics_ = metrics;
     }
     obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
 
-    /// Schedules \p handle to resume at absolute virtual time \p t >= now().
-    /// Public so synchronization primitives (Resource, Event) can reschedule
-    /// their waiters; not intended for direct use by simulation code.
-    void schedule_at(std::coroutine_handle<> handle, double t);
+    /// Schedules \p handle to resume at absolute virtual time \p t >=
+    /// now(). Throws std::invalid_argument for non-finite \p t and
+    /// std::logic_error for times in the past. Public so synchronization
+    /// primitives (Resource, Event) can reschedule their waiters; not
+    /// intended for direct use by simulation code.
+    void schedule_at(std::coroutine_handle<> handle, double t) {
+        if (!std::isfinite(t))
+            throw std::invalid_argument(
+                "schedule_at: non-finite event time");
+        if (t < now_)
+            throw std::logic_error("schedule_at: cannot schedule in the past");
+        if (queue_kind_ == QueuePolicy::heap)
+            heap_.push(t, next_seq_++, handle);
+        else
+            calendar_.push(t, next_seq_++, handle);
+    }
 
-    /// Called by Process::promise_type at final suspend. Internal.
-    void on_process_finished(std::exception_ptr exception) noexcept;
+    /// Called by Process::promise_type at final suspend, just before the
+    /// frame destroys itself. Internal.
+    void on_process_finished(Process::promise_type& promise) noexcept;
 
 private:
-    struct Scheduled {
-        double time;
-        std::uint64_t seq;
-        std::coroutine_handle<> handle;
-        bool operator>(const Scheduled& other) const noexcept {
-            if (time != other.time) return time > other.time;
-            return seq > other.seq;
-        }
+    bool pop_next(double max_time, EventRecord& out) {
+        return queue_kind_ == QueuePolicy::heap
+                   ? heap_.pop_if(max_time, out)
+                   : calendar_.pop_if(max_time, out);
+    }
+
+    void dispatch(const EventRecord& item);
+
+    void publish_engine_metrics() const noexcept;
+
+    /// Publishes the engine gauges on every exit from run()/run_until(),
+    /// including unwinds caused by a throwing process.
+    struct MetricsOnExit {
+        const Environment& env;
+        ~MetricsOnExit() { env.publish_engine_metrics(); }
     };
 
-    void dispatch(const Scheduled& item);
-
-    void publish_engine_metrics() const;
-
+    QueuePolicy queue_kind_;
     double now_ = 0.0;
     bool stopped_ = false;
     obs::TraceSink* trace_ = nullptr;
@@ -170,19 +242,26 @@ private:
     std::uint64_t events_fired_ = 0;
     std::size_t finished_ = 0;
     std::exception_ptr first_exception_;
-    std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
-        queue_;
-    std::vector<Process> processes_;
+    HeapQueue heap_;
+    CalendarQueue calendar_;
+
+    /// Slot-indexed registry of live frames (null = free slot, chained
+    /// through free_slots_). Finishing processes clear their own slot in
+    /// O(1); the destructor reaps whatever is left.
+    std::vector<std::coroutine_handle<Process::promise_type>> live_;
+    std::vector<std::uint32_t> free_slots_;
 };
 
 inline auto Process::promise_type::final_suspend() noexcept {
     struct FinalAwaiter {
         promise_type& promise;
-        bool await_ready() const noexcept { return false; }
-        void await_suspend(std::coroutine_handle<>) const noexcept {
-            if (promise.env)
-                promise.env->on_process_finished(promise.exception);
+        /// Never suspends: report, then fall through so the frame is
+        /// destroyed (and its memory pooled) right here.
+        bool await_ready() const noexcept {
+            if (promise.env) promise.env->on_process_finished(promise);
+            return true;
         }
+        void await_suspend(std::coroutine_handle<>) const noexcept {}
         void await_resume() const noexcept {}
     };
     return FinalAwaiter{*this};
@@ -202,7 +281,9 @@ struct TimeoutAwaiter {
 };
 } // namespace detail
 
-inline auto Environment::delay(double dt) noexcept {
+inline auto Environment::delay(double dt) {
+    if (!std::isfinite(dt))
+        throw std::invalid_argument("delay: non-finite duration");
     return detail::TimeoutAwaiter{*this, dt < 0.0 ? 0.0 : dt};
 }
 

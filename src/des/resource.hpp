@@ -10,9 +10,9 @@
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 
 #include "des/environment.hpp"
+#include "des/ring_queue.hpp"
 
 namespace borg::des {
 
@@ -77,7 +77,9 @@ private:
     std::size_t in_use_ = 0;
     std::size_t acquires_ = 0;
     std::size_t contended_ = 0;
-    std::deque<std::coroutine_handle<>> waiters_;
+    /// FIFO of suspended acquirers; the ring keeps the steady-state
+    /// request/grant cycle allocation-free (DESIGN.md §13).
+    RingQueue<std::coroutine_handle<>> waiters_;
 };
 
 struct ResourceAwaiter {
@@ -127,7 +129,7 @@ private:
 
     Environment& env_;
     bool triggered_ = false;
-    std::deque<std::coroutine_handle<>> waiters_;
+    RingQueue<std::coroutine_handle<>> waiters_;
 };
 
 struct EventAwaiter {

@@ -1,0 +1,58 @@
+#ifndef BORG_DES_RING_QUEUE_HPP
+#define BORG_DES_RING_QUEUE_HPP
+
+/// \file ring_queue.hpp
+/// Power-of-two ring buffer used for Resource/Event waiter FIFOs.
+///
+/// std::deque releases and re-acquires its block storage as elements cycle
+/// through, so a steady-state acquire/release loop still pays a periodic
+/// allocator round trip. The ring reuses one buffer forever: pushes and
+/// pops are a masked index bump, and the buffer only grows (doubling) when
+/// the population of simultaneous waiters exceeds anything seen before.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace borg::des {
+
+template <typename T>
+class RingQueue {
+public:
+    bool empty() const noexcept { return head_ == tail_; }
+    std::size_t size() const noexcept { return tail_ - head_; }
+
+    void push_back(const T& value) {
+        if (size() == buf_.size()) grow();
+        buf_[tail_ & mask_] = value;
+        ++tail_;
+    }
+
+    T& front() noexcept { return buf_[head_ & mask_]; }
+    const T& front() const noexcept { return buf_[head_ & mask_]; }
+
+    void pop_front() noexcept { ++head_; }
+
+private:
+    void grow() {
+        const std::size_t old_cap = buf_.size();
+        const std::size_t new_cap = old_cap == 0 ? 8 : old_cap * 2;
+        std::vector<T> next(new_cap);
+        const std::size_t count = size();
+        for (std::size_t i = 0; i < count; ++i)
+            next[i] = buf_[(head_ + i) & mask_];
+        buf_ = std::move(next);
+        mask_ = new_cap - 1;
+        head_ = 0;
+        tail_ = count;
+    }
+
+    std::vector<T> buf_;
+    std::size_t mask_ = 0;
+    std::uint64_t head_ = 0;
+    std::uint64_t tail_ = 0;
+};
+
+} // namespace borg::des
+
+#endif

@@ -34,6 +34,7 @@ ClusterEngine::Setup engine_setup(const SimulationConfig& config) {
     setup.ta = config.ta;
     setup.processors = config.processors;
     setup.groups = {{config.processors - 1, config.seed, 0}};
+    setup.queue = config.queue;
     return setup;
 }
 

@@ -120,6 +120,7 @@ VirtualRunResult AsyncMasterSlaveExecutor::run(std::uint64_t evaluations,
     setup.processors = config_.processors;
     setup.worker_speed = config_.worker_speed;
     setup.worker_failure_at = config_.worker_failure_at;
+    setup.queue = config_.queue;
     setup.groups = {{config_.processors - 1, config_.seed, 0}};
 
     ClusterEngine engine(std::move(setup), ctx);

@@ -28,7 +28,7 @@ void EventMasterPolicy::record_spawn(ClusterEngine& engine,
 
 ClusterEngine::ClusterEngine(Setup setup, const RunContext& ctx)
     : setup_(std::move(setup)), ctx_(ctx),
-      env_(std::make_unique<des::Environment>()) {
+      env_(std::make_unique<des::Environment>(setup_.queue)) {
     if (!setup_.tf)
         throw std::invalid_argument("cluster engine: missing T_F distribution");
     if (!setup_.tc)

@@ -246,6 +246,10 @@ public:
         std::vector<double> worker_speed;
         std::vector<double> worker_failure_at;
         std::vector<GroupSpec> groups;
+        /// Pending-event store for the DES (event-driven runs only). Both
+        /// stores produce byte-identical schedules; `heap` is the
+        /// pre-rebuild oracle kept for equivalence gates (DESIGN.md §13).
+        des::QueuePolicy queue = des::QueuePolicy::calendar;
     };
 
     ClusterEngine(Setup setup, const RunContext& ctx);

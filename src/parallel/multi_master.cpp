@@ -205,6 +205,7 @@ MultiMasterResult MultiMasterExecutor::run(std::uint64_t evaluations,
     setup.processors = config_.cluster.processors;
     setup.worker_speed = config_.cluster.worker_speed;
     setup.worker_failure_at = config_.cluster.worker_failure_at;
+    setup.queue = config_.cluster.queue;
     for (std::size_t i = 0; i < islands; ++i) {
         const std::uint64_t workers =
             total_workers / islands + (i < total_workers % islands ? 1 : 0);

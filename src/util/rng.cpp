@@ -24,35 +24,9 @@ std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream_a,
     return splitmix64(x);
 }
 
-namespace {
-inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-    return (x << k) | (x >> (64 - k));
-}
-} // namespace
-
 Rng::Rng(std::uint64_t seed) noexcept {
     // SplitMix64 expansion guarantees the xoshiro state is never all-zero.
     for (auto& word : state_) word = splitmix64(seed);
-}
-
-Rng::result_type Rng::operator()() noexcept {
-    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const std::uint64_t t = state_[1] << 17;
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-    return result;
-}
-
-double Rng::uniform() noexcept {
-    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) noexcept {
-    return lo + (hi - lo) * uniform();
 }
 
 std::uint64_t Rng::below(std::uint64_t n) noexcept {

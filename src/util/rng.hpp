@@ -32,14 +32,30 @@ public:
     static constexpr result_type min() noexcept { return 0; }
     static constexpr result_type max() noexcept { return ~result_type{0}; }
 
-    /// Next raw 64-bit value.
-    result_type operator()() noexcept;
+    /// Next raw 64-bit value. Defined inline: one draw per dispatched
+    /// event is the common case in the DES hot loop, and an out-of-line
+    /// call costs more than the xoshiro step itself.
+    result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
 
     /// Uniform double in [0, 1) with 53 bits of precision.
-    double uniform() noexcept;
+    double uniform() noexcept {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
 
     /// Uniform double in [lo, hi).
-    double uniform(double lo, double hi) noexcept;
+    double uniform(double lo, double hi) noexcept {
+        return lo + (hi - lo) * uniform();
+    }
 
     /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling to
     /// avoid modulo bias.
@@ -77,6 +93,10 @@ public:
     void set_state(const State& state) noexcept;
 
 private:
+    static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t state_[4];
     double spare_ = 0.0;
     bool has_spare_ = false;
