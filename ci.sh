@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 CI: plain Release build + full tests, a clang-tidy pass over the
-# engine/parallel layer (skipped when clang-tidy is not installed), the
-# trace_check observability gate, the hypervolume, ε-archive, and DES
-# engine agreement+speedup smoke gates, the fast+threads tiers under
-# AddressSanitizer + UBSan, and the concurrency surface (thread pool,
-# sweep runner, host-thread executor) under ThreadSanitizer.
+# Tier-1 CI: plain Release build + full tests (fast, slow, threads, and
+# the net tier's loopback TCP fault-injection suite), a clang-tidy pass
+# over the engine/parallel layer (skipped when clang-tidy is not
+# installed), the trace_check observability gate, the hypervolume,
+# ε-archive, and DES engine agreement+speedup smoke gates, the
+# fast+threads+net tiers under AddressSanitizer + UBSan, and the
+# concurrency surface (thread pool, sweep runner, host-thread executor)
+# under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -48,13 +50,24 @@ echo "=== DES engine gate (agreement + speedup smoke) ==="
 # trace) or if it is slower than the heap on the P = 4096 ticker cell.
 ./build/bench/micro_des --quick --json build/BENCH_des.json
 
-echo "=== Sanitizer build (address,undefined) + fast/threads tiers ==="
+echo "=== Sanitizer build (address,undefined) + fast/threads/net tiers ==="
+# -LE slow deliberately includes the net tier: the wire-codec fuzz tests
+# exist precisely to prove that truncated/corrupted frames produce typed
+# errors and never UB, and ASan/UBSan is where that claim has teeth.
 cmake -B build-san -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DBORG_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j "$jobs"
 ctest --test-dir build-san --output-on-failure -j "$jobs" -LE slow
 
 echo "=== ThreadSanitizer build + threads tier ==="
+# The net tier is excluded from TSan by construction: only
+# borg_thread_tests is built here. Decision: the TCP master is a
+# single-threaded poll loop (no shared-memory concurrency to race), the
+# workers are separate processes TSan cannot see across, and TSan's
+# interceptors add multi-second latency to socket syscalls that would
+# blow the net tier's 30 s per-test caps for zero additional coverage.
+# The concurrency the net tier does have (the test harness's killer /
+# late-joiner threads) touches only pid_t values by design.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DBORG_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs" --target borg_thread_tests

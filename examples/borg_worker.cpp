@@ -1,0 +1,225 @@
+/// borg_worker: the worker side of the TCP run manager (DESIGN.md §14).
+///
+///   $ ./borg_worker --connect 127.0.0.1:7700 --problem zdt1
+///
+/// Connects to a borg_master (retrying with exponential backoff while the
+/// master is still binding), handshakes with the problem signature,
+/// evaluates Task frames single-threaded, heartbeats at the cadence the
+/// master requested, and exits on Shutdown. Exit codes: 0 = clean run,
+/// 1 = transport failure, 2 = handshake rejected.
+///
+/// Fault-injection flags (used by the loopback test harness; harmless
+/// otherwise):
+///   --stall-after-handshake    hang silently right after the handshake,
+///                              before reading any task (heartbeat reap)
+///   --stall-after-evals K      complete K evaluations, then hang silently
+///                              on the next task (mid-run heartbeat reap)
+///   --leave-after-evals K      complete K evaluations, then send Goodbye
+///                              and exit cleanly (graceful churn)
+///   --eval-delay-ms D          sleep D ms inside every evaluation (makes
+///                              mid-evaluation kill -9 windows reliable)
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "moea/solution.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "problems/problem.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::uint64_t steady_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            SteadyClock::now().time_since_epoch())
+            .count());
+}
+
+[[noreturn]] void hang_forever() {
+    // A simulated hang: the socket stays open but nothing is ever sent,
+    // so the master's heartbeat timeout must reap us.
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+}
+
+bool send_message(borg::net::Socket& socket,
+                  const borg::net::Message& message) {
+    return socket.send_all(borg::net::encode_frame(message));
+}
+
+/// Splits "host:port"; returns false on malformed input.
+bool parse_endpoint(const std::string& value, std::string& host,
+                    std::uint16_t& port) {
+    const std::size_t colon = value.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= value.size()) return false;
+    host = value.substr(0, colon);
+    const long parsed = std::stol(value.substr(colon + 1));
+    if (parsed <= 0 || parsed > 65535) return false;
+    port = static_cast<std::uint16_t>(parsed);
+    return !host.empty();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace borg;
+    const util::CliArgs args(argc, argv);
+    args.check_known({"connect", "problem", "name", "retries", "backoff-ms",
+                      "stall-after-handshake", "stall-after-evals",
+                      "leave-after-evals", "eval-delay-ms"});
+
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parse_endpoint(args.get("connect", ""), host, port)) {
+        std::fprintf(stderr, "borg_worker: --connect host:port required\n");
+        return 1;
+    }
+    const std::string problem_name = args.get("problem", "zdt1");
+    const std::string worker_name = args.get("name", "worker");
+    const auto retries = static_cast<unsigned>(args.get_uint("retries", 60));
+    const auto backoff_ms =
+        static_cast<unsigned>(args.get_uint("backoff-ms", 50));
+    const bool stall_after_handshake =
+        args.get_bool("stall-after-handshake", false);
+    const std::int64_t stall_after_evals =
+        args.get_int("stall-after-evals", -1);
+    const std::int64_t leave_after_evals =
+        args.get_int("leave-after-evals", -1);
+    const std::int64_t eval_delay_ms = args.get_int("eval-delay-ms", 0);
+
+    const auto problem = problems::make_problem(problem_name);
+
+    std::uint32_t attempts = 0;
+    net::Socket socket;
+    try {
+        socket = net::connect_with_retry(host, port, retries, backoff_ms,
+                                         &attempts);
+    } catch (const net::SocketError& error) {
+        std::fprintf(stderr, "borg_worker: %s\n", error.what());
+        return 1;
+    }
+    socket.set_nodelay(true);
+
+    net::Hello hello;
+    hello.connect_attempts = attempts;
+    hello.pid = static_cast<std::uint64_t>(::getpid());
+    hello.num_variables =
+        static_cast<std::uint32_t>(problem->num_variables());
+    hello.num_objectives =
+        static_cast<std::uint32_t>(problem->num_objectives());
+    hello.num_constraints =
+        static_cast<std::uint32_t>(problem->num_constraints());
+    hello.problem = problem->name();
+    hello.worker_name = worker_name;
+    if (!send_message(socket, hello)) {
+        std::fprintf(stderr, "borg_worker: master closed during handshake\n");
+        return 1;
+    }
+
+    net::FrameReader reader;
+    std::uint32_t worker_id = 0;
+    std::uint32_t heartbeat_ms = 250;
+    std::uint64_t evals_done = 0;
+    bool handshaken = false;
+
+    auto next_heartbeat = SteadyClock::now() + std::chrono::hours(1);
+    std::uint8_t buffer[4096];
+    pollfd pfd{socket.fd(), POLLIN, 0};
+
+    for (;;) {
+        const auto now = SteadyClock::now();
+        int timeout_ms = 60000;
+        if (handshaken) {
+            const auto until = std::chrono::duration_cast<
+                std::chrono::milliseconds>(next_heartbeat - now);
+            timeout_ms = static_cast<int>(
+                std::max<std::int64_t>(0, until.count()));
+        }
+        pfd.revents = 0;
+        ::poll(&pfd, 1, timeout_ms);
+
+        if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+            const net::Socket::IoResult io = socket.recv_some(buffer);
+            if (io.bytes > 0) reader.feed({buffer, io.bytes});
+            if (io.closed) return handshaken ? 0 : 1;
+        }
+
+        std::optional<net::Message> message;
+        try {
+            while ((message = reader.next())) {
+                if (auto* ack = std::get_if<net::HelloAck>(&*message)) {
+                    if (!ack->accepted) {
+                        std::fprintf(stderr,
+                                     "borg_worker: handshake rejected: %s\n",
+                                     ack->reason.c_str());
+                        return 2;
+                    }
+                    worker_id = ack->worker_id;
+                    if (ack->heartbeat_interval_ms > 0)
+                        heartbeat_ms = ack->heartbeat_interval_ms;
+                    handshaken = true;
+                    next_heartbeat = SteadyClock::now() +
+                                     std::chrono::milliseconds(heartbeat_ms);
+                    if (stall_after_handshake) hang_forever();
+                } else if (auto* task = std::get_if<net::Task>(&*message)) {
+                    if (stall_after_evals >= 0 &&
+                        evals_done >=
+                            static_cast<std::uint64_t>(stall_after_evals))
+                        hang_forever();
+                    const auto eval_start = SteadyClock::now();
+                    if (eval_delay_ms > 0)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(eval_delay_ms));
+                    moea::Solution solution(std::move(task->variables));
+                    moea::evaluate(*problem, solution);
+                    net::Result result;
+                    result.seq = task->seq;
+                    result.worker_id = worker_id;
+                    result.eval_seconds =
+                        std::chrono::duration<double>(SteadyClock::now() -
+                                                      eval_start)
+                            .count();
+                    result.sent_at_ns = steady_ns();
+                    result.objectives = std::move(solution.objectives);
+                    result.constraints = std::move(solution.constraints);
+                    if (!send_message(socket, result)) return 1;
+                    ++evals_done;
+                    if (leave_after_evals >= 0 &&
+                        evals_done >=
+                            static_cast<std::uint64_t>(leave_after_evals)) {
+                        send_message(socket, net::Goodbye{worker_id});
+                        return 0;
+                    }
+                } else if (std::get_if<net::Shutdown>(&*message) !=
+                           nullptr) {
+                    return 0;
+                }
+                // Anything else (Hello/Result/...) is not worker-bound;
+                // ignore rather than die — the master owns enforcement.
+            }
+        } catch (const net::ProtocolError& error) {
+            std::fprintf(stderr, "borg_worker: protocol error: %s\n",
+                         error.what());
+            return 1;
+        }
+
+        if (handshaken && SteadyClock::now() >= next_heartbeat) {
+            if (!send_message(socket, net::Heartbeat{worker_id, evals_done}))
+                return 0; // master gone after our last result: clean exit
+            next_heartbeat = SteadyClock::now() +
+                             std::chrono::milliseconds(heartbeat_ms);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace borg::net {
+
+const char* to_string(WireError code) noexcept {
+    switch (code) {
+    case WireError::bad_magic: return "bad_magic";
+    case WireError::version_skew: return "version_skew";
+    case WireError::bad_type: return "bad_type";
+    case WireError::oversize: return "oversize";
+    case WireError::truncated: return "truncated";
+    case WireError::trailing_bytes: return "trailing_bytes";
+    case WireError::bad_payload: return "bad_payload";
+    }
+    return "unknown";
+}
+
+ProtocolError::ProtocolError(WireError code, const std::string& detail)
+    : std::runtime_error(std::string("net protocol: ") + to_string(code) +
+                         (detail.empty() ? "" : ": " + detail)),
+      code_(code) {}
+
+namespace {
+
+// ------------------------------------------------------------ primitives
+
+class ByteWriter {
+public:
+    explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+    void u8(std::uint8_t v) { out_.push_back(v); }
+    void u16(std::uint16_t v) {
+        out_.push_back(static_cast<std::uint8_t>(v));
+        out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    }
+    void u32(std::uint32_t v) {
+        for (int i = 0; i < 4; ++i)
+            out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    void u64(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+    void str(const std::string& s) {
+        u32(static_cast<std::uint32_t>(s.size()));
+        out_.insert(out_.end(), s.begin(), s.end());
+    }
+    void vec(const std::vector<double>& v) {
+        u32(static_cast<std::uint32_t>(v.size()));
+        for (const double d : v) f64(d);
+    }
+
+private:
+    std::vector<std::uint8_t>& out_;
+};
+
+class ByteReader {
+public:
+    explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+    std::uint8_t u8() {
+        need(1);
+        return bytes_[pos_++];
+    }
+    std::uint16_t u16() {
+        need(2);
+        const std::uint16_t v = static_cast<std::uint16_t>(
+            bytes_[pos_] | (static_cast<std::uint16_t>(bytes_[pos_ + 1]) << 8));
+        pos_ += 2;
+        return v;
+    }
+    std::uint32_t u32() {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+    std::uint64_t u64() {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+    double f64() { return std::bit_cast<double>(u64()); }
+    std::string str() {
+        const std::uint32_t n = u32();
+        if (n > kMaxString)
+            throw ProtocolError(WireError::bad_payload, "string too long");
+        need(n);
+        std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+        pos_ += n;
+        return s;
+    }
+    std::vector<double> vec() {
+        const std::uint32_t n = u32();
+        if (n > kMaxVector)
+            throw ProtocolError(WireError::bad_payload, "vector too long");
+        need(static_cast<std::size_t>(n) * 8);
+        std::vector<double> v(n);
+        for (std::uint32_t i = 0; i < n; ++i) v[i] = f64();
+        return v;
+    }
+
+    std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+
+private:
+    void need(std::size_t n) const {
+        if (bytes_.size() - pos_ < n)
+            throw ProtocolError(WireError::truncated,
+                                "payload ends before its declared fields");
+    }
+
+    std::span<const std::uint8_t> bytes_;
+    std::size_t pos_ = 0;
+};
+
+// -------------------------------------------------------- per-type codecs
+
+void encode_payload(ByteWriter& w, const Hello& m) {
+    w.u32(m.connect_attempts);
+    w.u64(m.pid);
+    w.u32(m.num_variables);
+    w.u32(m.num_objectives);
+    w.u32(m.num_constraints);
+    w.str(m.problem);
+    w.str(m.worker_name);
+}
+Hello decode_hello(ByteReader& r) {
+    Hello m;
+    m.connect_attempts = r.u32();
+    m.pid = r.u64();
+    m.num_variables = r.u32();
+    m.num_objectives = r.u32();
+    m.num_constraints = r.u32();
+    m.problem = r.str();
+    m.worker_name = r.str();
+    return m;
+}
+
+void encode_payload(ByteWriter& w, const HelloAck& m) {
+    w.u8(m.accepted ? 1 : 0);
+    w.u32(m.worker_id);
+    w.u32(m.heartbeat_interval_ms);
+    w.str(m.reason);
+}
+HelloAck decode_hello_ack(ByteReader& r) {
+    HelloAck m;
+    const std::uint8_t flag = r.u8();
+    if (flag > 1)
+        throw ProtocolError(WireError::bad_payload, "accepted flag not 0/1");
+    m.accepted = flag == 1;
+    m.worker_id = r.u32();
+    m.heartbeat_interval_ms = r.u32();
+    m.reason = r.str();
+    return m;
+}
+
+void encode_payload(ByteWriter& w, const Task& m) {
+    w.u64(m.seq);
+    w.vec(m.variables);
+}
+Task decode_task(ByteReader& r) {
+    Task m;
+    m.seq = r.u64();
+    m.variables = r.vec();
+    return m;
+}
+
+void encode_payload(ByteWriter& w, const Result& m) {
+    w.u64(m.seq);
+    w.u32(m.worker_id);
+    w.f64(m.eval_seconds);
+    w.u64(m.sent_at_ns);
+    w.vec(m.objectives);
+    w.vec(m.constraints);
+}
+Result decode_result(ByteReader& r) {
+    Result m;
+    m.seq = r.u64();
+    m.worker_id = r.u32();
+    m.eval_seconds = r.f64();
+    m.sent_at_ns = r.u64();
+    m.objectives = r.vec();
+    m.constraints = r.vec();
+    return m;
+}
+
+void encode_payload(ByteWriter& w, const Heartbeat& m) {
+    w.u32(m.worker_id);
+    w.u64(m.results_done);
+}
+Heartbeat decode_heartbeat(ByteReader& r) {
+    Heartbeat m;
+    m.worker_id = r.u32();
+    m.results_done = r.u64();
+    return m;
+}
+
+void encode_payload(ByteWriter& w, const Goodbye& m) { w.u32(m.worker_id); }
+Goodbye decode_goodbye(ByteReader& r) {
+    Goodbye m;
+    m.worker_id = r.u32();
+    return m;
+}
+
+void encode_payload(ByteWriter&, const Shutdown&) {}
+
+Message decode_payload(MsgType type, std::span<const std::uint8_t> payload) {
+    ByteReader r(payload);
+    Message m;
+    switch (type) {
+    case MsgType::hello: m = decode_hello(r); break;
+    case MsgType::hello_ack: m = decode_hello_ack(r); break;
+    case MsgType::task: m = decode_task(r); break;
+    case MsgType::result: m = decode_result(r); break;
+    case MsgType::heartbeat: m = decode_heartbeat(r); break;
+    case MsgType::goodbye: m = decode_goodbye(r); break;
+    case MsgType::shutdown: m = Shutdown{}; break;
+    default:
+        throw ProtocolError(WireError::bad_type, "unknown message type");
+    }
+    if (r.remaining() != 0)
+        throw ProtocolError(WireError::trailing_bytes,
+                            "payload longer than its fields");
+    return m;
+}
+
+/// Validated header. Throws on everything except "not enough bytes yet"
+/// (the caller checks size >= kHeaderBytes first).
+struct Header {
+    MsgType type;
+    std::uint32_t length;
+};
+
+Header decode_header(std::span<const std::uint8_t> bytes) {
+    ByteReader r(bytes);
+    const std::uint32_t magic = r.u32();
+    if (magic != kMagic)
+        throw ProtocolError(WireError::bad_magic, "frame magic mismatch");
+    const std::uint16_t version = r.u16();
+    if (version != kProtocolVersion)
+        throw ProtocolError(WireError::version_skew,
+                            "peer speaks protocol version " +
+                                std::to_string(version) + ", expected " +
+                                std::to_string(kProtocolVersion));
+    const std::uint16_t raw_type = r.u16();
+    if (raw_type < static_cast<std::uint16_t>(MsgType::hello) ||
+        raw_type > static_cast<std::uint16_t>(MsgType::shutdown))
+        throw ProtocolError(WireError::bad_type,
+                            "message type " + std::to_string(raw_type));
+    const std::uint32_t length = r.u32();
+    if (length > kMaxPayload)
+        throw ProtocolError(WireError::oversize,
+                            "payload length " + std::to_string(length));
+    return {static_cast<MsgType>(raw_type), length};
+}
+
+} // namespace
+
+MsgType type_of(const Message& message) noexcept {
+    return std::visit(
+        [](const auto& m) {
+            using T = std::decay_t<decltype(m)>;
+            if constexpr (std::is_same_v<T, Hello>) return MsgType::hello;
+            else if constexpr (std::is_same_v<T, HelloAck>)
+                return MsgType::hello_ack;
+            else if constexpr (std::is_same_v<T, Task>) return MsgType::task;
+            else if constexpr (std::is_same_v<T, Result>)
+                return MsgType::result;
+            else if constexpr (std::is_same_v<T, Heartbeat>)
+                return MsgType::heartbeat;
+            else if constexpr (std::is_same_v<T, Goodbye>)
+                return MsgType::goodbye;
+            else return MsgType::shutdown;
+        },
+        message);
+}
+
+std::vector<std::uint8_t> encode_frame(const Message& message) {
+    std::vector<std::uint8_t> out;
+    out.reserve(64);
+    ByteWriter w(out);
+    w.u32(kMagic);
+    w.u16(kProtocolVersion);
+    w.u16(static_cast<std::uint16_t>(type_of(message)));
+    w.u32(0); // payload length, patched below
+    std::visit([&](const auto& m) { encode_payload(w, m); }, message);
+    const auto payload = static_cast<std::uint32_t>(out.size() - kHeaderBytes);
+    for (int i = 0; i < 4; ++i)
+        out[8 + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(payload >> (8 * i));
+    return out;
+}
+
+Message decode_frame(std::span<const std::uint8_t> frame) {
+    if (frame.size() < kHeaderBytes)
+        throw ProtocolError(WireError::truncated, "frame shorter than header");
+    const Header header = decode_header(frame);
+    if (frame.size() - kHeaderBytes < header.length)
+        throw ProtocolError(WireError::truncated,
+                            "frame shorter than its declared payload");
+    if (frame.size() - kHeaderBytes > header.length)
+        throw ProtocolError(WireError::trailing_bytes,
+                            "bytes after the declared payload");
+    return decode_payload(header.type, frame.subspan(kHeaderBytes));
+}
+
+void FrameReader::feed(std::span<const std::uint8_t> bytes) {
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection doesn't grow its buffer forever.
+    if (start_ > 4096 && start_ > buffer_.size() / 2) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(start_));
+        start_ = 0;
+    }
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Message> FrameReader::next() {
+    const std::size_t available = buffer_.size() - start_;
+    if (available < kHeaderBytes) return std::nullopt;
+    const std::span<const std::uint8_t> view(buffer_.data() + start_,
+                                             available);
+    const Header header = decode_header(view); // throws on malformed header
+    if (available < kHeaderBytes + header.length) return std::nullopt;
+    Message m = decode_payload(
+        header.type, view.subspan(kHeaderBytes, header.length));
+    start_ += kHeaderBytes + header.length;
+    return m;
+}
+
+} // namespace borg::net

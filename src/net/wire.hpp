@@ -1,0 +1,166 @@
+#ifndef BORG_NET_WIRE_HPP
+#define BORG_NET_WIRE_HPP
+
+/// \file wire.hpp
+/// The framed wire protocol of the TCP run manager (DESIGN.md §14).
+///
+/// Every message travels as one length-prefixed frame:
+///
+///     magic   u32   0x42524757 ("BRGW")
+///     version u16   kProtocolVersion
+///     type    u16   MsgType
+///     length  u32   payload bytes that follow (<= kMaxPayload)
+///     payload ...   per-type fields, little-endian fixed-width
+///
+/// All integers are little-endian and assembled byte-by-byte, doubles are
+/// bit_cast through u64 — no struct punning, no reinterpret_cast, so the
+/// codec is UB-free under any input (the fuzz suite in
+/// tests/test_net_protocol.cpp feeds it truncations, corruptions, and
+/// random splits). Malformed input produces a typed ProtocolError; a
+/// *short* read is not an error — FrameReader simply waits for more bytes.
+///
+/// The protocol is deliberately tiny: the master retains every dispatched
+/// Solution, so a Task only carries decision variables and a Result only
+/// carries objectives/constraints plus timing. Everything the archive
+/// needs to stay byte-identical (operator tags, variable bits) never
+/// leaves the master.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace borg::net {
+
+inline constexpr std::uint32_t kMagic = 0x42524757u; // "BRGW"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 12;
+/// Upper bound on a single payload; a length field beyond this is treated
+/// as a protocol violation (it would otherwise let one bad peer make the
+/// master buffer gigabytes).
+inline constexpr std::uint32_t kMaxPayload = 1u << 24;
+/// Caps on variable-length fields inside a payload.
+inline constexpr std::uint32_t kMaxString = 4096;
+inline constexpr std::uint32_t kMaxVector = 1u << 20;
+
+/// What exactly was wrong with the bytes. `truncated` means a complete
+/// frame's payload ended before its declared fields did; an incomplete
+/// *stream* never errors (FrameReader waits).
+enum class WireError : std::uint8_t {
+    bad_magic,
+    version_skew,
+    bad_type,
+    oversize,
+    truncated,
+    trailing_bytes,
+    bad_payload,
+};
+
+const char* to_string(WireError code) noexcept;
+
+class ProtocolError : public std::runtime_error {
+public:
+    ProtocolError(WireError code, const std::string& detail);
+    WireError code() const noexcept { return code_; }
+
+private:
+    WireError code_;
+};
+
+enum class MsgType : std::uint16_t {
+    hello = 1,     ///< worker -> master: self-description + problem signature
+    hello_ack = 2, ///< master -> worker: accept/reject + id + heartbeat cadence
+    task = 3,      ///< master -> worker: one evaluation
+    result = 4,    ///< worker -> master: objectives/constraints + timing
+    heartbeat = 5, ///< worker -> master: liveness
+    goodbye = 6,   ///< worker -> master: graceful leave
+    shutdown = 7,  ///< master -> worker: run complete, exit
+};
+
+// ------------------------------------------------------------- payloads
+
+/// Worker self-description sent once after connect. The master rejects the
+/// handshake unless the problem signature (name + dimensions) matches its
+/// own, so a mis-launched worker fails loudly instead of corrupting a run.
+struct Hello {
+    std::uint32_t connect_attempts = 1; ///< retries spent reaching the master
+    std::uint64_t pid = 0;
+    std::uint32_t num_variables = 0;
+    std::uint32_t num_objectives = 0;
+    std::uint32_t num_constraints = 0;
+    std::string problem;
+    std::string worker_name;
+};
+
+struct HelloAck {
+    bool accepted = false;
+    std::uint32_t worker_id = 0;
+    std::uint32_t heartbeat_interval_ms = 0;
+    std::string reason; ///< empty when accepted
+};
+
+struct Task {
+    std::uint64_t seq = 0;
+    std::vector<double> variables;
+};
+
+struct Result {
+    std::uint64_t seq = 0;
+    std::uint32_t worker_id = 0;
+    double eval_seconds = 0.0;
+    /// Steady-clock nanoseconds at send time; comparable across processes
+    /// on one host (CLOCK_MONOTONIC is system-wide on Linux), used for the
+    /// measured T_C. Clamped to 0 when clocks disagree.
+    std::uint64_t sent_at_ns = 0;
+    std::vector<double> objectives;
+    std::vector<double> constraints;
+};
+
+struct Heartbeat {
+    std::uint32_t worker_id = 0;
+    std::uint64_t results_done = 0;
+};
+
+struct Goodbye {
+    std::uint32_t worker_id = 0;
+};
+
+struct Shutdown {};
+
+using Message = std::variant<Hello, HelloAck, Task, Result, Heartbeat,
+                             Goodbye, Shutdown>;
+
+MsgType type_of(const Message& message) noexcept;
+
+/// Serializes one message as a complete frame (header + payload).
+std::vector<std::uint8_t> encode_frame(const Message& message);
+
+/// Decodes one complete frame (header + payload, exactly). Throws
+/// ProtocolError on any malformation, including trailing bytes.
+Message decode_frame(std::span<const std::uint8_t> frame);
+
+/// Incremental frame assembly over a byte stream. Feed whatever the socket
+/// produced; next() yields complete messages and throws ProtocolError the
+/// moment the stream is provably malformed (bad magic/version/type or an
+/// oversize length — by then the connection is unrecoverable anyway).
+class FrameReader {
+public:
+    void feed(std::span<const std::uint8_t> bytes);
+    std::optional<Message> next();
+
+    /// Bytes buffered but not yet consumed by a complete frame — nonzero
+    /// at connection close means the peer died mid-frame.
+    std::size_t pending() const noexcept { return buffer_.size() - start_; }
+
+private:
+    std::vector<std::uint8_t> buffer_;
+    std::size_t start_ = 0; ///< consumed prefix, compacted lazily
+};
+
+} // namespace borg::net
+
+#endif

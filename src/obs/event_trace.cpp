@@ -24,6 +24,9 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::migration: return "migration";
     case EventKind::generation: return "generation";
     case EventKind::run_end: return "run_end";
+    case EventKind::net_connect: return "net_connect";
+    case EventKind::net_disconnect: return "net_disconnect";
+    case EventKind::net_reassign: return "net_reassign";
     }
     return "unknown";
 }

@@ -45,6 +45,11 @@ enum class EventKind : std::uint8_t {
     migration,       ///< actor = destination island
     generation,      ///< count = results after this generation (sync)
     run_end,         ///< value = elapsed, count = results ingested
+    // Real-transport events (TCP run manager, DESIGN.md §14).
+    net_connect,     ///< actor = worker id, value = connect attempts spent
+    net_disconnect,  ///< actor = worker id, count = 1 if graceful (Goodbye)
+    net_reassign,    ///< actor = departed worker id, value = task seq,
+                     ///< count = times the task had been dispatched
 };
 
 /// Stable lower-case name used in the JSONL export.

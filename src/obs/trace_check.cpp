@@ -53,6 +53,12 @@ TraceAggregates recompute(std::span<const Event> events) {
         case EventKind::migration:
         case EventKind::generation:
             break;
+        // Transport bookkeeping: orthogonal to the scheduling aggregates
+        // (the TCP manager reports them via net.* metrics instead).
+        case EventKind::net_connect:
+        case EventKind::net_disconnect:
+        case EventKind::net_reassign:
+            break;
         case EventKind::run_end:
             agg.saw_run_end = true;
             agg.elapsed = e.value;

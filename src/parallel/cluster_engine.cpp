@@ -29,9 +29,11 @@ void EventMasterPolicy::record_spawn(ClusterEngine& engine,
 ClusterEngine::ClusterEngine(Setup setup, const RunContext& ctx)
     : setup_(std::move(setup)), ctx_(ctx),
       env_(std::make_unique<des::Environment>(setup_.queue)) {
-    if (!setup_.tf)
+    // In real-time mode every cost is measured, not sampled, so the
+    // distributions are optional.
+    if (!setup_.tf && !setup_.real_time)
         throw std::invalid_argument("cluster engine: missing T_F distribution");
-    if (!setup_.tc)
+    if (!setup_.tc && !setup_.real_time)
         throw std::invalid_argument("cluster engine: missing T_C distribution");
     if (setup_.groups.empty())
         throw std::invalid_argument("cluster engine: no master groups");
@@ -49,6 +51,12 @@ ClusterEngine::ClusterEngine(Setup setup, const RunContext& ctx)
 ClusterEngine::~ClusterEngine() = default;
 
 double ClusterEngine::now() const noexcept {
+    if (setup_.real_time) {
+        if (external_policy_ == nullptr) return 0.0; // before external_begin
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             real_start_)
+            .count();
+    }
     return generational_ ? gen_now_ : env_->now();
 }
 
@@ -87,16 +95,24 @@ double ClusterEngine::sample_tf(const WorkerRef& worker) {
     tf_applied_.add(v);
     if (h_tf_) h_tf_->observe(v);
     if (ctx_.trace && policy_->trace_samples())
-        ctx_.trace->record({obs::EventKind::tf_sample, env_->now(),
+        ctx_.trace->record({obs::EventKind::tf_sample, now(),
                             static_cast<std::int64_t>(worker.global), v, 0});
     return v;
 }
 
 double ClusterEngine::sample_tc(std::size_t group, std::int64_t actor) {
-    const double v = setup_.tc->sample(groups_[group]->rng);
+    // Real-time mode has no T_C distribution: the draw consumes the
+    // measured transport latency fed by the external driver (one value per
+    // service; subsequent draws in the same service see 0).
+    double v;
+    if (setup_.tc) {
+        v = setup_.tc->sample(groups_[group]->rng);
+    } else {
+        v = pending_tc_;
+        pending_tc_ = 0.0;
+    }
     if (ctx_.trace && policy_->trace_samples())
-        ctx_.trace->record(
-            {obs::EventKind::tc_sample, env_->now(), actor, v, 0});
+        ctx_.trace->record({obs::EventKind::tc_sample, now(), actor, v, 0});
     return v;
 }
 
@@ -107,8 +123,7 @@ double ClusterEngine::sample_ta(std::size_t group, std::int64_t actor,
     ta_applied_.add(v);
     if (h_ta_) h_ta_->observe(v);
     if (ctx_.trace && policy_->trace_samples())
-        ctx_.trace->record(
-            {obs::EventKind::ta_sample, env_->now(), actor, v, 0});
+        ctx_.trace->record({obs::EventKind::ta_sample, now(), actor, v, 0});
     return v;
 }
 
@@ -120,7 +135,7 @@ void ClusterEngine::add_wait(double wait) {
 void ClusterEngine::add_hold(std::size_t group, double hold) {
     groups_[group]->hold += hold;
     if (ctx_.trace)
-        ctx_.trace->record({obs::EventKind::master_hold, env_->now(),
+        ctx_.trace->record({obs::EventKind::master_hold, now(),
                             setup_.groups[group].trace_id, hold, 0});
 }
 
@@ -221,8 +236,95 @@ des::Process ClusterEngine::worker_loop(EventMasterPolicy& policy,
     }
 }
 
+// ---------------------------------------------------------- external drive
+
+void ClusterEngine::external_begin(EventMasterPolicy& policy,
+                                   std::uint64_t evaluations) {
+    if (!setup_.real_time)
+        throw std::logic_error(
+            "cluster engine: external drive requires Setup.real_time");
+    if (external_policy_ != nullptr)
+        throw std::logic_error("cluster engine: external run already begun");
+    init_check(evaluations);
+    policy_ = &policy;
+    external_policy_ = &policy;
+    target_ = evaluations;
+    generational_ = false;
+    if (ctx_.metrics) {
+        const std::string prefix = policy.prefix();
+        h_tf_ = &ctx_.metrics->histogram(prefix + ".tf_seconds");
+        h_ta_ = &ctx_.metrics->histogram(prefix + ".ta_seconds");
+        h_wait_ = &ctx_.metrics->histogram(prefix + ".queue_wait_seconds");
+    }
+    real_start_ = std::chrono::steady_clock::now();
+    emit_run_start();
+}
+
+void ClusterEngine::external_spawn(const WorkerRef& worker) {
+    external_policy_->record_spawn(*this, worker);
+}
+
+std::optional<WorkItem>
+ClusterEngine::external_dispatch_initial(const WorkerRef& worker) {
+    return external_policy_->dispatch_initial(*this, worker);
+}
+
+void ClusterEngine::external_tf(const WorkerRef& worker,
+                                double measured_seconds) {
+    tf_applied_.add(measured_seconds);
+    if (h_tf_) h_tf_->observe(measured_seconds);
+    if (ctx_.trace && external_policy_->trace_samples())
+        ctx_.trace->record({obs::EventKind::tf_sample, now(),
+                            static_cast<std::int64_t>(worker.global),
+                            measured_seconds, 0});
+}
+
+ClusterEngine::ExternalServe
+ClusterEngine::external_result(const WorkerRef& worker, WorkItem work,
+                               double measured_tc) {
+    pending_tc_ = measured_tc;
+    EventMasterPolicy::Service service =
+        external_policy_->serve(*this, worker, std::move(work));
+    pending_tc_ = 0.0;
+    add_hold(worker.group, service.hold);
+    ++groups_[worker.group]->evaluations;
+    ++completed_;
+    external_policy_->record_result(*this, worker);
+    if (completed_ == target_) {
+        finished_ = true;
+        finish_time_ = now();
+    }
+    external_policy_->after_result(*this, worker);
+    return {std::move(service.next), finished_};
+}
+
+void ClusterEngine::external_worker_failure(const WorkerRef& worker) {
+    ++failed_workers_;
+    if (ctx_.trace)
+        ctx_.trace->record({obs::EventKind::worker_failure, now(),
+                            static_cast<std::int64_t>(worker.global), 0.0,
+                            0});
+}
+
+VirtualRunResult ClusterEngine::external_finish() {
+    if (external_policy_ == nullptr)
+        throw std::logic_error("cluster engine: no external run to finish");
+    VirtualRunResult result = collect(now());
+    if (ctx_.trace)
+        ctx_.trace->record({obs::EventKind::run_end, result.elapsed, -1,
+                            result.elapsed, completed_});
+    publish_metrics(external_policy_->prefix(), result);
+    if (ctx_.metrics)
+        external_policy_->publish_extra_metrics(*this, *ctx_.metrics);
+    external_policy_->finalize(*this, result);
+    return result;
+}
+
 VirtualRunResult ClusterEngine::run_events(EventMasterPolicy& policy,
                                            std::uint64_t evaluations) {
+    if (setup_.real_time)
+        throw std::logic_error(
+            "cluster engine: real_time setups are externally driven");
     init_check(evaluations);
     policy_ = &policy;
     target_ = evaluations;
@@ -280,6 +382,9 @@ bool ClusterEngine::reap_dead_workers(double now,
 VirtualRunResult
 ClusterEngine::run_generational(GenerationalMasterPolicy& policy,
                                 std::uint64_t evaluations) {
+    if (setup_.real_time)
+        throw std::logic_error(
+            "cluster engine: real_time setups are externally driven");
     init_check(evaluations);
     if (groups_.size() != 1)
         throw std::logic_error(

@@ -37,6 +37,7 @@
 /// so fixed seeds reproduce byte-identical event traces
 /// (tests/test_golden_traces.cpp holds the fixtures).
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -250,6 +251,14 @@ public:
         /// stores produce byte-identical schedules; `heap` is the
         /// pre-rebuild oracle kept for equivalence gates (DESIGN.md §13).
         des::QueuePolicy queue = des::QueuePolicy::calendar;
+        /// Real-time (external-drive) mode: a transport such as the TCP
+        /// run manager owns the event loop and feeds the engine through
+        /// the external_* hooks; now() is wall-clock seconds since
+        /// external_begin, T_A is measured, and T_C is fed from measured
+        /// transport latency (tf/tc/ta distributions may all be null).
+        /// run_events/run_generational are unavailable in this mode
+        /// (DESIGN.md §14).
+        bool real_time = false;
     };
 
     ClusterEngine(Setup setup, const RunContext& ctx);
@@ -262,6 +271,44 @@ public:
                                 std::uint64_t evaluations);
     VirtualRunResult run_generational(GenerationalMasterPolicy& policy,
                                       std::uint64_t evaluations);
+
+    // ------------------------------------------- external (real-time) drive
+    // A real transport (the TCP run manager) owns the sockets and the
+    // event loop; the engine keeps owning what it always owned — policy
+    // invocation order, trace/metrics emission, completion accounting —
+    // so an EventMasterPolicy written for the virtual cluster runs
+    // unchanged over real hardware. All external_* calls require
+    // Setup.real_time and run on the driving thread.
+
+    /// Starts an externally driven run: installs the policy, arms the
+    /// wall clock, emits run_start.
+    void external_begin(EventMasterPolicy& policy, std::uint64_t evaluations);
+    /// A real worker joined (after handshake): emits worker_spawn.
+    void external_spawn(const WorkerRef& worker);
+    /// Claims one initial work item from the policy (window seeding).
+    std::optional<WorkItem> external_dispatch_initial(const WorkerRef& worker);
+    /// Feeds one measured evaluation time into the T_F accounting.
+    void external_tf(const WorkerRef& worker, double measured_seconds);
+
+    struct ExternalServe {
+        std::optional<WorkItem> next; ///< fresh work, if the budget allows
+        bool finished = false;        ///< target reached with this result
+    };
+    /// One master service: runs policy.serve (which measures its own T_A),
+    /// charges the hold, advances completion, and fires record_result /
+    /// after_result exactly as the virtual driver would. \p measured_tc is
+    /// the observed result-return latency, consumed by the policy's first
+    /// sample_tc draw.
+    ExternalServe external_result(const WorkerRef& worker, WorkItem work,
+                                  double measured_tc);
+    /// A real worker died (socket EOF or heartbeat timeout). Emits
+    /// worker_failure and counts it. The policy is *not* told: unlike the
+    /// virtual cluster, a real transport retains the dispatched solution
+    /// and reassigns it, so no claim is lost.
+    void external_worker_failure(const WorkerRef& worker);
+    /// Ends the run: collects the result, emits run_end, publishes
+    /// metrics, and runs the policy's finalize hook.
+    VirtualRunResult external_finish();
 
     // ----------------------------------------------------- policy services
 
@@ -332,6 +379,10 @@ private:
     std::unique_ptr<des::Environment> env_;
     std::vector<std::unique_ptr<Group>> groups_;
     MasterPolicy* policy_ = nullptr; ///< set for the duration of a run
+    /// External-drive state (real-time mode only).
+    EventMasterPolicy* external_policy_ = nullptr;
+    std::chrono::steady_clock::time_point real_start_{};
+    double pending_tc_ = 0.0; ///< next measured T_C, consumed by sample_tc
 
     std::uint64_t target_ = 0;
     std::uint64_t completed_ = 0;

@@ -1,0 +1,82 @@
+#include "parallel/master_policies.hpp"
+
+#include "obs/event_trace.hpp"
+#include "parallel/trajectory.hpp"
+
+namespace borg::parallel {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point start) {
+    return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+} // namespace
+
+std::optional<WorkItem>
+AsyncBorgPolicy::dispatch_initial(ClusterEngine& engine,
+                                  const WorkerRef& worker) {
+    (void)worker;
+    if (issued_ >= engine.target()) return std::nullopt;
+    WorkItem work{algorithm_.next_offspring()};
+    ++issued_;
+    return work;
+}
+
+void AsyncBorgPolicy::evaluate(WorkItem& work) {
+    moea::evaluate(problem_, *work.solution);
+}
+
+EventMasterPolicy::Service AsyncBorgPolicy::serve(ClusterEngine& engine,
+                                                  const WorkerRef& worker,
+                                                  WorkItem work) {
+    const auto start = SteadyClock::now();
+    algorithm_.receive(std::move(*work.solution));
+    std::optional<WorkItem> next;
+    if (issued_ < engine.target()) {
+        next = WorkItem{algorithm_.next_offspring()};
+        ++issued_;
+    }
+    const double measured = seconds_since(start);
+    const auto actor = static_cast<std::int64_t>(worker.global);
+    // Protocol order: the master ingests + generates (T_A), then the
+    // result-return and fresh-work messages are priced (T_C twice).
+    const double ta = engine.sample_ta(worker.group, actor, measured);
+    const double tc1 = engine.sample_tc(worker.group, actor);
+    const double tc2 = engine.sample_tc(worker.group, actor);
+    return {tc1 + ta + tc2, std::move(next)};
+}
+
+void AsyncBorgPolicy::on_worker_failure(ClusterEngine& engine,
+                                        const WorkerRef& worker) {
+    (void)engine;
+    (void)worker;
+    --issued_; // the lost offspring's claim returns to the pool
+}
+
+void AsyncBorgPolicy::record_result(ClusterEngine& engine,
+                                    const WorkerRef& worker) {
+    if (auto* trace = engine.trace()) {
+        trace->record({obs::EventKind::result, engine.now(),
+                       static_cast<std::int64_t>(worker.global), 0.0,
+                       engine.completed()});
+        trace->record({obs::EventKind::archive_snapshot, engine.now(), -1, 0.0,
+                       algorithm_.archive().size()});
+    }
+    if (auto* recorder = engine.recorder())
+        recorder->on_result(engine.now(), engine.completed(), [this] {
+            return algorithm_.archive().objective_vectors();
+        });
+}
+
+void AsyncBorgPolicy::finalize(ClusterEngine& engine,
+                               const VirtualRunResult& result) {
+    if (auto* recorder = engine.recorder())
+        recorder->finalize(result.elapsed, result.evaluations, [this] {
+            return algorithm_.archive().objective_vectors();
+        });
+}
+
+} // namespace borg::parallel

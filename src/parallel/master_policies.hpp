@@ -1,0 +1,56 @@
+#ifndef BORG_PARALLEL_MASTER_POLICIES_HPP
+#define BORG_PARALLEL_MASTER_POLICIES_HPP
+
+/// \file master_policies.hpp
+/// Reusable master-policy objects shared by every transport.
+///
+/// AsyncBorgPolicy — the asynchronous Borg protocol (ingest one result,
+/// immediately hand back fresh work) — used to be a private class inside
+/// async_executor.cpp, which made the protocol inseparable from the
+/// virtual-time transport. The TCP run manager (tcp_executor.hpp) drives
+/// the *same object* over real sockets through ClusterEngine's external
+/// (real-time) mode, so the scheduling semantics of a distributed run are
+/// bit-exact with the simulated one by construction, not by parallel
+/// maintenance (DESIGN.md §14).
+
+#include <chrono>
+#include <cstdint>
+
+#include "moea/borg.hpp"
+#include "parallel/cluster_engine.hpp"
+#include "problems/problem.hpp"
+
+namespace borg::parallel {
+
+/// The asynchronous Borg protocol as a master policy: every master
+/// interaction ingests one result and immediately hands back fresh work
+/// while the evaluation budget lasts (DESIGN.md §10).
+class AsyncBorgPolicy final : public EventMasterPolicy {
+public:
+    AsyncBorgPolicy(moea::BorgMoea& algorithm, const problems::Problem& problem)
+        : algorithm_(algorithm), problem_(problem) {}
+
+    const char* prefix() const noexcept override { return "async"; }
+
+    std::optional<WorkItem> dispatch_initial(ClusterEngine& engine,
+                                             const WorkerRef& worker) override;
+    void evaluate(WorkItem& work) override;
+    Service serve(ClusterEngine& engine, const WorkerRef& worker,
+                  WorkItem work) override;
+    void on_worker_failure(ClusterEngine& engine,
+                           const WorkerRef& worker) override;
+    void record_result(ClusterEngine& engine, const WorkerRef& worker) override;
+    void finalize(ClusterEngine& engine,
+                  const VirtualRunResult& result) override;
+
+    std::uint64_t issued() const noexcept { return issued_; }
+
+private:
+    moea::BorgMoea& algorithm_;
+    const problems::Problem& problem_;
+    std::uint64_t issued_ = 0;
+};
+
+} // namespace borg::parallel
+
+#endif

@@ -2,22 +2,59 @@
 #define BORG_PARALLEL_MESSAGE_HPP
 
 /// \file message.hpp
-/// Blocking message channels for the real-thread master-slave executor.
+/// Transport-shared message payloads and channels for the physical
+/// master-slave executors (threads and TCP).
 ///
 /// The paper's implementation moved decision variables and objectives
 /// between the master and workers as fixed-size MPI messages. Here the
-/// transport is in-process: a mutex/condition-variable channel with the
-/// same semantics as a matched MPI_Send/MPI_Recv pair. The master owns one
-/// send channel per worker and all workers share one result channel, which
-/// is exactly the MPI_ANY_SOURCE receive loop of the original.
+/// same payloads ride two transports: an in-process mutex/condition-
+/// variable channel with the semantics of a matched MPI_Send/MPI_Recv
+/// pair (the thread executor; the master owns one send channel per worker
+/// and all workers share one result channel — exactly the MPI_ANY_SOURCE
+/// receive loop of the original), and the framed TCP protocol of
+/// net/wire.hpp (the socket run manager serializes WorkPayload as a Task
+/// frame and ResultPayload as a Result frame).
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
 
+#include "moea/solution.hpp"
+
 namespace borg::parallel {
+
+/// How a physical master ingests results (DESIGN.md §14).
+///
+///  * `arrival` — classic asynchronous semantics: ingest each result the
+///    moment it lands (MPI_ANY_SOURCE order). Maximum throughput, but the
+///    archive depends on OS/network scheduling races.
+///  * `dispatch` — the schedule-invariant window protocol: results are
+///    reordered and ingested strictly in task-sequence order, and each
+///    ingest funds the next offspring. The archive becomes a pure
+///    function of (seed, window, evaluations) — byte-identical across
+///    transports, worker counts below the window, mid-run joins/leaves,
+///    and even kill -9 reassignment — at the cost of idling a fast worker
+///    while an earlier result is still outstanding.
+enum class IngestOrder : std::uint8_t { arrival, dispatch };
+
+/// One evaluation travelling master -> worker. `seq` is the dispatch
+/// sequence number (the reorder key under IngestOrder::dispatch).
+struct WorkPayload {
+    std::uint64_t seq = 0;
+    moea::Solution solution;
+};
+
+/// One evaluated result travelling worker -> master.
+struct ResultPayload {
+    std::uint64_t seq = 0;
+    std::size_t worker = 0;
+    moea::Solution solution;
+    std::chrono::steady_clock::time_point sent_at{};
+};
 
 /// Unbounded MPSC/SPSC blocking queue. close() wakes all receivers;
 /// receive() returns std::nullopt once the channel is closed and drained.

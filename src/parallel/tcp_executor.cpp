@@ -1,0 +1,545 @@
+#include "parallel/tcp_executor.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "obs/event_trace.hpp"
+#include "obs/metrics_registry.hpp"
+#include "parallel/master_policies.hpp"
+
+namespace borg::parallel {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::uint64_t steady_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            SteadyClock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+struct TcpRunManager::Impl {
+    // One connected socket in some lifecycle state. `handshaking` sockets
+    // have no worker identity yet; `closing` ones carry a handshake
+    // rejection that still needs to drain before the close.
+    struct Conn {
+        net::Socket socket;
+        net::FrameReader reader;
+        std::vector<std::uint8_t> outbox;
+        std::size_t outbox_off = 0;
+        enum class State { handshaking, active, closing } state =
+            State::handshaking;
+        std::uint32_t worker_id = 0; ///< valid once active
+        std::optional<std::uint64_t> task;
+        SteadyClock::time_point last_heard;
+        bool dead = false;
+    };
+
+    // The master-side record of one dispatched evaluation. The full
+    // Solution (operator tag included) never leaves this slot; the wire
+    // only moves variables out and objectives back, so the ingested
+    // solution is bit-exact with what the policy generated no matter how
+    // many times the task was reassigned.
+    struct TaskSlot {
+        moea::Solution retained;
+        bool done = false;
+        std::uint32_t dispatch_count = 0;
+    };
+
+    // A completed evaluation parked until its sequence turn (dispatch
+    // mode) or ingested immediately (arrival mode).
+    struct ReadyResult {
+        std::uint32_t worker_id = 0;
+        double eval_seconds = 0.0;
+        double measured_tc = 0.0;
+    };
+
+    TcpRunConfig config;
+    net::Listener listener;
+    bool ran = false;
+
+    // Per-run state (valid during run()).
+    ClusterEngine* engine = nullptr;
+    const problems::Problem* problem = nullptr;
+    obs::TraceSink* trace = nullptr;
+    TcpRunStats stats;
+    std::vector<std::unique_ptr<Conn>> conns;
+    std::vector<TaskSlot> tasks;
+    std::deque<std::uint64_t> pending; ///< task seqs awaiting a worker
+    std::deque<std::uint32_t> idle;    ///< worker ids awaiting a task
+    std::map<std::uint64_t, ReadyResult> ready; ///< reorder buffer
+    std::uint64_t next_ingest = 0;
+    std::uint32_t next_worker_id = 0;
+    bool finished = false;
+
+    explicit Impl(const TcpRunConfig& cfg)
+        : config(cfg), listener(cfg.host, cfg.port) {}
+
+    static WorkerRef ref_of(std::uint32_t worker_id) {
+        const auto id = static_cast<std::size_t>(worker_id);
+        return WorkerRef{0, id, id};
+    }
+
+    Conn* find_active(std::uint32_t worker_id) {
+        for (auto& conn : conns)
+            if (!conn->dead && conn->state == Conn::State::active &&
+                conn->worker_id == worker_id)
+                return conn.get();
+        return nullptr;
+    }
+
+    void queue_frame(Conn& conn, const net::Message& message) {
+        const std::vector<std::uint8_t> frame = net::encode_frame(message);
+        conn.outbox.insert(conn.outbox.end(), frame.begin(), frame.end());
+    }
+
+    /// Drains as much outbox as the socket accepts right now. A hard send
+    /// failure is a peer loss; a fully drained `closing` conn is closed.
+    void flush(Conn& conn) {
+        while (!conn.dead && conn.outbox_off < conn.outbox.size()) {
+            const auto chunk = std::span<const std::uint8_t>(
+                conn.outbox.data() + conn.outbox_off,
+                conn.outbox.size() - conn.outbox_off);
+            const net::Socket::IoResult io = conn.socket.send_some(chunk);
+            if (io.closed) {
+                conn_lost(conn, /*graceful=*/false);
+                return;
+            }
+            if (io.bytes == 0) return; // would block; POLLOUT resumes us
+            conn.outbox_off += io.bytes;
+            stats.bytes_sent += io.bytes;
+        }
+        if (conn.outbox_off == conn.outbox.size()) {
+            conn.outbox.clear();
+            conn.outbox_off = 0;
+            if (conn.state == Conn::State::closing) close_quietly(conn);
+        }
+    }
+
+    /// Closes a socket that never completed (or failed) its handshake —
+    /// no worker existed, so nothing to reassign or count.
+    void close_quietly(Conn& conn) {
+        conn.socket.close();
+        conn.dead = true;
+    }
+
+    /// A peer left: by Goodbye frame (graceful), or by EOF / reset /
+    /// heartbeat timeout (a failure). Outstanding work is reassigned
+    /// either way; only failures count as worker_failure — the transport
+    /// retains the dispatched solution, so unlike the virtual cluster the
+    /// policy is never told (no claim is lost).
+    void conn_lost(Conn& conn, bool graceful) {
+        if (conn.dead) return;
+        if (conn.state != Conn::State::active) {
+            close_quietly(conn);
+            return;
+        }
+        ++stats.disconnects;
+        if (graceful) ++stats.graceful_leaves;
+        if (trace)
+            trace->record({obs::EventKind::net_disconnect, engine->now(),
+                           static_cast<std::int64_t>(conn.worker_id), 0.0,
+                           graceful ? 1u : 0u});
+        if (!graceful) engine->external_worker_failure(ref_of(conn.worker_id));
+        if (conn.task) reassign(*conn.task, conn.worker_id);
+        conn.socket.close();
+        conn.dead = true;
+    }
+
+    /// Returns a lost task to the front of the queue (front: the lowest
+    /// outstanding seq gates the reorder buffer, so re-running it first
+    /// minimizes parked results).
+    void reassign(std::uint64_t seq, std::uint32_t worker_id) {
+        TaskSlot& slot = tasks[seq];
+        if (slot.done) return;
+        pending.push_front(seq);
+        ++stats.reassignments;
+        if (trace)
+            trace->record({obs::EventKind::net_reassign, engine->now(),
+                           static_cast<std::int64_t>(worker_id),
+                           static_cast<double>(seq), slot.dispatch_count});
+    }
+
+    /// Matches queued tasks to idle workers, FIFO on both sides.
+    void dispatch_pending() {
+        while (!pending.empty() && !idle.empty()) {
+            const std::uint32_t worker_id = idle.front();
+            idle.pop_front();
+            Conn* conn = find_active(worker_id);
+            if (conn == nullptr || conn->task) continue; // stale idle entry
+            const std::uint64_t seq = pending.front();
+            pending.pop_front();
+            TaskSlot& slot = tasks[seq];
+            ++slot.dispatch_count;
+            ++stats.tasks_sent;
+            conn->task = seq;
+            queue_frame(*conn, net::Task{seq, slot.retained.variables});
+            flush(*conn);
+        }
+    }
+
+    /// One master service: measured T_F and T_C feed the engine, the
+    /// policy ingests the retained (patched) solution and may fund the
+    /// next task.
+    void ingest(std::uint64_t seq, const ReadyResult& meta) {
+        const WorkerRef worker = ref_of(meta.worker_id);
+        engine->external_tf(worker, meta.eval_seconds);
+        WorkItem work;
+        work.solution = std::move(tasks[seq].retained);
+        const ClusterEngine::ExternalServe serve =
+            engine->external_result(worker, std::move(work), meta.measured_tc);
+        if (serve.next) {
+            if (!serve.next->solution)
+                throw TcpError("tcp manager: policy produced an empty work "
+                               "item (statistics-only policies cannot run "
+                               "over a real transport)");
+            const std::uint64_t next_seq = tasks.size();
+            tasks.push_back(TaskSlot{std::move(*serve.next->solution)});
+            pending.push_back(next_seq);
+        }
+        if (serve.finished) finished = true;
+    }
+
+    void handle_hello(Conn& conn, net::Hello&& hello) {
+        if (conn.state != Conn::State::handshaking) {
+            conn_lost(conn, /*graceful=*/false);
+            return;
+        }
+        std::string reason;
+        if (hello.problem != problem->name())
+            reason = "problem mismatch: master runs '" + problem->name() +
+                     "', worker built '" + hello.problem + "'";
+        else if (hello.num_variables != problem->num_variables() ||
+                 hello.num_objectives != problem->num_objectives() ||
+                 hello.num_constraints != problem->num_constraints())
+            reason = "problem dimensions differ from the master's";
+        if (!reason.empty()) {
+            ++stats.handshake_rejects;
+            queue_frame(conn, net::HelloAck{false, 0, 0, reason});
+            conn.state = Conn::State::closing;
+            flush(conn);
+            return;
+        }
+        const std::uint32_t id = next_worker_id++;
+        conn.state = Conn::State::active;
+        conn.worker_id = id;
+        ++stats.connects;
+        if (hello.connect_attempts > 1)
+            stats.connect_retries += hello.connect_attempts - 1;
+        engine->external_spawn(ref_of(id));
+        if (trace)
+            trace->record({obs::EventKind::net_connect, engine->now(),
+                           static_cast<std::int64_t>(id),
+                           static_cast<double>(hello.connect_attempts), 0});
+        queue_frame(conn,
+                    net::HelloAck{true, id, config.heartbeat_interval_ms, ""});
+        idle.push_back(id);
+        flush(conn);
+    }
+
+    void handle_result(Conn& conn, net::Result&& result) {
+        if (conn.state != Conn::State::active || !conn.task ||
+            *conn.task != result.seq || result.seq >= tasks.size()) {
+            conn_lost(conn, /*graceful=*/false);
+            return;
+        }
+        TaskSlot& slot = tasks[result.seq];
+        conn.task.reset();
+        idle.push_back(conn.worker_id);
+        if (slot.done) {
+            // Another incarnation of this task already landed (it was
+            // reassigned and both copies finished); drop the duplicate.
+            ++stats.stale_results;
+            return;
+        }
+        if (result.objectives.size() != problem->num_objectives() ||
+            result.constraints.size() != problem->num_constraints()) {
+            conn_lost(conn, /*graceful=*/false);
+            return;
+        }
+        slot.retained.set_objectives(result.objectives);
+        slot.retained.constraints = std::move(result.constraints);
+        slot.done = true;
+        ++stats.results_received;
+
+        const std::uint64_t now_ns = steady_ns();
+        ReadyResult meta;
+        meta.worker_id = conn.worker_id;
+        meta.eval_seconds = result.eval_seconds;
+        meta.measured_tc = now_ns > result.sent_at_ns
+                               ? static_cast<double>(now_ns -
+                                                     result.sent_at_ns) *
+                                     1e-9
+                               : 0.0;
+
+        if (config.ingest == IngestOrder::arrival) {
+            ingest(result.seq, meta);
+            return;
+        }
+        // Window protocol: park until this result's sequence turn, then
+        // drain everything that became consecutive.
+        ready.emplace(result.seq, meta);
+        for (auto hit = ready.find(next_ingest);
+             hit != ready.end() && !finished; hit = ready.find(next_ingest)) {
+            const ReadyResult turn = hit->second;
+            ready.erase(hit);
+            const std::uint64_t seq = next_ingest++;
+            ingest(seq, turn);
+        }
+    }
+
+    void handle_message(Conn& conn, net::Message&& message) {
+        if (auto* hello = std::get_if<net::Hello>(&message)) {
+            handle_hello(conn, std::move(*hello));
+        } else if (auto* result = std::get_if<net::Result>(&message)) {
+            handle_result(conn, std::move(*result));
+        } else if (std::get_if<net::Heartbeat>(&message) != nullptr) {
+            // Liveness only; last_heard was already refreshed by the read.
+        } else if (std::get_if<net::Goodbye>(&message) != nullptr) {
+            conn_lost(conn, /*graceful=*/true);
+        } else {
+            // HelloAck / Task / Shutdown are master->worker only.
+            conn_lost(conn, /*graceful=*/false);
+        }
+    }
+
+    void read_from(Conn& conn) {
+        std::uint8_t buffer[4096];
+        bool closed = false;
+        for (;;) {
+            const net::Socket::IoResult io = conn.socket.recv_some(buffer);
+            if (io.bytes > 0) {
+                stats.bytes_received += io.bytes;
+                conn.last_heard = SteadyClock::now();
+                conn.reader.feed({buffer, io.bytes});
+            }
+            if (io.closed) {
+                closed = true;
+                break;
+            }
+            if (io.bytes == 0) break; // drained
+        }
+        try {
+            std::optional<net::Message> message;
+            while (!conn.dead && !finished &&
+                   (message = conn.reader.next())) {
+                handle_message(conn, std::move(*message));
+            }
+        } catch (const net::ProtocolError&) {
+            // Malformed bytes: the stream is unrecoverable. Treated as a
+            // peer loss — work is reassigned, the run continues.
+            conn_lost(conn, /*graceful=*/false);
+        }
+        if (closed) conn_lost(conn, /*graceful=*/false);
+    }
+
+    void accept_all() {
+        while (std::optional<net::Socket> socket = listener.accept_ready()) {
+            auto conn = std::make_unique<Conn>();
+            conn->socket = std::move(*socket);
+            conn->socket.set_nonblocking(true);
+            conn->socket.set_nodelay(true);
+            conn->last_heard = SteadyClock::now();
+            conns.push_back(std::move(conn));
+        }
+    }
+
+    void reap_heartbeats() {
+        const auto now = SteadyClock::now();
+        const auto limit =
+            std::chrono::milliseconds(config.heartbeat_timeout_ms);
+        for (auto& conn : conns) {
+            if (conn->dead || now - conn->last_heard <= limit) continue;
+            if (conn->state == Conn::State::active) {
+                ++stats.heartbeat_timeouts;
+                conn_lost(*conn, /*graceful=*/false);
+            } else {
+                close_quietly(*conn); // silent half-open handshake
+            }
+        }
+    }
+
+    /// Best-effort: tell live workers the run is over, give their
+    /// outboxes a moment to drain, then close everything.
+    void broadcast_shutdown() {
+        for (auto& conn : conns) {
+            if (conn->dead || conn->state != Conn::State::active) continue;
+            queue_frame(*conn, net::Shutdown{});
+            flush(*conn);
+        }
+        const auto deadline =
+            SteadyClock::now() + std::chrono::milliseconds(200);
+        for (;;) {
+            bool outstanding = false;
+            for (auto& conn : conns) {
+                if (conn->dead) continue;
+                if (conn->outbox_off < conn->outbox.size()) flush(*conn);
+                outstanding |= !conn->dead &&
+                               conn->outbox_off < conn->outbox.size();
+            }
+            if (!outstanding || SteadyClock::now() >= deadline) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        for (auto& conn : conns)
+            if (!conn->dead) close_quietly(*conn);
+    }
+
+    void publish_metrics(obs::MetricsRegistry& metrics) const {
+        metrics.counter("net.connects").inc(stats.connects);
+        metrics.counter("net.disconnects").inc(stats.disconnects);
+        metrics.counter("net.graceful_leaves").inc(stats.graceful_leaves);
+        metrics.counter("net.handshake_rejects").inc(stats.handshake_rejects);
+        metrics.counter("net.reassignments").inc(stats.reassignments);
+        metrics.counter("net.heartbeat_timeouts")
+            .inc(stats.heartbeat_timeouts);
+        metrics.counter("net.stale_results").inc(stats.stale_results);
+        metrics.counter("net.connect_retries").inc(stats.connect_retries);
+        metrics.counter("net.tasks_sent").inc(stats.tasks_sent);
+        metrics.counter("net.results_received").inc(stats.results_received);
+        metrics.counter("net.bytes_sent").inc(stats.bytes_sent);
+        metrics.counter("net.bytes_received").inc(stats.bytes_received);
+    }
+
+    TcpRunResult run(EventMasterPolicy& policy,
+                     const problems::Problem& run_problem,
+                     std::uint64_t evaluations, const RunContext& ctx) {
+        if (ran) throw std::logic_error("tcp manager: run() already served");
+        ran = true;
+        if (evaluations == 0)
+            throw std::invalid_argument("tcp manager: evaluations == 0");
+
+        problem = &run_problem;
+        trace = ctx.trace;
+
+        ClusterEngine::Setup setup;
+        setup.real_time = true;
+        setup.processors = config.workers_expected + 1;
+        setup.groups = {{config.workers_expected, 1, 0}};
+        ClusterEngine run_engine(std::move(setup), ctx);
+        engine = &run_engine;
+        engine->external_begin(policy, evaluations);
+
+        // Claim the whole window up front: W tasks generated before any
+        // ingest, exactly like the thread executor's seeding loop — this
+        // is what makes the dispatch-order archive a pure function of
+        // (seed, W, N) rather than of connection timing.
+        for (std::size_t w = 0; w < config.workers_expected; ++w) {
+            std::optional<WorkItem> work = engine->external_dispatch_initial(
+                WorkerRef{0, w, w});
+            if (!work) break;
+            if (!work->solution)
+                throw TcpError("tcp manager: policy produced an empty "
+                               "initial work item");
+            pending.push_back(tasks.size());
+            tasks.push_back(TaskSlot{std::move(*work->solution)});
+        }
+
+        const auto run_start = SteadyClock::now();
+        std::vector<pollfd> fds;
+        std::vector<Conn*> polled;
+        while (!finished) {
+            if (config.run_timeout_s > 0.0 &&
+                std::chrono::duration<double>(SteadyClock::now() - run_start)
+                        .count() > config.run_timeout_s)
+                throw TcpError("tcp manager: run timeout exceeded");
+
+            fds.clear();
+            polled.clear();
+            fds.push_back({listener.fd(), POLLIN, 0});
+            for (auto& conn : conns) {
+                if (conn->dead) continue;
+                short events = POLLIN;
+                if (conn->outbox_off < conn->outbox.size()) events |= POLLOUT;
+                fds.push_back({conn->socket.fd(), events, 0});
+                polled.push_back(conn.get());
+            }
+            const int rc = ::poll(fds.data(),
+                                  static_cast<nfds_t>(fds.size()), 20);
+            if (rc < 0 && errno != EINTR)
+                throw TcpError("tcp manager: poll failed");
+
+            if ((fds[0].revents & POLLIN) != 0) accept_all();
+            for (std::size_t i = 0; i < polled.size() && !finished; ++i) {
+                Conn& conn = *polled[i];
+                const short got = fds[i + 1].revents;
+                if (conn.dead || got == 0) continue;
+                if ((got & POLLOUT) != 0) flush(conn);
+                if (!conn.dead &&
+                    (got & (POLLIN | POLLHUP | POLLERR)) != 0)
+                    read_from(conn);
+            }
+            if (finished) break;
+            reap_heartbeats();
+            dispatch_pending();
+            std::erase_if(conns,
+                          [](const std::unique_ptr<Conn>& c) {
+                              return c->dead;
+                          });
+        }
+
+        listener.close();
+        broadcast_shutdown();
+
+        TcpRunResult result;
+        result.run = engine->external_finish();
+        result.net = stats;
+        if (ctx.metrics) publish_metrics(*ctx.metrics);
+        engine = nullptr;
+        problem = nullptr;
+        return result;
+    }
+};
+
+TcpRunManager::TcpRunManager(const TcpRunConfig& config) {
+    if (config.workers_expected == 0)
+        throw std::invalid_argument("tcp manager: workers_expected == 0");
+    try {
+        impl_ = std::make_unique<Impl>(config);
+    } catch (const net::SocketError& error) {
+        throw TcpError(std::string("tcp manager: cannot listen on ") +
+                       config.host + ": " + error.what());
+    }
+}
+
+TcpRunManager::~TcpRunManager() = default;
+
+std::uint16_t TcpRunManager::port() const noexcept {
+    return impl_->listener.port();
+}
+
+TcpRunResult TcpRunManager::run(EventMasterPolicy& policy,
+                                const problems::Problem& problem,
+                                std::uint64_t evaluations,
+                                const RunContext& ctx) {
+    return impl_->run(policy, problem, evaluations, ctx);
+}
+
+TcpMasterSlaveExecutor::TcpMasterSlaveExecutor(
+    moea::BorgMoea& algorithm, const problems::Problem& problem,
+    const TcpRunConfig& config)
+    : algorithm_(algorithm), problem_(problem), manager_(config) {}
+
+TcpRunResult TcpMasterSlaveExecutor::run(std::uint64_t evaluations,
+                                         const RunContext& ctx) {
+    if (algorithm_.evaluations() != 0)
+        throw std::logic_error("tcp executor: algorithm already used");
+    AsyncBorgPolicy policy(algorithm_, problem_);
+    return manager_.run(policy, problem_, evaluations, ctx);
+}
+
+} // namespace borg::parallel

@@ -1,0 +1,150 @@
+#ifndef BORG_PARALLEL_TCP_EXECUTOR_HPP
+#define BORG_PARALLEL_TCP_EXECUTOR_HPP
+
+/// \file tcp_executor.hpp
+/// The real-transport run manager: the asynchronous master-slave protocol
+/// over TCP sockets (DESIGN.md §14).
+///
+/// The master binds a listening socket; `borg_worker` processes connect,
+/// self-describe (handshake), evaluate tasks, and heartbeat. The manager
+/// owns only the transport — sockets, frames, worker liveness, task
+/// retention and reassignment. Scheduling semantics come from the same
+/// EventMasterPolicy objects the virtual-time executors use, driven
+/// through ClusterEngine's external (real-time) mode, so an AsyncBorgPolicy
+/// runs byte-for-byte the same algorithm over real hardware as it does in
+/// simulation.
+///
+/// Determinism: under IngestOrder::dispatch (the default) results are
+/// ingested strictly in task-sequence order through a reorder buffer, and
+/// the master retains every dispatched Solution (the wire round-trip only
+/// carries variables out and objectives back). The final archive is then a
+/// pure function of (seed, window = workers_expected, evaluations) —
+/// byte-identical to ThreadMasterSlaveExecutor in dispatch mode with the
+/// same window, and invariant under worker churn, late joins, kill -9, and
+/// reassignment (tests/test_tcp_executor.cpp holds the gates).
+///
+/// Fault model: a dead socket (kill -9 → EOF/reset) reassigns the worker's
+/// outstanding task immediately; a hung worker is reaped by heartbeat
+/// timeout (the backstop — workers evaluate single-threaded, so the
+/// timeout must exceed the worst-case single evaluation). A Goodbye frame
+/// is a graceful leave: the worker departs without being counted as a
+/// failure, and any outstanding task is reassigned. Workers may join at
+/// any point during the run.
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "moea/borg.hpp"
+#include "parallel/cluster_engine.hpp"
+#include "parallel/message.hpp"
+#include "parallel/run_context.hpp"
+#include "parallel/virtual_cluster.hpp"
+#include "problems/problem.hpp"
+
+namespace borg::parallel {
+
+/// Transport-level failure that prevents the run from completing (cannot
+/// bind, run timeout with no live workers, ...). Peer-level failures never
+/// throw — they are reassignment events.
+class TcpError : public std::runtime_error {
+public:
+    explicit TcpError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct TcpRunConfig {
+    std::string host = "127.0.0.1";
+    /// 0 binds an ephemeral port; TcpRunManager::port() reports it.
+    std::uint16_t port = 0;
+    /// The window W of the dispatch protocol: W tasks are claimed from the
+    /// policy up front and the pipeline is kept W deep. Also the processor
+    /// count reported to the engine (workers_expected + 1). Live workers
+    /// may be fewer (stragglers, deaths) or more (late joins) at any time.
+    std::size_t workers_expected = 4;
+    /// dispatch = schedule-invariant window protocol (deterministic
+    /// archive); arrival = ingest in arrival order (classic MPI_ANY_SOURCE
+    /// semantics, nondeterministic under real concurrency).
+    IngestOrder ingest = IngestOrder::dispatch;
+    /// Cadence the master asks workers to heartbeat at (sent in HelloAck).
+    std::uint32_t heartbeat_interval_ms = 250;
+    /// Silence longer than this marks a worker dead and reassigns its
+    /// task. Must exceed the worst-case single evaluation time.
+    std::uint32_t heartbeat_timeout_ms = 2000;
+    /// Abort the run (TcpError) after this many wall-clock seconds.
+    /// 0 disables — but tests should always set it (harness safety net).
+    double run_timeout_s = 0.0;
+};
+
+/// Transport counters for one run, also published as net.* metrics.
+struct TcpRunStats {
+    std::uint64_t connects = 0;          ///< handshakes accepted
+    std::uint64_t disconnects = 0;       ///< sockets that left (any reason)
+    std::uint64_t graceful_leaves = 0;   ///< Goodbye-frame departures
+    std::uint64_t handshake_rejects = 0; ///< signature/version mismatches
+    std::uint64_t reassignments = 0;     ///< tasks re-queued after a loss
+    std::uint64_t heartbeat_timeouts = 0;
+    std::uint64_t stale_results = 0;     ///< results for already-done tasks
+    std::uint64_t connect_retries = 0;   ///< summed worker connect backoffs
+    std::uint64_t tasks_sent = 0;        ///< Task frames (incl. redispatch)
+    std::uint64_t results_received = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+};
+
+struct TcpRunResult {
+    VirtualRunResult run; ///< elapsed here is wall-clock seconds
+    TcpRunStats net;
+};
+
+/// The master side. Construction binds + listens (so workers can already
+/// connect while the caller finishes setup); run() serves one run to
+/// completion and is not reusable.
+class TcpRunManager {
+public:
+    explicit TcpRunManager(const TcpRunConfig& config);
+    ~TcpRunManager();
+    TcpRunManager(const TcpRunManager&) = delete;
+    TcpRunManager& operator=(const TcpRunManager&) = delete;
+
+    /// The actually-bound port (resolves port 0).
+    std::uint16_t port() const noexcept;
+
+    /// Serves \p evaluations results through \p policy over the socket
+    /// fleet. \p problem supplies the handshake signature workers are
+    /// validated against (the master never evaluates). ctx.trace receives
+    /// the full event stream plus net_connect / net_disconnect /
+    /// net_reassign; ctx.metrics the engine's "async.*" instruments and
+    /// the transport's "net.*" counters; ctx.recorder per-result
+    /// checkpoints, exactly as in the virtual executors.
+    TcpRunResult run(EventMasterPolicy& policy,
+                     const problems::Problem& problem,
+                     std::uint64_t evaluations, const RunContext& ctx = {});
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience wrapper mirroring AsyncMasterSlaveExecutor: the real Borg
+/// algorithm over TCP. Binds on construction; port() tells the harness
+/// where to point the workers.
+class TcpMasterSlaveExecutor {
+public:
+    TcpMasterSlaveExecutor(moea::BorgMoea& algorithm,
+                           const problems::Problem& problem,
+                           const TcpRunConfig& config);
+
+    std::uint16_t port() const noexcept { return manager_.port(); }
+
+    TcpRunResult run(std::uint64_t evaluations, const RunContext& ctx = {});
+
+private:
+    moea::BorgMoea& algorithm_;
+    const problems::Problem& problem_;
+    TcpRunManager manager_;
+};
+
+} // namespace borg::parallel
+
+#endif

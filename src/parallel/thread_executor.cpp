@@ -1,7 +1,9 @@
 #include "parallel/thread_executor.hpp"
 
 #include <chrono>
+#include <deque>
 #include <exception>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -10,7 +12,6 @@
 
 #include "obs/event_trace.hpp"
 #include "obs/metrics_registry.hpp"
-#include "parallel/message.hpp"
 
 namespace borg::parallel {
 
@@ -18,20 +19,11 @@ namespace {
 
 using SteadyClock = std::chrono::steady_clock;
 
-struct WorkMessage {
-    moea::Solution solution;
-};
-
-struct ResultMessage {
-    std::size_t worker = 0;
-    moea::Solution solution;
-    SteadyClock::time_point sent_at;
-};
-
 } // namespace
 
-ThreadMasterSlaveExecutor::ThreadMasterSlaveExecutor(std::size_t workers)
-    : workers_(workers) {
+ThreadMasterSlaveExecutor::ThreadMasterSlaveExecutor(std::size_t workers,
+                                                     IngestOrder ingest)
+    : workers_(workers), ingest_(ingest) {
     if (workers == 0)
         throw std::invalid_argument("thread executor: need >= 1 worker");
 }
@@ -46,11 +38,11 @@ ThreadRunResult ThreadMasterSlaveExecutor::run(
     if (algorithm.evaluations() != 0)
         throw std::logic_error("thread executor: algorithm already used");
 
-    std::vector<std::unique_ptr<Channel<WorkMessage>>> work_channels;
+    std::vector<std::unique_ptr<Channel<WorkPayload>>> work_channels;
     work_channels.reserve(workers_);
     for (std::size_t w = 0; w < workers_; ++w)
-        work_channels.push_back(std::make_unique<Channel<WorkMessage>>());
-    Channel<ResultMessage> results;
+        work_channels.push_back(std::make_unique<Channel<WorkPayload>>());
+    Channel<ResultPayload> results;
 
     // A worker whose evaluation throws parks the exception here and closes
     // the result channel so the master wakes up instead of blocking
@@ -62,9 +54,9 @@ ThreadRunResult ThreadMasterSlaveExecutor::run(
     threads.reserve(workers_);
     for (std::size_t w = 0; w < workers_; ++w) {
         threads.emplace_back([&, w] {
-            Channel<WorkMessage>& inbox = *work_channels[w];
+            Channel<WorkPayload>& inbox = *work_channels[w];
             for (;;) {
-                std::optional<WorkMessage> message = inbox.receive();
+                std::optional<WorkPayload> message = inbox.receive();
                 if (!message) return; // channel closed: shut down
                 try {
                     moea::evaluate(problem, message->solution);
@@ -77,7 +69,8 @@ ThreadRunResult ThreadMasterSlaveExecutor::run(
                     results.close();
                     return;
                 }
-                results.send(ResultMessage{w, std::move(message->solution),
+                results.send(ResultPayload{message->seq, w,
+                                           std::move(message->solution),
                                            SteadyClock::now()});
             }
         });
@@ -125,14 +118,52 @@ ThreadRunResult ThreadMasterSlaveExecutor::run(
     std::uint64_t issued = 0;
     std::uint64_t completed = 0;
 
-    // Seed every worker with initial work.
+    // The master step: ingest one evaluated solution, fund the next task
+    // if the budget allows. Returns the new task (unassigned).
+    const auto ingest = [&](moea::Solution solution, std::size_t actor)
+        -> std::optional<WorkPayload> {
+        const auto ta_start = SteadyClock::now();
+        algorithm.receive(std::move(solution));
+        std::optional<WorkPayload> next;
+        if (issued < evaluations) {
+            next = WorkPayload{issued, algorithm.next_offspring()};
+            ++issued;
+        }
+        const double ta =
+            std::chrono::duration<double>(SteadyClock::now() - ta_start)
+                .count();
+        run_result.ta_samples.push_back(ta);
+        if (h_ta) h_ta->observe(ta);
+        if (trace)
+            trace->record({obs::EventKind::ta_sample, since_start(),
+                           static_cast<std::int64_t>(actor), ta, 0});
+        ++completed;
+        if (trace) {
+            trace->record({obs::EventKind::result, since_start(),
+                           static_cast<std::int64_t>(actor), 0.0, completed});
+            trace->record({obs::EventKind::archive_snapshot, since_start(),
+                           -1, 0.0, algorithm.archive().size()});
+        }
+        return next;
+    };
+
+    // Seed every worker with initial work. Under the window protocol this
+    // is the deterministic prefix: offspring 0..W-1 generated before any
+    // ingest, in worker order.
     for (std::size_t w = 0; w < workers_ && issued < evaluations; ++w) {
-        work_channels[w]->send(WorkMessage{algorithm.next_offspring()});
+        work_channels[w]->send(WorkPayload{issued, algorithm.next_offspring()});
         ++issued;
     }
 
+    // Dispatch-order state: results parked until their turn, workers
+    // parked until a task exists for them.
+    std::map<std::uint64_t, ResultPayload> reorder;
+    std::deque<WorkPayload> pending_tasks;
+    std::deque<std::size_t> idle_workers;
+    std::uint64_t next_ingest = 0;
+
     while (completed < evaluations) {
-        std::optional<ResultMessage> result = results.receive();
+        std::optional<ResultPayload> result = results.receive();
         if (!result) {
             // The result channel only closes when a worker failed; join
             // the fleet and surface the captured exception.
@@ -154,33 +185,34 @@ ThreadRunResult ThreadMasterSlaveExecutor::run(
                            static_cast<std::int64_t>(result->worker), tc,
                            0});
 
-        const auto ta_start = SteadyClock::now();
-        algorithm.receive(std::move(result->solution));
-        std::optional<moea::Solution> next;
-        if (issued < evaluations) {
-            next = algorithm.next_offspring();
-            ++issued;
+        if (ingest_ == IngestOrder::arrival) {
+            std::optional<WorkPayload> next =
+                ingest(std::move(result->solution), result->worker);
+            if (next)
+                work_channels[result->worker]->send(std::move(*next));
+            continue;
         }
-        const double ta =
-            std::chrono::duration<double>(SteadyClock::now() - ta_start)
-                .count();
-        run_result.ta_samples.push_back(ta);
-        if (h_ta) h_ta->observe(ta);
-        if (trace)
-            trace->record({obs::EventKind::ta_sample, since_start(),
-                           static_cast<std::int64_t>(result->worker), ta,
-                           0});
 
-        if (next)
-            work_channels[result->worker]->send(
-                WorkMessage{std::move(*next)});
-        ++completed;
-        if (trace) {
-            trace->record({obs::EventKind::result, since_start(),
-                           static_cast<std::int64_t>(result->worker), 0.0,
-                           completed});
-            trace->record({obs::EventKind::archive_snapshot, since_start(),
-                           -1, 0.0, algorithm.archive().size()});
+        // Window protocol: park the result and the newly idle worker, then
+        // drain the reorder buffer strictly in sequence order. Each ingest
+        // may fund one task; tasks meet idle workers FIFO.
+        const std::size_t freed = result->worker;
+        reorder.emplace(result->seq, std::move(*result));
+        idle_workers.push_back(freed);
+        for (auto hit = reorder.find(next_ingest); hit != reorder.end();
+             hit = reorder.find(next_ingest)) {
+            ResultPayload ready = std::move(hit->second);
+            reorder.erase(hit);
+            ++next_ingest;
+            std::optional<WorkPayload> next =
+                ingest(std::move(ready.solution), ready.worker);
+            if (next) pending_tasks.push_back(std::move(*next));
+        }
+        while (!pending_tasks.empty() && !idle_workers.empty()) {
+            const std::size_t w = idle_workers.front();
+            idle_workers.pop_front();
+            work_channels[w]->send(std::move(pending_tasks.front()));
+            pending_tasks.pop_front();
         }
     }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "moea/borg.hpp"
+#include "parallel/message.hpp"
 #include "parallel/run_context.hpp"
 #include "problems/problem.hpp"
 
@@ -43,8 +44,14 @@ struct ThreadRunResult {
 class ThreadMasterSlaveExecutor {
 public:
     /// \p workers physical worker threads (>= 1); total "processors" is
-    /// workers + 1 (the calling thread acts as the master).
-    explicit ThreadMasterSlaveExecutor(std::size_t workers);
+    /// workers + 1 (the calling thread acts as the master). \p ingest
+    /// picks the ingestion discipline: `arrival` is the historical
+    /// MPI_ANY_SOURCE behaviour; `dispatch` is the schedule-invariant
+    /// window protocol whose archive is byte-identical to any other
+    /// transport run with the same seed and window — the determinism
+    /// contract the TCP run manager is tested against (DESIGN.md §14).
+    explicit ThreadMasterSlaveExecutor(
+        std::size_t workers, IngestOrder ingest = IngestOrder::arrival);
 
     /// Runs the algorithm for \p evaluations results. \p problem is
     /// evaluated concurrently from the worker threads and must be
@@ -65,6 +72,7 @@ public:
 
 private:
     std::size_t workers_;
+    IngestOrder ingest_;
 };
 
 } // namespace borg::parallel

@@ -1,0 +1,312 @@
+/// Loopback integration tests for the TCP run manager (DESIGN.md §14):
+/// the real asynchronous Borg MOEA served over 127.0.0.1 to real
+/// borg_worker subprocesses, with the process supervisor injecting the
+/// faults the transport must absorb — kill -9 mid-evaluation, a silent
+/// stall after handshake, graceful leaves, and late joins.
+///
+/// The load-bearing assertion everywhere: under the window protocol
+/// (IngestOrder::dispatch) the final archive is byte-identical to a
+/// thread-executor dispatch run with the same (seed, window, evaluations),
+/// no matter what the fleet did. Faults may change *timing*; they must
+/// never change *the archive*.
+///
+/// Every run sets run_timeout_s well under the 30 s ctest cap, so a
+/// wedged transport fails as a TcpError with the net stats visible, not
+/// as a suite timeout.
+
+#include "parallel/tcp_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "moea/borg.hpp"
+#include "net_test_support.hpp"
+#include "obs/event_trace.hpp"
+#include "obs/metrics_registry.hpp"
+#include "problems/problem.hpp"
+
+namespace {
+
+using namespace borg;
+using testnet::archives_identical;
+using testnet::reference_archive;
+using testnet::spawn_worker;
+using testnet::WorkerProc;
+
+constexpr const char* kProblem = "zdt1";
+constexpr double kEpsilon = 0.01;
+constexpr std::uint64_t kSeed = 20260809;
+constexpr std::size_t kWindow = 4;
+constexpr std::uint64_t kEvals = 300;
+
+parallel::TcpRunConfig test_config() {
+    parallel::TcpRunConfig config;
+    config.workers_expected = kWindow;
+    config.heartbeat_interval_ms = 50;
+    config.heartbeat_timeout_ms = 1000;
+    config.run_timeout_s = 20.0;
+    return config;
+}
+
+struct TcpRun {
+    parallel::TcpRunResult result;
+    std::vector<moea::Solution> archive;
+    obs::EventTrace trace;
+    obs::MetricsRegistry metrics;
+};
+
+/// Runs the TCP master in-process with the given worker fleet already
+/// launched (or launched by \p while_running once the port is known).
+template <typename Fleet>
+TcpRun run_tcp(const parallel::TcpRunConfig& config, Fleet&& fleet) {
+    TcpRun out;
+    const auto problem = problems::make_problem(kProblem);
+    moea::BorgParams params =
+        moea::BorgParams::for_problem(*problem, kEpsilon);
+    moea::BorgMoea algorithm(*problem, params, kSeed);
+    parallel::TcpMasterSlaveExecutor executor(algorithm, *problem, config);
+    auto workers = fleet(executor.port());
+    out.result = executor.run(
+        kEvals, {.trace = &out.trace, .metrics = &out.metrics});
+    out.archive = algorithm.archive().solutions();
+    // Bounded reap: a deliberately hung worker ignores Shutdown forever,
+    // so waiting unboundedly here would hang the *harness* even though
+    // the run itself completed. Healthy workers exit within milliseconds.
+    for (auto& w : workers) w.wait_exit_or_kill(2000);
+    return out;
+}
+
+std::uint64_t counter_value(const obs::MetricsRegistry& metrics,
+                            const std::string& name) {
+    const obs::Counter* c = metrics.find_counter(name);
+    return c != nullptr ? c->value() : 0;
+}
+
+// ----------------------------------------------------------- happy path
+
+TEST(TcpExecutor, ByteIdenticalToThreadExecutorAtSameSeedAndWindow) {
+    const auto problem = problems::make_problem(kProblem);
+    const std::vector<moea::Solution> reference =
+        reference_archive(*problem, kEpsilon, kSeed, kWindow, kEvals);
+
+    const TcpRun tcp = run_tcp(test_config(), [&](std::uint16_t port) {
+        std::vector<WorkerProc> workers;
+        for (int i = 0; i < 4; ++i)
+            workers.push_back(spawn_worker(port, kProblem));
+        return workers;
+    });
+
+    EXPECT_TRUE(tcp.result.run.completed_target);
+    EXPECT_EQ(tcp.result.run.evaluations, kEvals);
+    EXPECT_EQ(tcp.result.net.connects, 4u);
+    EXPECT_EQ(tcp.result.net.results_received, kEvals);
+    EXPECT_EQ(tcp.result.run.failed_workers, 0u);
+    ASSERT_FALSE(reference.empty());
+    EXPECT_TRUE(archives_identical(reference, tcp.archive))
+        << "TCP dispatch-mode archive diverged from the thread executor";
+
+    // The engine's uniform event stream is present alongside net.* events.
+    EXPECT_EQ(tcp.trace.count(obs::EventKind::run_start), 1u);
+    EXPECT_EQ(tcp.trace.count(obs::EventKind::run_end), 1u);
+    EXPECT_EQ(tcp.trace.count(obs::EventKind::result), kEvals);
+    EXPECT_EQ(tcp.trace.count(obs::EventKind::net_connect), 4u);
+    EXPECT_EQ(counter_value(tcp.metrics, "net.results_received"), kEvals);
+    EXPECT_EQ(counter_value(tcp.metrics, "net.tasks_sent"), kEvals);
+}
+
+TEST(TcpExecutor, LateJoinAndGracefulLeaveConverge) {
+    // Two founding workers leave gracefully after 20 evaluations each;
+    // two more join late. The run must converge on the same archive.
+    const auto problem = problems::make_problem(kProblem);
+    const std::vector<moea::Solution> reference =
+        reference_archive(*problem, kEpsilon, kSeed, kWindow, kEvals);
+
+    std::thread late_joiner;
+    std::vector<WorkerProc> late;
+    const TcpRun tcp = run_tcp(test_config(), [&](std::uint16_t port) {
+        std::vector<WorkerProc> workers;
+        workers.push_back(
+            spawn_worker(port, kProblem, {"--leave-after-evals", "20"}));
+        workers.push_back(
+            spawn_worker(port, kProblem, {"--leave-after-evals", "20"}));
+        late_joiner = std::thread([port, &late] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(300));
+            late.push_back(spawn_worker(port, kProblem));
+            late.push_back(spawn_worker(port, kProblem));
+        });
+        return workers;
+    });
+    late_joiner.join();
+    for (auto& w : late) w.wait_exit();
+
+    EXPECT_TRUE(tcp.result.run.completed_target);
+    EXPECT_EQ(tcp.result.net.connects, 4u);
+    EXPECT_EQ(tcp.result.net.graceful_leaves, 2u);
+    // Goodbyes are not failures: the policy's claim accounting was never
+    // disturbed.
+    EXPECT_EQ(tcp.result.run.failed_workers, 0u);
+    EXPECT_TRUE(archives_identical(reference, tcp.archive))
+        << "worker churn changed the dispatch-mode archive";
+}
+
+// -------------------------------------------------------- fault injection
+
+TEST(TcpExecutor, Kill9MidEvaluationReassignsAndCompletesIdentically) {
+    const auto problem = problems::make_problem(kProblem);
+    const std::vector<moea::Solution> reference =
+        reference_archive(*problem, kEpsilon, kSeed, kWindow, kEvals);
+
+    std::thread killer;
+    const TcpRun tcp = run_tcp(test_config(), [&](std::uint16_t port) {
+        std::vector<WorkerProc> workers;
+        // The victim's every evaluation blocks 10 s — far beyond the
+        // kill point, so SIGKILL provably lands mid-evaluation with a
+        // task outstanding.
+        workers.push_back(
+            spawn_worker(port, kProblem, {"--eval-delay-ms", "10000"}));
+        for (int i = 0; i < 3; ++i)
+            workers.push_back(spawn_worker(port, kProblem));
+        const pid_t victim = workers[0].pid();
+        killer = std::thread([victim] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(400));
+            ::kill(victim, SIGKILL);
+        });
+        return workers;
+    });
+    killer.join();
+
+    EXPECT_TRUE(tcp.result.run.completed_target);
+    EXPECT_EQ(tcp.result.run.evaluations, kEvals);
+    // The death was seen, counted, and the orphaned evaluation re-queued.
+    EXPECT_EQ(tcp.result.run.failed_workers, 1u);
+    EXPECT_EQ(tcp.result.net.disconnects, 1u);
+    EXPECT_GE(tcp.result.net.reassignments, 1u);
+    EXPECT_EQ(counter_value(tcp.metrics, "net.reassignments"),
+              tcp.result.net.reassignments);
+    EXPECT_GE(tcp.trace.count(obs::EventKind::net_reassign), 1u);
+    EXPECT_EQ(tcp.trace.count(obs::EventKind::worker_failure), 1u);
+    // More Task frames than results: the lost dispatch was re-sent.
+    EXPECT_GT(tcp.result.net.tasks_sent, tcp.result.net.results_received);
+
+    EXPECT_TRUE(archives_identical(reference, tcp.archive))
+        << "kill -9 + reassignment changed the dispatch-mode archive";
+}
+
+TEST(TcpExecutor, Kill9AfterHandshakeBeforeFirstResultReassigns) {
+    // The victim completes the handshake (and is handed a task — the
+    // window is pre-claimed) but stalls before evaluating anything, then
+    // is SIGKILLed. Covers the joined-but-never-produced fault window.
+    const auto problem = problems::make_problem(kProblem);
+    const std::vector<moea::Solution> reference =
+        reference_archive(*problem, kEpsilon, kSeed, kWindow, kEvals);
+
+    std::thread killer;
+    const TcpRun tcp = run_tcp(test_config(), [&](std::uint16_t port) {
+        std::vector<WorkerProc> workers;
+        workers.push_back(
+            spawn_worker(port, kProblem, {"--stall-after-handshake"}));
+        for (int i = 0; i < 3; ++i)
+            workers.push_back(spawn_worker(port, kProblem));
+        const pid_t victim = workers[0].pid();
+        killer = std::thread([victim] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(400));
+            ::kill(victim, SIGKILL);
+        });
+        return workers;
+    });
+    killer.join();
+
+    EXPECT_TRUE(tcp.result.run.completed_target);
+    EXPECT_EQ(tcp.result.run.failed_workers, 1u);
+    EXPECT_GE(tcp.result.net.reassignments, 1u);
+    EXPECT_TRUE(archives_identical(reference, tcp.archive));
+}
+
+TEST(TcpExecutor, HungWorkerIsReapedByHeartbeatTimeout) {
+    // No kill at all: the worker simply goes silent after the handshake.
+    // Socket EOF never comes, so only the heartbeat timeout can save the
+    // run.
+    const auto problem = problems::make_problem(kProblem);
+    const std::vector<moea::Solution> reference =
+        reference_archive(*problem, kEpsilon, kSeed, kWindow, kEvals);
+
+    auto config = test_config();
+    config.heartbeat_timeout_ms = 500;
+    const TcpRun tcp = run_tcp(config, [&](std::uint16_t port) {
+        std::vector<WorkerProc> workers;
+        workers.push_back(
+            spawn_worker(port, kProblem, {"--stall-after-handshake"}));
+        for (int i = 0; i < 3; ++i)
+            workers.push_back(spawn_worker(port, kProblem));
+        return workers;
+    });
+
+    EXPECT_TRUE(tcp.result.run.completed_target);
+    EXPECT_GE(tcp.result.net.heartbeat_timeouts, 1u);
+    EXPECT_EQ(tcp.result.run.failed_workers, 1u);
+    EXPECT_GE(tcp.result.net.reassignments, 1u);
+    EXPECT_EQ(counter_value(tcp.metrics, "net.heartbeat_timeouts"),
+              tcp.result.net.heartbeat_timeouts);
+    EXPECT_TRUE(archives_identical(reference, tcp.archive));
+}
+
+// ----------------------------------------------------- handshake policing
+
+TEST(TcpExecutor, MismatchedProblemSignatureIsRejected) {
+    // A worker built for the wrong problem must be turned away with a
+    // reason (exit code 2) and never dispatched to; the run completes on
+    // the correctly-configured fleet.
+    // The imposter blocks awaiting its HelloAck until the master starts
+    // polling, so its exit code is collected after the run.
+    std::optional<WorkerProc> imposter;
+    const TcpRun tcp = run_tcp(test_config(), [&](std::uint16_t port) {
+        imposter.emplace(spawn_worker(port, "dtlz2_3"));
+        std::vector<WorkerProc> workers;
+        for (int i = 0; i < 4; ++i)
+            workers.push_back(spawn_worker(port, kProblem));
+        return workers;
+    });
+
+    ASSERT_TRUE(imposter.has_value());
+    EXPECT_EQ(imposter->wait_exit(), 2);
+    EXPECT_TRUE(tcp.result.run.completed_target);
+    EXPECT_EQ(tcp.result.net.handshake_rejects, 1u);
+    EXPECT_EQ(tcp.result.net.connects, 4u);
+    EXPECT_EQ(counter_value(tcp.metrics, "net.handshake_rejects"), 1u);
+}
+
+// -------------------------------------------------------------- guardrails
+
+TEST(TcpExecutor, RunTimeoutSurfacesAsTcpErrorWhenNoWorkersEverJoin) {
+    auto config = test_config();
+    config.run_timeout_s = 0.3;
+    const auto problem = problems::make_problem(kProblem);
+    moea::BorgParams params =
+        moea::BorgParams::for_problem(*problem, kEpsilon);
+    moea::BorgMoea algorithm(*problem, params, kSeed);
+    parallel::TcpMasterSlaveExecutor executor(algorithm, *problem, config);
+    EXPECT_THROW(executor.run(kEvals), parallel::TcpError);
+}
+
+TEST(TcpExecutor, RejectsZeroWorkerWindowAndZeroEvaluations) {
+    EXPECT_THROW(
+        {
+            parallel::TcpRunConfig config;
+            config.workers_expected = 0;
+            parallel::TcpRunManager manager(config);
+        },
+        std::invalid_argument);
+
+    const auto problem = problems::make_problem(kProblem);
+    moea::BorgParams params =
+        moea::BorgParams::for_problem(*problem, kEpsilon);
+    moea::BorgMoea algorithm(*problem, params, kSeed);
+    parallel::TcpMasterSlaveExecutor executor(algorithm, *problem,
+                                              test_config());
+    EXPECT_THROW(executor.run(0), std::invalid_argument);
+}
+
+} // namespace
